@@ -1,0 +1,165 @@
+// Command abftsim runs one ABFT kernel under one ECC strategy on the
+// simulated node and reports timing, energy and resilience metrics — the
+// single-experiment workhorse behind the paper's §5.1 sweeps.
+//
+// Usage:
+//
+//	abftsim -kernel dgemm|cholesky|cg|hpl -strategy no_ecc|w_ck|p_ck+no_ecc|w_sd|p_sd+no_ecc|p_ck+p_sd
+//	        [-n N] [-grid X] [-iters I] [-notified] [-inject kind]
+//
+// -inject plants one error of the given kind (single-bit, double-bit,
+// chip-failure, scattered) into the kernel's primary ABFT structure after
+// the run and reads through it, demonstrating the detection path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"coopabft/internal/abft"
+	"coopabft/internal/bifit"
+	"coopabft/internal/core"
+	"coopabft/internal/machine"
+)
+
+func strategyByName(name string) (core.Strategy, error) {
+	for _, s := range core.Strategies {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want one of %v)", name, core.Strategies)
+}
+
+func kindByName(name string) (bifit.Kind, error) {
+	for _, k := range []bifit.Kind{bifit.SingleBit, bifit.DoubleBitSameWord, bifit.ChipFailure, bifit.Scattered} {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown error kind %q", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	kernel := flag.String("kernel", "dgemm", "dgemm, cholesky, cg, hpl, lu or qr")
+	strategy := flag.String("strategy", "p_ck+p_sd", "ECC strategy")
+	n := flag.Int("n", 128, "matrix dimension (dgemm/cholesky/hpl)")
+	grid := flag.Int("grid", 64, "CG grid side")
+	iters := flag.Int("iters", 20, "CG iterations")
+	notified := flag.Bool("notified", false, "use hardware-notified verification")
+	inject := flag.String("inject", "", "post-run injection kind (single-bit, double-bit, chip-failure, scattered)")
+	flag.Parse()
+
+	s, err := strategyByName(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := abft.FullVerify
+	if *notified {
+		mode = abft.NotifiedVerify
+	}
+
+	rt := core.NewRuntime(machine.ScaledConfig(32), s, 1)
+	var target bifit.Target
+	var corrections *[]abft.Correction
+	var fix func() error
+
+	switch strings.ToLower(*kernel) {
+	case "dgemm":
+		d := rt.NewDGEMM(*n, 1)
+		d.Mode = mode
+		must(d.Run())
+		target = bifit.Target{Data: d.Cf.Data, Reg: d.Cf.Reg}
+		corrections, fix = &d.Corrections, d.VerifyFull
+	case "cholesky":
+		c := rt.NewCholesky(*n, 1)
+		c.Mode = mode
+		must(c.Run())
+		target = bifit.Target{Data: c.A.Data, Reg: c.A.Reg}
+		corrections, fix = &c.Corrections, func() error { return c.VerifyL(c.N) }
+	case "cg":
+		c := rt.NewCG(*grid, *grid, 1)
+		c.Mode = mode
+		c.MaxIter = *iters
+		c.RelTol = 0
+		if _, err := c.Run(); err != nil {
+			log.Fatal(err)
+		}
+		v, _ := c.VecFor("x")
+		target = bifit.Target{Data: v.Data, Reg: v.Reg}
+		corrections, fix = &c.Corrections, func() error { _, err := c.VerifyInvariants(); return err }
+	case "hpl":
+		h := rt.NewHPL(*n-*n%16, 8, 1)
+		must(h.Run())
+		target = bifit.Target{Data: h.A.Data, Reg: h.A.Reg}
+		corrections, fix = &h.Corrections, func() error { return nil }
+	case "lu":
+		u := rt.NewLU(*n, 1)
+		u.Mode = mode
+		must(u.Run())
+		target = bifit.Target{Data: u.Af.Data, Reg: u.Af.Reg}
+		corrections, fix = &u.Corrections, func() error { return u.VerifyRows(0) }
+	case "qr":
+		r := rt.NewQR(*n, 1)
+		r.Mode = mode
+		must(r.Run())
+		target = bifit.Target{Data: r.Af.Data, Reg: r.Af.Reg}
+		corrections, fix = &r.Corrections, r.VerifyR
+	default:
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+
+	if *inject != "" {
+		kind, err := kindByName(*inject)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt.M.FlushCaches()
+		idx := rt.Injector.RandomElement(target)
+		if err := rt.Injector.InjectKind(target, idx, kind); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("injected %v error at element %d of %s\n", kind, idx, target.Reg.Name)
+		// Demand-read the line to let the hardware observe it.
+		rt.M.Memory().Touch(target.Reg.Base+uint64(idx)*8, 8, false)
+		if rt.M.OS.Panicked() {
+			fmt.Println("outcome: OS PANIC (error outside ABFT protection)")
+		} else if pend := rt.M.OS.PeekCorruptions(); len(pend) > 0 {
+			fmt.Printf("outcome: ECC-uncorrectable; OS exposed %d corrupted line(s) to ABFT\n", len(pend))
+			if err := fix(); err != nil {
+				fmt.Printf("ABFT could not correct: %v\n", err)
+			}
+		} else if st := rt.M.Ctl.Stats(); st.CorrectedErrors > 0 {
+			fmt.Println("outcome: corrected silently by ECC hardware")
+		} else {
+			fmt.Println("outcome: error latent (no ECC on this region); ABFT verification will catch it")
+			if err := fix(); err != nil {
+				fmt.Printf("ABFT verification: %v\n", err)
+			}
+		}
+	}
+
+	res := rt.Finish()
+	fmt.Printf("\nkernel=%s strategy=%s mode=%s\n", *kernel, s, mode)
+	fmt.Printf("time      %.6f s (%.3g cycles), IPC %.3f\n", res.Seconds, float64(res.Cycles), res.IPC)
+	fmt.Printf("energy    processor %.4g J, memory dynamic %.4g J, memory standby %.4g J, system %.4g J\n",
+		res.ProcEnergyJ, res.MemDynamicJ, res.MemStandbyJ, res.SystemEnergyJ)
+	fmt.Printf("memory    row-buffer hit rate %.1f%%, LLC misses (ABFT/other) %d/%d\n",
+		100*res.RowHitRate, res.LLCMissABFT, res.LLCMissOther)
+	fmt.Printf("resilience ECC corrected %d, uncorrectable %d, interrupts %d, ABFT corrections %d\n",
+		res.ECC.CorrectedErrors, res.ECC.UncorrectableErrors, res.Interrupts, len(*corrections))
+	if res.OS.Panics > 0 {
+		fmt.Printf("OS panics %d — a production system would checkpoint/restart here\n", res.OS.Panics)
+		os.Exit(1)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+// Package coopabft is a from-scratch Go reproduction of "Rethinking
+// Algorithm-Based Fault Tolerance with a Cooperative Software-Hardware
+// Approach" (Li, Chen, Wu, Vetter — SC 2013): six ABFT kernels (FT-DGEMM,
+// FT-Cholesky, FT-CG, FT-HPL, plus FT-LU and FT-QR from the paper's related
+// work), real SECDED and chipkill ECC codecs, a cache/DRAM/memory-controller
+// simulator with software-programmable per-region ECC, the OS support
+// (malloc_ecc/free_ecc/assign_ecc, the ECC-error interrupt path, page
+// retirement), fault injection, the §4 fault models, checkpoint/restart,
+// an adaptive ECC policy, and a harness regenerating every table and figure
+// of the paper's evaluation plus three extension studies.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each experiment; the
+// cmd/paperfigs binary prints them as tables.
+package coopabft

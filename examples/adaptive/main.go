@@ -1,0 +1,78 @@
+// Adaptive: end-to-end resilience steering, the paper's closing direction.
+//
+// The example runs ABFT data under relaxed ECC while the node is healthy,
+// then simulates a DIMM going bad (a burst of uncorrectable errors). The
+// adaptive policy watches the observed error rate, compares the implied
+// MTTF with the Equation (7) threshold, and escalates the ABFT data to
+// strong ECC via assign_ecc; when the storm passes it relaxes again.
+// Meanwhile the OS retires the repeatedly-failing page.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coopabft/internal/bifit"
+	"coopabft/internal/core"
+	"coopabft/internal/ecc"
+	"coopabft/internal/machine"
+	"coopabft/internal/osmodel"
+)
+
+func main() {
+	rt := core.NewRuntime(machine.ScaledConfig(32), core.PartialChipkillSECDED, 21)
+	d := rt.NewDGEMM(48, 8)
+	if err := d.Run(); err != nil {
+		log.Fatal(err)
+	}
+	alloc, _ := rt.M.OS.AllocationAt(d.Cf.Reg.Base)
+
+	cfg := core.DefaultAdaptiveConfig()
+	cfg.Relaxed, cfg.Strong = ecc.SECDED, ecc.Chipkill
+	pol := core.NewAdaptivePolicy(cfg, rt.M.OS, []*osmodel.Allocation{alloc})
+	fmt.Printf("policy: MTTF threshold (Eq. 7) = %.2f s; window %.0f s\n",
+		pol.Threshold(), cfg.WindowSeconds)
+
+	scheme := func() ecc.Scheme {
+		pa, _ := rt.M.OS.Translate(d.Cf.Reg.Base)
+		return rt.M.Ctl.SchemeFor(pa)
+	}
+	fmt.Printf("healthy node: ABFT data under %v\n", scheme())
+
+	// Window 1: clean.
+	pol.Observe(rt.M.OS.Stats().Interrupts)
+	fmt.Printf("window 1 (clean): mode strong=%v, scheme %v\n", pol.StrongMode(), scheme())
+
+	// Window 2: a DIMM starts dying — uncorrectable errors on one page.
+	rt.M.FlushCaches()
+	tgt := bifit.Target{Data: d.Cf.Data, Reg: d.Cf.Reg}
+	for i := 0; i < 4; i++ {
+		idx := (i + 1) * d.Cf.Stride
+		if err := rt.Injector.FlipBits(tgt, idx, []int{5, 23}); err != nil {
+			log.Fatal(err)
+		}
+		rt.M.Memory().Touch(d.Cf.Reg.Base+uint64(idx)*8, 8, false)
+	}
+	st := rt.M.OS.Stats()
+	fmt.Printf("window 2 (storm): %d uncorrectable errors, %d page(s) retired by the OS\n",
+		st.Interrupts, st.PagesRetired)
+	pol.Observe(st.Interrupts)
+	fmt.Printf("→ policy escalated: mode strong=%v, scheme %v\n", pol.StrongMode(), scheme())
+
+	// ABFT repairs the exposed corruption while protection is strong.
+	if err := d.VerifyNotified(); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.CheckResult(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("→ ABFT repaired all exposed corruption; result verified")
+
+	// Windows 3–4: quiet again → relax.
+	pol.Observe(rt.M.OS.Stats().Interrupts)
+	pol.Observe(rt.M.OS.Stats().Interrupts)
+	fmt.Printf("windows 3–4 (quiet): mode strong=%v, scheme %v, %d switches total\n",
+		pol.StrongMode(), scheme(), pol.Switches)
+}

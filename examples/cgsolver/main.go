@@ -1,0 +1,77 @@
+// CG solver: solving a 2D Poisson problem with FT-CG while errors rain on
+// the solver state.
+//
+// The example runs the fault-tolerant preconditioned conjugate gradient of
+// §2.1 on a 128×128 five-point stencil, injecting corruption into a
+// different vector every few iterations. The invariant checks (Equations 1)
+// detect the damage and the solver recovers in place, still converging to
+// the true solution — the "fail-continue without checkpointing" property.
+//
+//	go run ./examples/cgsolver
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"coopabft/internal/abft"
+)
+
+func main() {
+	env := abft.Standalone()
+	cg := abft.NewCG(env, 128, 128, 7)
+	cg.CheckPeriod = 5
+	cg.RelTol = 1e-10
+
+	// An adversarial fault campaign: hit a different structure each time.
+	injections := 0
+	cg.OnIteration = func(iter int) {
+		switch iter {
+		case 20:
+			cg.R()[1000] += 1e8
+			injections++
+			fmt.Printf("iter %3d: corrupted residual r[1000]\n", iter)
+		case 60:
+			cg.X()[5000] -= 4e6
+			injections++
+			fmt.Printf("iter %3d: corrupted solution x[5000]\n", iter)
+		case 100:
+			cg.P()[123] *= -1e5
+			injections++
+			fmt.Printf("iter %3d: corrupted search direction p[123]\n", iter)
+		}
+	}
+
+	out, err := cg.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconverged: %v after %d iterations (recursive residual %.3g)\n",
+		out.Converged, out.Iterations, out.Residual)
+	fmt.Printf("injections: %d, invariant-triggered recoveries: %d\n", injections, cg.Recoveries)
+
+	trueRes := cg.TrueResidual()
+	fmt.Printf("true residual ‖b − A·x‖ = %.3g\n", trueRes)
+	if !out.Converged || math.IsNaN(trueRes) || trueRes > 1e-6 {
+		log.Fatal("solver did not survive the fault campaign")
+	}
+	fmt.Println("solution verified despite three mid-solve corruptions ✓")
+
+	// Contrast: the same campaign with verification disabled diverges from
+	// the true solution even though the recursive residual looks converged.
+	naive := abft.NewCG(abft.Standalone(), 128, 128, 7)
+	naive.CheckPeriod = 0
+	naive.RelTol = 1e-10
+	naive.OnIteration = func(iter int) {
+		if iter == 60 {
+			naive.X()[5000] -= 4e6
+		}
+	}
+	nOut, err := naive.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwithout ABFT: reported residual %.3g but TRUE residual %.3g — silently wrong\n",
+		nOut.Residual, naive.TrueResidual())
+}

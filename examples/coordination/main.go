@@ -1,0 +1,72 @@
+// Coordination: the full ARE (ABFT + relaxed ECC) loop of §3 on the
+// simulated node.
+//
+// The example allocates FT-Cholesky's matrix with malloc_ecc under relaxed
+// SECDED while the rest of the node keeps chipkill, injects an
+// ECC-uncorrectable error, and shows the cooperative pipeline: the memory
+// controller detects it on a fetch, records the fault site in its error
+// registers, interrupts the OS, the OS derives the virtual address and
+// exposes it to the application, and ABFT rebuilds exactly that element —
+// no checksum sweep, no checkpoint, no restart.
+//
+//	go run ./examples/coordination
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coopabft/internal/abft"
+	"coopabft/internal/bifit"
+	"coopabft/internal/core"
+	"coopabft/internal/machine"
+)
+
+func main() {
+	rt := core.NewRuntime(machine.ScaledConfig(32), core.PartialChipkillSECDED, 99)
+	fmt.Printf("node: default ECC %v, ABFT data under %v\n",
+		rt.Strategy.DefaultScheme(), rt.Strategy.ABFTScheme())
+
+	chol := rt.NewCholesky(96, 5)
+	chol.Mode = abft.NotifiedVerify
+	if err := chol.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factored a 96×96 SPD matrix; MC ECC regions programmed: %d\n",
+		len(rt.M.Ctl.Regions()))
+
+	// Error strikes DRAM: a whole-chip (8-bit symbol) failure in L —
+	// correctable by chipkill, but this data runs relaxed SECDED.
+	rt.M.FlushCaches()
+	tgt := bifit.Target{Data: chol.A.Data, Reg: chol.A.Reg}
+	idx := 60*chol.A.Stride + 20
+	before := chol.A.At(60, 20)
+	// A whole x4 chip's contribution goes bad: all 8 bits of one symbol
+	// (bits 48–55, high mantissa). Chipkill would correct this; SECDED
+	// cannot — which is the point of the cooperative pipeline.
+	if err := rt.Injector.FlipBits(tgt, idx, []int{48, 49, 50, 51, 52, 53, 54, 55}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchip failure injected: L[60][20] = %.6f → %.6f\n", before, chol.A.At(60, 20))
+
+	// The kernel touches the line again (any later read does this).
+	rt.M.Memory().Touch(chol.A.Addr(60, 20), 8, false)
+	pend := rt.M.OS.PeekCorruptions()
+	fmt.Printf("MC: uncorrectable under SECDED → interrupt; OS exposed %d corrupted line(s)\n", len(pend))
+
+	// ABFT's simplified verification reads the shared list and repairs.
+	if err := chol.VerifyNotified(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ABFT repaired from the dual column checksums: L[60][20] = %.6f\n", chol.A.At(60, 20))
+	if d := chol.A.At(60, 20) - before; d < 1e-6 && d > -1e-6 {
+		fmt.Println("value restored exactly ✓")
+	}
+
+	res := rt.Finish()
+	fmt.Printf("\nplatform: %d interrupt(s), %d exposure(s) to ABFT, %d panic(s)\n",
+		res.Interrupts, res.OS.ExposedToABFT, res.OS.Panics)
+	fmt.Printf("energy: system %.4g J (memory %.4g J of which dynamic %.4g J)\n",
+		res.SystemEnergyJ, res.MemEnergyJ(), res.MemDynamicJ)
+	fmt.Printf("residual faulty lines in DRAM: %d\n", rt.M.Ctl.FaultyLines())
+}

@@ -1,0 +1,3 @@
+module coopabft
+
+go 1.22

@@ -1,0 +1,153 @@
+package abft
+
+// Property-based fault-injection campaigns: for randomized problems,
+// injection sites and magnitudes, the kernels must detect and repair the
+// corruption and still produce verified results.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestDGEMMRandomInjectionProperty: any single post-run corruption anywhere
+// in Cf (result, checksum row, checksum column, corner) is repaired.
+func TestDGEMMRandomInjectionProperty(t *testing.T) {
+	f := func(seed uint64, iSel, jSel uint16, mag uint8) bool {
+		n := 16 + int(seed%17)
+		d := NewDGEMM(Standalone(), n, seed)
+		if err := d.Run(); err != nil {
+			return false
+		}
+		i := int(iSel) % (n + 1)
+		j := int(jSel) % (n + 1)
+		delta := 1.0 + float64(mag)
+		want := d.Cf.At(i, j)
+		d.Cf.Set(i, j, want+delta)
+		if err := d.VerifyFull(); err != nil {
+			return false
+		}
+		return math.Abs(d.Cf.At(i, j)-want) <= d.Tol && d.CheckResult() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCholeskyRandomInjectionProperty: a single pre-run corruption of any
+// strictly-lower or diagonal element is located and repaired during the
+// factorization, which still reconstructs A.
+func TestCholeskyRandomInjectionProperty(t *testing.T) {
+	f := func(seed uint64, iSel, jSel uint16, mag uint8) bool {
+		n := 24 + int(seed%9)
+		c := NewCholesky(Standalone(), n, seed)
+		c.Block = 8
+		orig := c.A.Matrix.Clone()
+		i := int(iSel) % n
+		j := int(jSel) % n
+		if i < j {
+			i, j = j, i
+		}
+		c.A.Add(i, j, 2.0+float64(mag)/8)
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return c.CheckResult(orig) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCGRandomInjectionProperty: corruption of a random element of a random
+// protected vector at a random iteration still converges to the true
+// solution.
+func TestCGRandomInjectionProperty(t *testing.T) {
+	names := []string{"r", "p", "q", "x", "b"}
+	f := func(seed uint64, vecSel, elemSel uint16, iterSel uint8) bool {
+		c := NewCG(Standalone(), 16, 16, seed)
+		c.CheckPeriod = 2
+		name := names[int(vecSel)%len(names)]
+		v, _ := c.VecFor(name)
+		elem := int(elemSel) % len(v.Data)
+		at := 2 + int(iterSel)%10
+		injected := false
+		c.OnIteration = func(iter int) {
+			if iter == at && !injected {
+				injected = true
+				if name == "b" {
+					// b is read-only input: corrupting it permanently
+					// changes the problem; the invariant check detects the
+					// inconsistency but recovery re-derives r from the
+					// corrupted b. Restore semantics: skip b here (it is
+					// covered by the notified-repair path instead).
+					return
+				}
+				v.Data[elem] += 1e7
+			}
+		}
+		out, err := c.Run()
+		if err != nil || !out.Converged {
+			return false
+		}
+		return c.TrueResidual() <= 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHPLRandomFailStopProperty: killing any process at any step still
+// yields a correct factorization.
+func TestHPLRandomFailStopProperty(t *testing.T) {
+	f := func(seed uint64, stepSel, prSel, pcSel uint8) bool {
+		h := NewHPL(Standalone(), 32, 4, seed)
+		orig := h.A.Matrix.Clone()
+		h.FailAt = int(stepSel) % 32
+		h.FailPr = int(prSel) % 2
+		h.FailPc = int(pcSel) % 2
+		if err := h.Run(); err != nil {
+			return false
+		}
+		return h.CheckResult(orig) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDGEMMTinyErrorsBelowToleranceAreBenign: numerically negligible
+// corruption (below the detection threshold) must not break the result
+// check — the tolerance design holds.
+func TestDGEMMTinyErrorsBelowToleranceAreBenign(t *testing.T) {
+	d := NewDGEMM(Standalone(), 32, 77)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d.Cf.Add(3, 4, d.Tol/100)
+	if err := d.VerifyFull(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckResult(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCholeskyBigProblemWithInjection exercises the blocked path at a size
+// spanning many panels.
+func TestCholeskyBigProblemWithInjection(t *testing.T) {
+	c := NewCholesky(Standalone(), 96, 5)
+	c.Block = 16
+	orig := c.A.Matrix.Clone()
+	c.A.Add(70, 30, 9.5)
+	c.A.Add(50, 10, -3.25)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckResult(orig); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Corrections) < 2 {
+		t.Errorf("corrections = %+v", c.Corrections)
+	}
+}

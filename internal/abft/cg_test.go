@@ -1,0 +1,233 @@
+package abft
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCGCleanSolve(t *testing.T) {
+	c := NewCG(Standalone(), 24, 24, 1)
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatalf("did not converge: %+v", out)
+	}
+	if res := c.TrueResidual(); res > 1e-8 {
+		t.Errorf("true residual = %g", res)
+	}
+	if c.Recoveries != 0 {
+		t.Errorf("clean solve triggered %d recoveries", c.Recoveries)
+	}
+	if c.Ops.Verify == 0 || c.Ops.Compute == 0 {
+		t.Errorf("ops = %+v", c.Ops)
+	}
+	if c.Ops.Checksum != 0 {
+		t.Errorf("CG has no checksums but counted %d ops", c.Ops.Checksum)
+	}
+}
+
+func TestCGRecoversFromResidualCorruption(t *testing.T) {
+	c := NewCG(Standalone(), 20, 20, 2)
+	c.CheckPeriod = 4
+	c.OnIteration = func(iter int) {
+		if iter == 10 {
+			c.R()[37] += 1e6 // massive corruption in r
+		}
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatalf("did not converge after corruption: %+v", out)
+	}
+	if c.Recoveries == 0 {
+		t.Error("corruption never detected")
+	}
+	if res := c.TrueResidual(); res > 1e-7 {
+		t.Errorf("true residual = %g", res)
+	}
+}
+
+func TestCGRecoversFromXCorruption(t *testing.T) {
+	c := NewCG(Standalone(), 20, 20, 3)
+	c.CheckPeriod = 4
+	c.OnIteration = func(iter int) {
+		if iter == 8 {
+			c.X()[100] -= 5000
+		}
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatalf("did not converge: %+v", out)
+	}
+	if res := c.TrueResidual(); res > 1e-7 {
+		t.Errorf("true residual = %g", res)
+	}
+}
+
+func TestCGRecoversFromDirectionCorruption(t *testing.T) {
+	c := NewCG(Standalone(), 16, 16, 4)
+	c.CheckPeriod = 2
+	c.OnIteration = func(iter int) {
+		if iter == 6 {
+			c.P()[11] *= -300
+		}
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged || c.TrueResidual() > 1e-7 {
+		t.Fatalf("direction corruption not healed: %+v, res %g", out, c.TrueResidual())
+	}
+}
+
+func TestCGConvergesWithoutChecks(t *testing.T) {
+	c := NewCG(Standalone(), 16, 16, 5)
+	c.CheckPeriod = 0 // verification disabled entirely
+	out, err := c.Run()
+	if err != nil || !out.Converged {
+		t.Fatalf("out=%+v err=%v", out, err)
+	}
+}
+
+func TestCGNotifiedElementRepairs(t *testing.T) {
+	var pending []Notification
+	env := Standalone()
+	env.Notify = func() []Notification {
+		out := pending
+		pending = nil
+		return out
+	}
+	c := NewCG(env, 16, 16, 6)
+	c.Mode = NotifiedVerify
+	c.CheckPeriod = 2
+	injected := false
+	c.OnIteration = func(iter int) {
+		if iter == 5 && !injected {
+			injected = true
+			// Corrupt r[40] and q[17]; notify their exact lines.
+			c.R()[40] += 777
+			q, _ := c.VecFor("q")
+			q.Data[17] -= 55
+			pending = []Notification{
+				{VirtAddr: c.r.Addr(40) &^ 63},
+				{VirtAddr: q.Addr(17) &^ 63},
+			}
+		}
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged || c.TrueResidual() > 1e-7 {
+		t.Fatalf("notified repair failed: %+v res %g", out, c.TrueResidual())
+	}
+	if len(c.Corrections) == 0 {
+		t.Error("no element corrections recorded")
+	}
+}
+
+func TestCGNotifiedXRepair(t *testing.T) {
+	var pending []Notification
+	env := Standalone()
+	env.Notify = func() []Notification {
+		out := pending
+		pending = nil
+		return out
+	}
+	c := NewCG(env, 16, 16, 7)
+	c.Mode = NotifiedVerify
+	c.CheckPeriod = 1
+	c.OnIteration = func(iter int) {
+		if iter == 4 {
+			before := c.X()[33]
+			c.X()[33] = before + 1e5
+			pending = []Notification{{VirtAddr: c.x.Addr(33) &^ 63}}
+		}
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged || c.TrueResidual() > 1e-7 {
+		t.Fatalf("x repair failed: %+v res %g", out, c.TrueResidual())
+	}
+}
+
+func TestCGNotifiedDirectionRestart(t *testing.T) {
+	var pending []Notification
+	env := Standalone()
+	env.Notify = func() []Notification {
+		out := pending
+		pending = nil
+		return out
+	}
+	c := NewCG(env, 16, 16, 8)
+	c.Mode = NotifiedVerify
+	c.CheckPeriod = 1
+	c.OnIteration = func(iter int) {
+		if iter == 4 {
+			c.P()[9] += 1e4
+			pending = []Notification{{VirtAddr: c.p.Addr(9) &^ 63}}
+		}
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatalf("direction restart failed: %+v", out)
+	}
+	if c.Recoveries == 0 {
+		t.Error("p corruption should trigger a direction restart")
+	}
+}
+
+func TestCGNotifiedCheaperThanFull(t *testing.T) {
+	full := NewCG(Standalone(), 20, 20, 9)
+	full.CheckPeriod = 4
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env := Standalone()
+	env.Notify = func() []Notification { return nil }
+	noti := NewCG(env, 20, 20, 9)
+	noti.Mode = NotifiedVerify
+	noti.CheckPeriod = 4
+	if _, err := noti.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if noti.Ops.Verify >= full.Ops.Verify {
+		t.Errorf("notified verify %d >= full %d", noti.Ops.Verify, full.Ops.Verify)
+	}
+}
+
+func TestCGVecForLookup(t *testing.T) {
+	c := NewCG(Standalone(), 8, 8, 10)
+	for _, name := range []string{"r", "p", "q", "x", "b", "z"} {
+		if _, ok := c.VecFor(name); !ok {
+			t.Errorf("VecFor(%q) failed", name)
+		}
+	}
+	if _, ok := c.VecFor("nope"); ok {
+		t.Error("VecFor accepted an unknown name")
+	}
+}
+
+func TestCGElementAddressRoundTrip(t *testing.T) {
+	c := NewCG(Standalone(), 8, 8, 11)
+	addr := c.r.Addr(17)
+	if k, ok := c.r.ElemAt(addr); !ok || k != 17 {
+		t.Errorf("ElemAt(Addr(17)) = %d, %v", k, ok)
+	}
+	if math.Abs(float64(addr-c.r.Reg.Base)-17*8) > 0 {
+		t.Error("address arithmetic wrong")
+	}
+}

@@ -1,0 +1,314 @@
+package abft
+
+import (
+	"fmt"
+	"math"
+
+	"coopabft/internal/mat"
+)
+
+// DGEMM is the fault-tolerant matrix multiplication of [39] (§2.1): it
+// computes C = A·B through the checksum-encoded product
+//
+//	Cf = Ac·Br = [ C    C·e  ]
+//	             [ eᵀC  eᵀCe ]
+//
+// where Ac carries an extra column-checksum row (eᵀA) and Br an extra
+// row-checksum column (B·e). The checksum row/column of Cf are maintained by
+// the multiplication itself, so at any k-panel boundary every row i
+// satisfies Σ_j Cf[i][j] = Cf[i][n] and every column j satisfies
+// Σ_i Cf[i][j] = Cf[n][j]; mismatches locate and repair corrupted elements.
+type DGEMM struct {
+	N int
+
+	Ac Mat // (n+1)×n
+	Br Mat // n×(n+1)
+	Cf Mat // (n+1)×(n+1), ABFT-protected
+
+	// Block is the k-panel width; CheckPeriod verifies every that many
+	// panels.
+	Block       int
+	CheckPeriod int
+	Mode        VerifyMode
+	// Tol is the absolute checksum-comparison tolerance.
+	Tol float64
+
+	Ops         OpCounters
+	Corrections []Correction
+
+	// scratch holds verification partial sums; it is ordinary unprotected
+	// working memory (the "refs to blocks w/o ABFT" of Table 4).
+	scratch Vec
+
+	env Env
+}
+
+// NewDGEMM builds the encoded operands for a random n×n problem.
+func NewDGEMM(env Env, n int, seed uint64) *DGEMM {
+	if n < 2 {
+		panic(fmt.Sprintf("abft: DGEMM size %d too small", n))
+	}
+	d := &DGEMM{
+		N:           n,
+		Block:       32,
+		CheckPeriod: 1,
+		Tol:         1e-9 * float64(n) * float64(n),
+		env:         env,
+	}
+	d.Ac = env.NewMat("dgemm.Ac", n+1, n, true)
+	d.Br = env.NewMat("dgemm.Br", n, n+1, true)
+	d.Cf = env.NewMat("dgemm.Cf", n+1, n+1, true)
+	d.scratch = env.NewVec("dgemm.scratch", 2*(n+1), false)
+
+	a := mat.Random(n, n, seed)
+	b := mat.Random(n, n, seed+1)
+	for i := 0; i < n; i++ {
+		copy(d.Ac.Row(i)[:n], a.Row(i))
+		copy(d.Br.Row(i)[:n], b.Row(i))
+		d.Br.Set(i, n, mat.Sum(b.Row(i)))
+	}
+	// Checksum row of Ac: eᵀA.
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += a.At(i, j)
+		}
+		d.Ac.Set(n, j, s)
+	}
+	return d
+}
+
+// C returns the result block of Cf (valid after Run).
+func (d *DGEMM) C() *mat.Matrix { return d.Cf.View(0, 0, d.N, d.N) }
+
+func (d *DGEMM) ops(bucket *uint64, n int) {
+	*bucket += uint64(n)
+	d.env.Mem.Ops(n)
+}
+
+// Run computes the encoded product panel by panel, verifying per Mode every
+// CheckPeriod panels. Detected errors are corrected in place; an
+// ABFT-uncorrectable pattern aborts with ErrUncorrectable.
+func (d *DGEMM) Run() error {
+	n := d.N
+	d.Cf.Zero()
+	panel := 0
+	for kk := 0; kk < n; kk += d.Block {
+		kMax := kk + d.Block
+		if kMax > n {
+			kMax = n
+		}
+		for i := 0; i <= n; i++ {
+			crow := d.Cf.Row(i)
+			arow := d.Ac.Row(i)
+			for p := kk; p < kMax; p++ {
+				av := arow[p]
+				d.Ac.TouchElem(i, p, false)
+				brow := d.Br.Row(p)
+				for j := 0; j <= n; j++ {
+					crow[j] += av * brow[j]
+				}
+				d.Br.TouchRow(p, 0, n+1, false)
+				d.Cf.TouchRow(i, 0, n+1, true)
+				if i < n {
+					d.ops(&d.Ops.Compute, 2*n)
+					d.ops(&d.Ops.Checksum, 2) // row-checksum column j=n
+				} else {
+					d.ops(&d.Ops.Checksum, 2*(n+1)) // checksum row i=n
+				}
+			}
+		}
+		panel++
+		if err := d.maybeVerify(panel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *DGEMM) maybeVerify(panel int) error {
+	if d.CheckPeriod <= 0 || panel%d.CheckPeriod != 0 {
+		return nil
+	}
+	switch d.Mode {
+	case NotifiedVerify:
+		return d.verifyNotified()
+	default:
+		return d.VerifyFull()
+	}
+}
+
+// VerifyFull recomputes every row and column checksum of Cf, locates
+// mismatches, and repairs them (§2.1). It is the expensive sweep the
+// cooperative approach removes.
+func (d *DGEMM) VerifyFull() error {
+	n := d.N
+	var rowBad, colBad []int
+	var rowDelta, colDelta []float64
+
+	// Row invariants: Σ_{j<n} Cf[i][j] = Cf[i][n] for every row, including
+	// the checksum row itself.
+	for i := 0; i <= n; i++ {
+		row := d.Cf.Row(i)
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += row[j]
+		}
+		d.scratch.Data[i] = s
+		d.Cf.TouchRow(i, 0, n+1, false)
+		d.scratch.Touch(i, 1, true)
+		d.ops(&d.Ops.Verify, n)
+		if delta := row[n] - s; math.Abs(delta) > d.Tol {
+			rowBad = append(rowBad, i)
+			rowDelta = append(rowDelta, delta)
+		}
+	}
+	// Column invariants: Σ_{i<n} Cf[i][j] = Cf[n][j], accumulated row-wise
+	// into scratch for locality.
+	col := d.scratch.Data[n+1:]
+	for j := range col {
+		col[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := d.Cf.Row(i)
+		for j := 0; j <= n; j++ {
+			col[j] += row[j]
+		}
+		d.Cf.TouchRow(i, 0, n+1, false)
+		d.scratch.Touch(n+1, n+1, true)
+		d.ops(&d.Ops.Verify, n+1)
+	}
+	for j := 0; j <= n; j++ {
+		if delta := d.Cf.At(n, j) - col[j]; math.Abs(delta) > d.Tol {
+			colBad = append(colBad, j)
+			colDelta = append(colDelta, delta)
+		}
+	}
+
+	switch {
+	case len(rowBad) == 0 && len(colBad) == 0:
+		return nil
+	case len(rowBad) == 1 && len(colBad) >= 1:
+		// All corruptions on one row: rebuild each flagged element from
+		// its intact column.
+		r := rowBad[0]
+		for _, c := range colBad {
+			d.fixFromColumn(r, c)
+		}
+		return nil
+	case len(colBad) == 1 && len(rowBad) >= 1:
+		c := colBad[0]
+		for _, r := range rowBad {
+			d.fixFromRow(r, c)
+		}
+		return nil
+	case len(rowBad) == len(colBad):
+		// Pair row and column mismatches by magnitude; distinct
+		// rows/columns each carry a single error.
+		used := make([]bool, len(colBad))
+		for ri, r := range rowBad {
+			best, bestDiff := -1, math.Inf(1)
+			for ci := range colBad {
+				if used[ci] {
+					continue
+				}
+				if diff := math.Abs(math.Abs(rowDelta[ri]) - math.Abs(colDelta[ci])); diff < bestDiff {
+					best, bestDiff = ci, diff
+				}
+			}
+			if best < 0 || bestDiff > d.Tol*10 {
+				return fmt.Errorf("%w: unmatchable row/column deltas", ErrUncorrectable)
+			}
+			used[best] = true
+			d.fixFromRow(r, colBad[best])
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %d corrupted rows, %d corrupted columns",
+			ErrUncorrectable, len(rowBad), len(colBad))
+	}
+}
+
+// fixFromRow rebuilds Cf[r][c] from row r's other elements.
+func (d *DGEMM) fixFromRow(r, c int) {
+	n := d.N
+	row := d.Cf.Row(r)
+	var want float64
+	if c == n {
+		for j := 0; j < n; j++ {
+			want += row[j]
+		}
+	} else {
+		want = row[n]
+		for j := 0; j < n; j++ {
+			if j != c {
+				want -= row[j]
+			}
+		}
+	}
+	d.applyFix(r, c, want)
+}
+
+// fixFromColumn rebuilds Cf[r][c] from column c's other elements.
+func (d *DGEMM) fixFromColumn(r, c int) {
+	n := d.N
+	var want float64
+	if r == n {
+		for i := 0; i < n; i++ {
+			want += d.Cf.At(i, c)
+		}
+	} else {
+		want = d.Cf.At(n, c)
+		for i := 0; i < n; i++ {
+			if i != r {
+				want -= d.Cf.At(i, c)
+			}
+		}
+	}
+	d.applyFix(r, c, want)
+}
+
+func (d *DGEMM) applyFix(r, c int, want float64) {
+	old := d.Cf.At(r, c)
+	d.Cf.Set(r, c, want)
+	d.Cf.TouchElem(r, c, true)
+	d.ops(&d.Ops.Verify, d.N)
+	d.Corrections = append(d.Corrections, Correction{Structure: "Cf", I: r, J: c, Delta: want - old})
+	d.env.corrected(d.Cf.Addr(r, c))
+}
+
+// VerifyNotified consumes pending OS corruption reports and repairs the
+// affected elements (the public entry point for post-run coordination).
+func (d *DGEMM) VerifyNotified() error { return d.verifyNotified() }
+
+// verifyNotified implements the simplified verification of §3.2.2: instead
+// of recomputing checksums it reads the corrupted addresses the OS exposed
+// and repairs exactly those elements (each from its intact column).
+func (d *DGEMM) verifyNotified() error {
+	if d.env.Notify == nil {
+		return nil
+	}
+	for _, note := range d.env.Notify() {
+		for off := uint64(0); off < 64; off += 8 {
+			r, c, ok := d.Cf.ElemAt(note.VirtAddr + off)
+			if !ok {
+				continue
+			}
+			d.fixFromColumn(r, c)
+		}
+	}
+	return nil
+}
+
+// CheckResult verifies the final product against a freshly computed
+// reference (test helper; O(n³)).
+func (d *DGEMM) CheckResult() error {
+	n := d.N
+	a := d.Ac.View(0, 0, n, n)
+	b := d.Br.View(0, 0, n, n)
+	ref := mat.Mul(a, b)
+	if !mat.Equal(d.C(), ref, d.Tol) {
+		return fmt.Errorf("abft: DGEMM result differs from reference")
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package abft
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDGEMMCleanRun(t *testing.T) {
+	d := NewDGEMM(Standalone(), 48, 1)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckResult(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Corrections) != 0 {
+		t.Errorf("clean run produced corrections: %v", d.Corrections)
+	}
+	if d.Ops.Compute == 0 || d.Ops.Checksum == 0 || d.Ops.Verify == 0 {
+		t.Errorf("op buckets empty: %+v", d.Ops)
+	}
+}
+
+func TestDGEMMChecksumInvariantHolds(t *testing.T) {
+	d := NewDGEMM(Standalone(), 33, 2)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := d.N
+	for i := 0; i <= n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += d.Cf.At(i, j)
+		}
+		if math.Abs(s-d.Cf.At(i, n)) > d.Tol {
+			t.Fatalf("row %d checksum broken: %g vs %g", i, s, d.Cf.At(i, n))
+		}
+	}
+	for j := 0; j <= n; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += d.Cf.At(i, j)
+		}
+		if math.Abs(s-d.Cf.At(n, j)) > d.Tol {
+			t.Fatalf("col %d checksum broken", j)
+		}
+	}
+}
+
+func TestDGEMMCorrectsSingleError(t *testing.T) {
+	d := NewDGEMM(Standalone(), 40, 3)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Cf.At(7, 11)
+	d.Cf.Set(7, 11, want+5.5)
+	if err := d.VerifyFull(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cf.At(7, 11); math.Abs(got-want) > d.Tol {
+		t.Errorf("corrected to %v, want %v", got, want)
+	}
+	if len(d.Corrections) != 1 || d.Corrections[0].I != 7 || d.Corrections[0].J != 11 {
+		t.Errorf("corrections = %+v", d.Corrections)
+	}
+}
+
+func TestDGEMMCorrectsChecksumRowAndColumnErrors(t *testing.T) {
+	d := NewDGEMM(Standalone(), 24, 4)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := d.N
+	// Corrupt an element of the checksum row and one of the checksum col.
+	wantRow := d.Cf.At(n, 3)
+	wantCol := d.Cf.At(5, n)
+	d.Cf.Set(n, 3, wantRow-2.25)
+	d.Cf.Set(5, n, wantCol+1.75)
+	if err := d.VerifyFull(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Cf.At(n, 3)-wantRow) > d.Tol || math.Abs(d.Cf.At(5, n)-wantCol) > d.Tol {
+		t.Errorf("checksum elements not restored: %v %v", d.Cf.At(n, 3), d.Cf.At(5, n))
+	}
+}
+
+func TestDGEMMCorrectsMultipleErrorsDistinctRowsCols(t *testing.T) {
+	d := NewDGEMM(Standalone(), 32, 5)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	type loc struct{ i, j int }
+	locs := []loc{{2, 9}, {14, 3}, {20, 27}}
+	want := map[loc]float64{}
+	for k, l := range locs {
+		want[l] = d.Cf.At(l.i, l.j)
+		d.Cf.Set(l.i, l.j, want[l]+float64(3+k)*1.5)
+	}
+	if err := d.VerifyFull(); err != nil {
+		t.Fatal(err)
+	}
+	for l, w := range want {
+		if math.Abs(d.Cf.At(l.i, l.j)-w) > d.Tol {
+			t.Errorf("element (%d,%d) = %v, want %v", l.i, l.j, d.Cf.At(l.i, l.j), w)
+		}
+	}
+}
+
+func TestDGEMMCorrectsRowBurst(t *testing.T) {
+	// Several corruptions within ONE row (e.g. a whole cacheline) are
+	// rebuilt from columns.
+	d := NewDGEMM(Standalone(), 32, 6)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 4)
+	for k := 0; k < 4; k++ {
+		want[k] = d.Cf.At(9, 10+k)
+		d.Cf.Set(9, 10+k, want[k]*2+1)
+	}
+	if err := d.VerifyFull(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if math.Abs(d.Cf.At(9, 10+k)-want[k]) > d.Tol {
+			t.Errorf("burst element %d not restored", k)
+		}
+	}
+}
+
+func TestDGEMMUncorrectablePattern(t *testing.T) {
+	// A 2×2 block of equal-magnitude corruptions is ambiguous for
+	// single-checksum ABFT when deltas cannot be matched.
+	d := NewDGEMM(Standalone(), 24, 7)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two errors in the SAME row and SAME column pattern: (1,1),(1,2),(2,1)
+	// gives 2 bad rows vs 2 bad cols but inconsistent pairing sums.
+	d.Cf.Set(1, 1, d.Cf.At(1, 1)+3)
+	d.Cf.Set(1, 2, d.Cf.At(1, 2)+4)
+	d.Cf.Set(2, 1, d.Cf.At(2, 1)+5)
+	err := d.VerifyFull()
+	if err == nil {
+		// Pairing may still succeed numerically; then results must be right.
+		if cerr := d.CheckResult(); cerr == nil {
+			return
+		}
+		t.Fatal("ambiguous pattern silently miscorrected")
+	}
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("err = %v, want ErrUncorrectable", err)
+	}
+}
+
+func TestDGEMMSinglePanelRun(t *testing.T) {
+	d := NewDGEMM(Standalone(), 40, 8)
+	d.Block = 40 // single panel: verification happens once, at the end
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckResult(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDGEMMNotifiedMode(t *testing.T) {
+	var pending []Notification
+	env := Standalone()
+	env.Notify = func() []Notification {
+		out := pending
+		pending = nil
+		return out
+	}
+	var cleared []uint64
+	env.OnCorrected = func(addr uint64) { cleared = append(cleared, addr) }
+
+	d := NewDGEMM(env, 32, 9)
+	d.Mode = NotifiedVerify
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one element and hand its line address to the notifier, as the
+	// OS would after an ECC interrupt.
+	want := d.Cf.At(3, 4)
+	d.Cf.Set(3, 4, want+9)
+	pending = []Notification{{VirtAddr: d.Cf.Addr(3, 4) &^ 63}}
+	if err := d.verifyNotified(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Cf.At(3, 4)-want) > d.Tol {
+		t.Errorf("notified correction failed: %v vs %v", d.Cf.At(3, 4), want)
+	}
+	if len(cleared) == 0 {
+		t.Error("OnCorrected not invoked")
+	}
+}
+
+func TestDGEMMNotifiedCheaperThanFull(t *testing.T) {
+	full := NewDGEMM(Standalone(), 48, 10)
+	if err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env := Standalone()
+	env.Notify = func() []Notification { return nil }
+	noti := NewDGEMM(env, 48, 10)
+	noti.Mode = NotifiedVerify
+	if err := noti.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if noti.Ops.Verify >= full.Ops.Verify {
+		t.Errorf("notified verify ops %d >= full %d", noti.Ops.Verify, full.Ops.Verify)
+	}
+	if noti.Ops.Compute != full.Ops.Compute {
+		t.Errorf("compute ops differ: %d vs %d", noti.Ops.Compute, full.Ops.Compute)
+	}
+}
+
+func TestDGEMMOverheadAccounting(t *testing.T) {
+	d := NewDGEMM(Standalone(), 40, 11)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f := d.Ops.OverheadFraction(); f <= 0 || f >= 0.5 {
+		t.Errorf("overhead fraction = %v", f)
+	}
+	if s := d.Ops.VerifyShareOfOverhead(); s <= 0 || s >= 1 {
+		t.Errorf("verify share = %v", s)
+	}
+}

@@ -1,0 +1,195 @@
+package abft
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coopabft/internal/mat"
+)
+
+func luProblem(n int, seed uint64) (*LU, [][]float64) {
+	l := NewLU(Standalone(), n, seed)
+	orig := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		orig[i] = append([]float64(nil), l.Af.Row(i)[:n]...)
+	}
+	return l, orig
+}
+
+// toMatrix rebuilds a mat.Matrix from saved rows.
+func toMatrix(rows [][]float64) *mat.Matrix {
+	n := len(rows)
+	m := mat.New(n, n)
+	for i, r := range rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+func TestLUCleanFactorization(t *testing.T) {
+	for _, n := range []int{8, 33, 64} {
+		l, orig := luProblem(n, uint64(n))
+		if err := l.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := l.CheckResult(toMatrix(orig)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(l.Corrections) != 0 {
+			t.Errorf("n=%d: clean run corrected %+v", n, l.Corrections)
+		}
+	}
+}
+
+func TestLUChecksumInvariantThroughFactorization(t *testing.T) {
+	l, _ := luProblem(48, 3)
+	l.CheckPeriod = 1 // verify every step; maintenance drift would trip it
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Corrections) != 0 {
+		t.Errorf("maintenance drift: %+v", l.Corrections)
+	}
+	// And the final storage still satisfies both relations.
+	if err := l.VerifyRows(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Corrections) != 0 {
+		t.Errorf("post-run drift: %+v", l.Corrections)
+	}
+}
+
+func TestLUCorrectsPreRunInjection(t *testing.T) {
+	l, orig := luProblem(40, 5)
+	l.Af.Add(25, 13, 7.5)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range l.Corrections {
+		if c.Structure == "lu.Af" && c.I == 25 && c.J == 13 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corrections = %+v", l.Corrections)
+	}
+	if err := l.CheckResult(toMatrix(orig)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUCorrectsChecksumCorruption(t *testing.T) {
+	l, orig := luProblem(32, 7)
+	l.Af.Add(10, 32, 99)  // plain checksum column
+	l.Af.Add(20, 33, -55) // weighted checksum column
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckResult(toMatrix(orig)); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Corrections) != 2 {
+		t.Errorf("corrections = %+v", l.Corrections)
+	}
+}
+
+func TestLUUncorrectableMultiError(t *testing.T) {
+	l, _ := luProblem(32, 9)
+	l.Af.Add(15, 3, 4)
+	l.Af.Add(15, 20, -9) // two errors in one row defeat the locator
+	err := l.Run()
+	if err == nil {
+		t.Fatal("multi-error row not flagged")
+	}
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLUNotifiedMode(t *testing.T) {
+	var pending []Notification
+	env := Standalone()
+	env.Notify = func() []Notification {
+		out := pending
+		pending = nil
+		return out
+	}
+	l := NewLU(env, 32, 11)
+	orig := make([][]float64, 32)
+	for i := range orig {
+		orig[i] = append([]float64(nil), l.Af.Row(i)[:32]...)
+	}
+	l.Mode = NotifiedVerify
+	l.Af.Add(18, 9, 6.25)
+	pending = []Notification{{VirtAddr: l.Af.Addr(18, 9) &^ 63}}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckResult(toMatrix(orig)); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Corrections) == 0 {
+		t.Error("notified correction not recorded")
+	}
+}
+
+func TestLUNotifiedCheaperThanFull(t *testing.T) {
+	full, _ := luProblem(48, 13)
+	if err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env := Standalone()
+	env.Notify = func() []Notification { return nil }
+	noti := NewLU(env, 48, 13)
+	noti.Mode = NotifiedVerify
+	if err := noti.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if noti.Ops.Verify >= full.Ops.Verify {
+		t.Errorf("notified verify %d >= full %d", noti.Ops.Verify, full.Ops.Verify)
+	}
+}
+
+// Property: any single pre-run corruption anywhere in the extended matrix
+// is repaired and the solve still matches the reference.
+func TestLURandomInjectionProperty(t *testing.T) {
+	f := func(seed uint64, iSel, jSel uint16, mag uint8) bool {
+		n := 16 + int(seed%17)
+		l, orig := luProblem(n, seed)
+		l.Af.Add(int(iSel)%n, int(jSel)%(n+2), 1.5+float64(mag)/4)
+		if err := l.Run(); err != nil {
+			return false
+		}
+		return l.CheckResult(toMatrix(orig)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUTinyErrorBenign(t *testing.T) {
+	l, orig := luProblem(24, 15)
+	l.Af.Add(5, 5, l.Tol/1000)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckResult(toMatrix(orig)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUOpsBuckets(t *testing.T) {
+	l, _ := luProblem(40, 17)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Ops.Compute == 0 || l.Ops.Checksum == 0 || l.Ops.Verify == 0 {
+		t.Errorf("ops = %+v", l.Ops)
+	}
+	if math.IsNaN(l.Ops.OverheadFraction()) {
+		t.Error("overhead fraction NaN")
+	}
+}

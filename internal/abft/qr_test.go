@@ -1,0 +1,179 @@
+package abft
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"coopabft/internal/mat"
+)
+
+func qrProblem(n int, seed uint64) (*QR, *mat.Matrix) {
+	q := NewQR(Standalone(), n, seed)
+	orig := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		copy(orig.Row(i), q.Af.Row(i)[:n])
+	}
+	return q, orig
+}
+
+func TestQRCleanFactorization(t *testing.T) {
+	for _, n := range []int{8, 33, 64} {
+		q, orig := qrProblem(n, uint64(n))
+		if err := q.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := q.CheckResult(orig); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(q.Corrections) != 0 {
+			t.Errorf("n=%d: clean run corrected %+v", n, q.Corrections)
+		}
+	}
+}
+
+func TestQRMatchesReferenceQR(t *testing.T) {
+	q, orig := qrProblem(24, 3)
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := mat.QRFactor(orig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q.Af.View(0, 0, 24, 24)
+	if !mat.Equal(r, ref.R, 1e-8) {
+		t.Error("FT-QR R differs from reference")
+	}
+}
+
+func TestQRUpperTriangularResult(t *testing.T) {
+	q, _ := qrProblem(20, 5)
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < i; j++ {
+			if q.Af.At(i, j) != 0 {
+				t.Fatalf("R[%d][%d] = %g", i, j, q.Af.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRInvariantMaintainedEveryStep(t *testing.T) {
+	q, _ := qrProblem(48, 7)
+	q.CheckPeriod = 1 // any drift trips the per-step verification
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Corrections) != 0 {
+		t.Errorf("maintenance drift: %+v", q.Corrections)
+	}
+}
+
+func TestQRCorrectsPreRunInjection(t *testing.T) {
+	q, orig := qrProblem(32, 9)
+	q.Af.Add(20, 11, 5.5)
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range q.Corrections {
+		if c.Structure == "qr.Af" && c.I == 20 && c.J == 11 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corrections = %+v", q.Corrections)
+	}
+	if err := q.CheckResult(orig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRCorrectsReflectorCorruption(t *testing.T) {
+	// Corrupt V after the run; the final V sweep must restore it so the
+	// solve (which applies the reflectors) still succeeds.
+	q, orig := qrProblem(24, 11)
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	q.Vf.Add(15, 4, 3.75)
+	if err := q.VerifyV(q.N); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckResult(orig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRUncorrectableMultiError(t *testing.T) {
+	q, _ := qrProblem(24, 13)
+	q.Af.Add(10, 3, 4)
+	q.Af.Add(10, 17, -2)
+	err := q.Run()
+	if err == nil {
+		t.Fatal("multi-error row not flagged")
+	}
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestQRNotifiedMode(t *testing.T) {
+	var pending []Notification
+	env := Standalone()
+	env.Notify = func() []Notification {
+		out := pending
+		pending = nil
+		return out
+	}
+	q := NewQR(env, 24, 15)
+	orig := mat.New(24, 24)
+	for i := 0; i < 24; i++ {
+		copy(orig.Row(i), q.Af.Row(i)[:24])
+	}
+	q.Mode = NotifiedVerify
+	q.Af.Add(12, 7, 8.5)
+	pending = []Notification{{VirtAddr: q.Af.Addr(12, 7) &^ 63}}
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckResult(orig); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Corrections) == 0 {
+		t.Error("notified correction not recorded")
+	}
+}
+
+// Property: any single pre-run corruption in the extended working matrix is
+// repaired and the solve matches the reference.
+func TestQRRandomInjectionProperty(t *testing.T) {
+	f := func(seed uint64, iSel, jSel uint16, mag uint8) bool {
+		n := 12 + int(seed%13)
+		q, orig := qrProblem(n, seed)
+		q.Af.Add(int(iSel)%n, int(jSel)%(n+2), 1.25+float64(mag)/8)
+		if err := q.Run(); err != nil {
+			return false
+		}
+		return q.CheckResult(orig) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQROpsBuckets(t *testing.T) {
+	q, _ := qrProblem(32, 17)
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Ops.Compute == 0 || q.Ops.Checksum == 0 || q.Ops.Verify == 0 {
+		t.Errorf("ops = %+v", q.Ops)
+	}
+	if q.Ops.Compute <= q.Ops.Checksum {
+		t.Errorf("checksum ops %d should be far below compute %d", q.Ops.Checksum, q.Ops.Compute)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+
+	"coopabft/internal/ecc"
+	"coopabft/internal/faultmodel"
+	"coopabft/internal/osmodel"
+)
+
+// Adaptive ECC policy — the paper's closing direction ("the necessity and
+// potential benefits of using a co-design and adaptive policy to direct
+// end-to-end, overall resilience"). The policy watches the node's observed
+// error rate and compares the implied MTTF against the Equation (7)/(8)
+// threshold: while errors are rare it keeps ABFT data under relaxed ECC
+// (ARE); if the observed MTTF drops below the threshold — a sick DIMM, an
+// aging node — it strengthens protection via assign_ecc, and relaxes again
+// when the storm passes. §4: "for those cases with high error rate, we
+// should employ strong ECC throughout all data, even if we have ABFT
+// protection".
+
+// AdaptiveConfig parameterizes the policy.
+type AdaptiveConfig struct {
+	// Relaxed and Strong are the two protection levels the policy switches
+	// between for ABFT data.
+	Relaxed, Strong ecc.Scheme
+	// RecoverySeconds is t_c, the cost of one ABFT recovery.
+	RecoverySeconds float64
+	// TauStrong/TauRelaxed are the §4 performance-impact ratios.
+	TauStrong, TauRelaxed float64
+	// WindowSeconds is the observation interval between decisions.
+	WindowSeconds float64
+	// HysteresisFactor > 1 prevents flapping: relaxing again requires the
+	// observed MTTF to exceed the threshold by this factor.
+	HysteresisFactor float64
+}
+
+// DefaultAdaptiveConfig returns a policy switching between no ECC and
+// SECDED on ABFT data.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		Relaxed:          ecc.None,
+		Strong:           ecc.SECDED,
+		RecoverySeconds:  0.5,
+		TauStrong:        0.12,
+		TauRelaxed:       0.01,
+		WindowSeconds:    10,
+		HysteresisFactor: 4,
+	}
+}
+
+// AdaptivePolicy drives assign_ecc from observed error rates.
+type AdaptivePolicy struct {
+	cfg       AdaptiveConfig
+	os        *osmodel.OS
+	allocs    []*osmodel.Allocation
+	threshold float64 // MTTF threshold (seconds), Equation (7)
+
+	strongMode bool
+	// Switches counts protection-level transitions.
+	Switches int
+	// lastErrors is the interrupt count at the previous observation.
+	lastErrors uint64
+}
+
+// NewAdaptivePolicy builds a policy over the OS managing the given
+// relaxed-ECC allocations (they must come from MallocECC).
+func NewAdaptivePolicy(cfg AdaptiveConfig, os *osmodel.OS, allocs []*osmodel.Allocation) *AdaptivePolicy {
+	return &AdaptivePolicy{
+		cfg:       cfg,
+		os:        os,
+		allocs:    allocs,
+		threshold: faultmodel.MTTFThresholdPerf(cfg.RecoverySeconds, cfg.TauStrong, cfg.TauRelaxed),
+	}
+}
+
+// Threshold returns the Equation (7) MTTF threshold the policy enforces.
+func (p *AdaptivePolicy) Threshold() float64 { return p.threshold }
+
+// StrongMode reports whether ABFT data is currently under strong ECC.
+func (p *AdaptivePolicy) StrongMode() bool { return p.strongMode }
+
+// ObservedMTTF converts an error count over the window into an MTTF
+// estimate (∞ for a clean window).
+func (p *AdaptivePolicy) ObservedMTTF(errorsInWindow uint64) float64 {
+	if errorsInWindow == 0 {
+		return math.Inf(1)
+	}
+	return p.cfg.WindowSeconds / float64(errorsInWindow)
+}
+
+// Observe ingests the cumulative uncorrectable-error count (e.g.
+// osmodel.Stats().Interrupts) at a window boundary and switches protection
+// if the threshold test demands it. It returns true when a switch happened.
+func (p *AdaptivePolicy) Observe(cumulativeErrors uint64) bool {
+	window := cumulativeErrors - p.lastErrors
+	p.lastErrors = cumulativeErrors
+	mttf := p.ObservedMTTF(window)
+
+	switch {
+	case !p.strongMode && mttf < p.threshold:
+		p.setScheme(p.cfg.Strong)
+		p.strongMode = true
+		p.Switches++
+		return true
+	case p.strongMode && mttf > p.threshold*p.cfg.HysteresisFactor:
+		p.setScheme(p.cfg.Relaxed)
+		p.strongMode = false
+		p.Switches++
+		return true
+	}
+	return false
+}
+
+func (p *AdaptivePolicy) setScheme(s ecc.Scheme) {
+	for _, a := range p.allocs {
+		p.os.AssignECC(a, s)
+	}
+}

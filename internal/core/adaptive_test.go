@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"coopabft/internal/ecc"
+	"coopabft/internal/machine"
+	"coopabft/internal/osmodel"
+)
+
+func adaptiveRig(t *testing.T) (*Runtime, *AdaptivePolicy) {
+	t.Helper()
+	rt := NewRuntime(machine.ScaledConfig(32), PartialChipkillNoECC, 3)
+	a, err := rt.M.OS.MallocECC("abft-data", 4096, ecc.None, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultAdaptiveConfig()
+	cfg.WindowSeconds = 10
+	p := NewAdaptivePolicy(cfg, rt.M.OS, []*osmodel.Allocation{a})
+	return rt, p
+}
+
+func TestAdaptiveThresholdMatchesEquation7(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	p := NewAdaptivePolicy(cfg, nil, nil)
+	want := cfg.RecoverySeconds * (1 + cfg.TauRelaxed) / (cfg.TauStrong - cfg.TauRelaxed)
+	if math.Abs(p.Threshold()-want) > 1e-12 {
+		t.Errorf("threshold = %v, want %v", p.Threshold(), want)
+	}
+}
+
+func TestAdaptiveStrengthensUnderErrorStorm(t *testing.T) {
+	rt, p := adaptiveRig(t)
+	paBase, _ := rt.M.OS.Translate(0x1000) // the allocation's first page
+	_ = paBase
+
+	if p.StrongMode() {
+		t.Fatal("policy must start relaxed")
+	}
+	// Clean window: stays relaxed.
+	if p.Observe(0) {
+		t.Error("switched on a clean window")
+	}
+	// Error storm: threshold ≈ 4.6 s; window 10 s with 5 errors → MTTF 2 s
+	// < threshold → strengthen.
+	if !p.Observe(5) {
+		t.Fatal("did not strengthen under storm")
+	}
+	if !p.StrongMode() {
+		t.Error("mode flag wrong")
+	}
+	// The MC now runs the strong scheme on the ABFT range.
+	pa, _ := rt.M.OS.Translate(0x1000)
+	if s := rt.M.Ctl.SchemeFor(pa); s != ecc.SECDED {
+		t.Errorf("scheme after strengthen = %v", s)
+	}
+}
+
+func TestAdaptiveHysteresisPreventsFlapping(t *testing.T) {
+	_, p := adaptiveRig(t)
+	p.Observe(5) // strengthen (MTTF 2 s < 4.6 s)
+	// A window with 1 error: MTTF 10 s > threshold 4.6 s but below the
+	// hysteresis bar (4.6 × 4 = 18.3 s): stay strong.
+	if p.Observe(6) {
+		t.Error("relaxed inside the hysteresis band")
+	}
+	if !p.StrongMode() {
+		t.Error("flapped out of strong mode")
+	}
+	// A clean window (MTTF ∞): relax.
+	if !p.Observe(6) {
+		t.Error("did not relax after a clean window")
+	}
+	if p.StrongMode() {
+		t.Error("mode flag wrong after relax")
+	}
+	if p.Switches != 2 {
+		t.Errorf("switches = %d", p.Switches)
+	}
+}
+
+func TestAdaptiveEndToEndWithInjection(t *testing.T) {
+	// Drive the policy from real interrupts: inject uncorrectable errors,
+	// read through them, observe, and confirm the protection escalates.
+	rt := NewRuntime(machine.ScaledConfig(32), PartialChipkillSECDED, 9)
+	d := rt.NewDGEMM(32, 4)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	alloc, ok := rt.M.OS.AllocationAt(d.Cf.Reg.Base)
+	if !ok {
+		t.Fatal("no allocation for Cf")
+	}
+	cfg := DefaultAdaptiveConfig()
+	cfg.Relaxed, cfg.Strong = ecc.SECDED, ecc.Chipkill
+	pol := NewAdaptivePolicy(cfg, rt.M.OS, []*osmodel.Allocation{alloc})
+
+	rt.M.FlushCaches()
+	// Three uncorrectable (double-bit) errors on distinct lines.
+	tgt := toTarget(d.Cf.Data, d.Cf.Reg)
+	for i := 0; i < 3; i++ {
+		idx := (i + 2) * d.Cf.Stride
+		if err := rt.Injector.FlipBits(tgt, idx, []int{3, 17}); err != nil {
+			t.Fatal(err)
+		}
+		rt.M.Memory().Touch(d.Cf.Reg.Base+uint64(idx)*8, 8, false)
+	}
+	st := rt.M.OS.Stats()
+	if st.Interrupts != 3 {
+		t.Fatalf("interrupts = %d", st.Interrupts)
+	}
+	if !pol.Observe(st.Interrupts) {
+		t.Fatal("policy ignored the storm")
+	}
+	pa, _ := rt.M.OS.Translate(d.Cf.Reg.Base)
+	if s := rt.M.Ctl.SchemeFor(pa); s != ecc.Chipkill {
+		t.Errorf("scheme = %v, want chipkill after escalation", s)
+	}
+}

@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"coopabft/internal/core"
+	"coopabft/internal/machine"
+)
+
+// The complete cooperative loop in a dozen lines: allocate ABFT data under
+// relaxed ECC, run, and read the platform's verdict.
+func ExampleRuntime() {
+	rt := core.NewRuntime(machine.ScaledConfig(32), core.PartialChipkillSECDED, 1)
+
+	d := rt.NewDGEMM(48, 7) // Ac, Br, Cf allocated via malloc_ecc (SECDED)
+	if err := d.Run(); err != nil {
+		panic(err)
+	}
+	res := rt.Finish()
+
+	fmt.Printf("default scheme: %v, ABFT scheme: %v\n",
+		rt.Strategy.DefaultScheme(), rt.Strategy.ABFTScheme())
+	fmt.Printf("ECC registers used: %d (structures merged)\n", len(rt.M.Ctl.Regions()))
+	fmt.Printf("panics: %d\n", res.OS.Panics)
+	// Output:
+	// default scheme: chipkill, ABFT scheme: secded
+	// ECC registers used: 1 (structures merged)
+	// panics: 0
+}

@@ -1,0 +1,157 @@
+// Package cpu models the processor side of the evaluation platform: an
+// in-order core timing model (Table 3: 4 cores × 4 threads, 2 GHz) with a
+// bounded window of outstanding memory requests, IPC accounting, and the
+// IPC-based linear power scaling of a 45nm Intel Xeon used by the paper
+// (§5, following [3, 40]).
+package cpu
+
+// Config holds the core timing and power parameters.
+type Config struct {
+	ClockHz       float64
+	FlopsPerCycle float64 // in-order FP issue rate
+	L1HitCycles   uint64
+	L2HitCycles   uint64
+	// MSHRs bounds overlapping memory-level parallelism: at most this many
+	// L2 misses may be in flight before the core stalls.
+	MSHRs int
+	// MaxPowerW at IPC = PeakIPC, IdlePowerW at IPC = 0; linear between.
+	MaxPowerW  float64
+	IdlePowerW float64
+	PeakIPC    float64
+}
+
+// DefaultConfig models the Table 3 node.
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:       2e9,
+		FlopsPerCycle: 2,
+		L1HitCycles:   1,
+		L2HitCycles:   10,
+		MSHRs:         8,
+		MaxPowerW:     130,
+		IdlePowerW:    65,
+		PeakIPC:       2,
+	}
+}
+
+// Core tracks one instruction stream's progress through time.
+type Core struct {
+	cfg          Config
+	now          uint64
+	instructions uint64
+	// pending holds completion cycles of in-flight misses, oldest first.
+	pending []uint64
+	// computeCycles and stallCycles split time for reporting.
+	computeCycles uint64
+	stallCycles   uint64
+}
+
+// New returns a core at cycle 0.
+func New(cfg Config) *Core {
+	return &Core{cfg: cfg, pending: make([]uint64, 0, cfg.MSHRs)}
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// Instructions returns the retired instruction count.
+func (c *Core) Instructions() uint64 { return c.instructions }
+
+// Compute retires ops arithmetic operations, advancing time at the issue
+// rate.
+func (c *Core) Compute(ops uint64) {
+	if ops == 0 {
+		return
+	}
+	c.instructions += ops
+	d := uint64(float64(ops) / c.cfg.FlopsPerCycle)
+	if d == 0 {
+		d = 1
+	}
+	c.now += d
+	c.computeCycles += d
+}
+
+// MemAccess retires one load/store instruction that hit at a cache level.
+func (c *Core) MemAccess(latency uint64) {
+	c.instructions++
+	c.now += latency
+	c.computeCycles += latency
+}
+
+// L1Hit retires a load/store served by L1.
+func (c *Core) L1Hit() { c.MemAccess(c.cfg.L1HitCycles) }
+
+// L2Hit retires a load/store served by L2.
+func (c *Core) L2Hit() { c.MemAccess(c.cfg.L2HitCycles) }
+
+// BeginMiss reports the issue cycle for a new L2 miss, stalling first if
+// the MSHR window is full.
+func (c *Core) BeginMiss() uint64 {
+	c.instructions++
+	if len(c.pending) >= c.cfg.MSHRs {
+		oldest := c.pending[0]
+		c.pending = c.pending[1:]
+		if oldest > c.now {
+			c.stallCycles += oldest - c.now
+			c.now = oldest
+		}
+	}
+	return c.now
+}
+
+// CompleteMiss records the completion cycle returned by the memory system
+// for a miss issued at BeginMiss.
+func (c *Core) CompleteMiss(complete uint64) {
+	// Insert keeping the ring ordered (completions can come back out of
+	// order across channels).
+	i := len(c.pending)
+	c.pending = append(c.pending, complete)
+	for i > 0 && c.pending[i-1] > complete {
+		c.pending[i] = c.pending[i-1]
+		i--
+	}
+	c.pending[i] = complete
+}
+
+// Drain waits for all outstanding misses.
+func (c *Core) Drain() {
+	for _, p := range c.pending {
+		if p > c.now {
+			c.stallCycles += p - c.now
+			c.now = p
+		}
+	}
+	c.pending = c.pending[:0]
+}
+
+// Advance moves time forward to at least cycle t (for fixed-cost software
+// events like interrupt handling).
+func (c *Core) Advance(cycles uint64) { c.now += cycles; c.computeCycles += cycles }
+
+// IPC returns instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.now == 0 {
+		return 0
+	}
+	return float64(c.instructions) / float64(c.now)
+}
+
+// Seconds converts the elapsed cycles to wall time.
+func (c *Core) Seconds() float64 { return float64(c.now) / c.cfg.ClockHz }
+
+// PowerW returns the modeled processor power at the measured IPC: a linear
+// scaling between idle and max, saturating at PeakIPC.
+func (c *Core) PowerW() float64 {
+	u := c.IPC() / c.cfg.PeakIPC
+	if u > 1 {
+		u = 1
+	}
+	return c.cfg.IdlePowerW + u*(c.cfg.MaxPowerW-c.cfg.IdlePowerW)
+}
+
+// EnergyJ returns processor energy for the elapsed time.
+func (c *Core) EnergyJ() float64 { return c.PowerW() * c.Seconds() }
+
+// Breakdown returns (computeCycles, stallCycles).
+func (c *Core) Breakdown() (compute, stall uint64) { return c.computeCycles, c.stallCycles }

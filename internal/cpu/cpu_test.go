@@ -1,0 +1,150 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeAdvancesTime(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Compute(100)
+	if c.Now() != 50 { // 2 flops/cycle
+		t.Errorf("now = %d, want 50", c.Now())
+	}
+	if c.Instructions() != 100 {
+		t.Errorf("instructions = %d", c.Instructions())
+	}
+	c.Compute(0)
+	if c.Now() != 50 {
+		t.Error("Compute(0) advanced time")
+	}
+	c.Compute(1) // rounds up to 1 cycle
+	if c.Now() != 51 {
+		t.Errorf("now = %d, want 51", c.Now())
+	}
+}
+
+func TestHitLatencies(t *testing.T) {
+	c := New(DefaultConfig())
+	c.L1Hit()
+	if c.Now() != DefaultConfig().L1HitCycles {
+		t.Errorf("L1 hit now = %d", c.Now())
+	}
+	c.L2Hit()
+	if c.Now() != DefaultConfig().L1HitCycles+DefaultConfig().L2HitCycles {
+		t.Errorf("after L2 hit now = %d", c.Now())
+	}
+}
+
+func TestMissWindowStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 2
+	c := New(cfg)
+	// Two misses fit in the window without stalling.
+	c.BeginMiss()
+	c.CompleteMiss(100)
+	c.BeginMiss()
+	c.CompleteMiss(200)
+	if c.Now() != 0 {
+		t.Fatalf("window misses stalled: now = %d", c.Now())
+	}
+	// Third miss waits for the oldest.
+	c.BeginMiss()
+	if c.Now() != 100 {
+		t.Errorf("stall advanced to %d, want 100", c.Now())
+	}
+	c.CompleteMiss(300)
+	c.Drain()
+	if c.Now() != 300 {
+		t.Errorf("drain advanced to %d, want 300", c.Now())
+	}
+	_, stall := c.Breakdown()
+	if stall != 300 {
+		t.Errorf("stall cycles = %d, want 300", stall)
+	}
+}
+
+func TestOutOfOrderCompletionsOrdered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 2
+	c := New(cfg)
+	c.BeginMiss()
+	c.CompleteMiss(500) // slow channel
+	c.BeginMiss()
+	c.CompleteMiss(100) // fast channel, completes first
+	// The third miss should wait only for the EARLIEST completion.
+	c.BeginMiss()
+	if c.Now() != 100 {
+		t.Errorf("stalled to %d, want 100 (earliest)", c.Now())
+	}
+}
+
+func TestIPCAndPower(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	if c.IPC() != 0 || c.PowerW() != cfg.IdlePowerW {
+		t.Error("idle core should report IPC 0 at idle power")
+	}
+	c.Compute(1000) // 500 cycles → IPC 2 = PeakIPC
+	if ipc := c.IPC(); ipc != 2 {
+		t.Errorf("IPC = %v", ipc)
+	}
+	if p := c.PowerW(); p != cfg.MaxPowerW {
+		t.Errorf("power at peak IPC = %v, want %v", p, cfg.MaxPowerW)
+	}
+	// Stalling halves IPC → power between idle and max.
+	c.BeginMiss()
+	c.CompleteMiss(c.Now() + 499)
+	c.Drain()
+	p := c.PowerW()
+	if p <= cfg.IdlePowerW || p >= cfg.MaxPowerW {
+		t.Errorf("power = %v not strictly between idle and max", p)
+	}
+}
+
+func TestSecondsAndEnergy(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Compute(4e9) // 2e9 cycles = 1 second
+	if s := c.Seconds(); s != 1 {
+		t.Errorf("seconds = %v", s)
+	}
+	if e := c.EnergyJ(); e != c.PowerW() {
+		t.Errorf("energy for 1s = %v, want power %v", e, c.PowerW())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Advance(123)
+	if c.Now() != 123 {
+		t.Errorf("now = %d", c.Now())
+	}
+	if c.Instructions() != 0 {
+		t.Error("Advance retired instructions")
+	}
+}
+
+// Property: time never goes backwards under any operation sequence.
+func TestMonotonicTimeProperty(t *testing.T) {
+	c := New(DefaultConfig())
+	f := func(op uint8, arg uint16) bool {
+		before := c.Now()
+		switch op % 5 {
+		case 0:
+			c.Compute(uint64(arg))
+		case 1:
+			c.L1Hit()
+		case 2:
+			c.L2Hit()
+		case 3:
+			issue := c.BeginMiss()
+			c.CompleteMiss(issue + uint64(arg))
+		case 4:
+			c.Drain()
+		}
+		return c.Now() >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package dgms
+
+import (
+	"testing"
+
+	"coopabft/internal/ecc"
+	"coopabft/internal/machine"
+)
+
+func TestPredictorStreamingGoesCoarse(t *testing.T) {
+	p := NewPredictor()
+	// Sequential sweep: after the threshold warm-up, predictions are coarse.
+	var last Granularity
+	for i := uint64(0); i < 32; i++ {
+		last = p.Observe(0x10000 + i*64)
+	}
+	if last != Coarse {
+		t.Error("streaming access not predicted coarse")
+	}
+	if p.CoarseFraction() < 0.9 {
+		t.Errorf("coarse fraction = %v for pure streaming", p.CoarseFraction())
+	}
+}
+
+func TestPredictorRandomStaysFine(t *testing.T) {
+	p := NewPredictor()
+	// Strided accesses far apart within a page: no adjacency evidence.
+	addrs := []uint64{0, 17, 3, 40, 9, 33, 22, 55, 5, 48, 13, 60}
+	coarse := 0
+	for _, l := range addrs {
+		if p.Observe(0x20000+l*64) == Coarse {
+			coarse++
+		}
+	}
+	if coarse != 0 {
+		t.Errorf("%d random accesses predicted coarse", coarse)
+	}
+}
+
+func TestPredictorPerPageState(t *testing.T) {
+	p := NewPredictor()
+	// Stream page A, then a single access to page B must be fine.
+	for i := uint64(0); i < 16; i++ {
+		p.Observe(0x30000 + i*64)
+	}
+	if p.Observe(0x99000) == Coarse {
+		t.Error("fresh page predicted coarse")
+	}
+}
+
+func TestCoarseFractionEmpty(t *testing.T) {
+	if NewPredictor().CoarseFraction() != 0 {
+		t.Error("empty predictor fraction != 0")
+	}
+}
+
+func TestAttachOverridesSchemes(t *testing.T) {
+	cfg := machine.ScaledConfig(32)
+	cfg.DefaultScheme = ecc.None // would be none without DGMS
+	m := machine.New(cfg)
+	p := Attach(m)
+
+	a := m.OS.Malloc("data", 1<<20)
+	mem := m.Memory()
+	// Stream 1MB: predictions promote to chipkill after warm-up.
+	for off := uint64(0); off < 1<<20; off += 64 {
+		mem.Touch(a.VBase()+off, 8, false)
+	}
+	if p.CoarseFraction() < 0.5 {
+		t.Errorf("coarse fraction = %v after streaming", p.CoarseFraction())
+	}
+	// Energy must exceed a no-ECC run of the same pattern.
+	res := m.Finish()
+	m2 := machine.New(cfg)
+	a2 := m2.OS.Malloc("data", 1<<20)
+	for off := uint64(0); off < 1<<20; off += 64 {
+		m2.Memory().Touch(a2.VBase()+off, 8, false)
+	}
+	res2 := m2.Finish()
+	if res.MemDynamicJ <= res2.MemDynamicJ {
+		t.Errorf("DGMS dynamic %g <= no-ECC %g", res.MemDynamicJ, res2.MemDynamicJ)
+	}
+}
+
+func TestStreakDecaysOnNonAdjacent(t *testing.T) {
+	p := NewPredictor()
+	base := uint64(0x40000)
+	// Build a streak...
+	p.Observe(base)
+	p.Observe(base + 64)
+	p.Observe(base + 128)
+	// ...then jump around the page enough times to decay it.
+	jumps := []uint64{40, 10, 50, 20, 60, 30}
+	last := Coarse
+	for _, l := range jumps {
+		last = p.Observe(base + l*64)
+	}
+	if last == Coarse {
+		t.Error("streak did not decay under scattered accesses")
+	}
+}

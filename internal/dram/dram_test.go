@@ -1,0 +1,291 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coopabft/internal/ecc"
+)
+
+func TestMapAddressDeterministicAndInRange(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(addr uint64) bool {
+		l := cfg.MapAddress(addr)
+		l2 := cfg.MapAddress(addr)
+		if l != l2 {
+			return false
+		}
+		return l.Channel >= 0 && l.Channel < cfg.Channels &&
+			l.Bank >= 0 && l.Bank < cfg.banksPerChannel() &&
+			l.Col >= 0 && l.Col < cfg.RowBytes/LineBytes &&
+			l.Row >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapAddressChannelInterleave(t *testing.T) {
+	cfg := DefaultConfig()
+	for i := 0; i < 8; i++ {
+		l := cfg.MapAddress(uint64(i) * LineBytes)
+		if l.Channel != i%4 {
+			t.Errorf("line %d on channel %d, want %d", i, l.Channel, i%4)
+		}
+	}
+}
+
+func TestMapAddressSameLineSameLocation(t *testing.T) {
+	cfg := DefaultConfig()
+	a := cfg.MapAddress(0x1000)
+	b := cfg.MapAddress(0x1000 + 63)
+	if a != b {
+		t.Errorf("same line mapped differently: %v vs %v", a, b)
+	}
+}
+
+func TestMapAddressRowLocality(t *testing.T) {
+	// Consecutive lines on the same channel must share a row until the row
+	// is exhausted (open-page friendliness).
+	cfg := DefaultConfig()
+	base := cfg.MapAddress(0)
+	linesPerRow := cfg.RowBytes / LineBytes
+	for i := 1; i < linesPerRow; i++ {
+		addr := uint64(i) * LineBytes * uint64(cfg.Channels) // stay on channel 0
+		l := cfg.MapAddress(addr)
+		if l.Channel != base.Channel || l.Row != base.Row || l.Bank != base.Bank {
+			t.Fatalf("line %d left the row: %+v vs %+v", i, l, base)
+		}
+		if l.Col != i {
+			t.Fatalf("line %d col = %d", i, l.Col)
+		}
+	}
+	// The next one rolls to a new bank or row.
+	l := cfg.MapAddress(uint64(linesPerRow) * LineBytes * uint64(cfg.Channels))
+	if l.Bank == base.Bank && l.Row == base.Row {
+		t.Error("row never ends")
+	}
+}
+
+func TestCompanionLine(t *testing.T) {
+	cfg := DefaultConfig()
+	// Channel 0's companion is channel 1 and vice versa; 2↔3.
+	for line := uint64(0); line < 8; line++ {
+		addr := line * LineBytes
+		comp := cfg.CompanionLine(addr)
+		lc := cfg.MapAddress(comp)
+		la := cfg.MapAddress(addr)
+		if lc.Channel != la.Channel^1 {
+			t.Errorf("companion of ch%d is ch%d", la.Channel, lc.Channel)
+		}
+		if lc.Row != la.Row || lc.Bank != la.Bank || lc.Col != la.Col {
+			t.Errorf("companion not at the mirror location: %+v vs %+v", lc, la)
+		}
+		if cfg.CompanionLine(comp) != addr {
+			t.Errorf("companion is not an involution for line %d", line)
+		}
+	}
+}
+
+func TestAccessRowHitVsMiss(t *testing.T) {
+	s := New(DefaultConfig())
+	r1 := s.Access(0, 0, false, ecc.SECDED)
+	if r1.RowHit {
+		t.Error("first access should miss")
+	}
+	// Same line again: row hit, shorter latency.
+	now := r1.Complete
+	r2 := s.Access(now, 0, false, ecc.SECDED)
+	if !r2.RowHit {
+		t.Error("second access should hit")
+	}
+	if r2.Complete-now >= r1.Complete-0 {
+		t.Errorf("row hit latency %d not shorter than miss %d", r2.Complete-now, r1.Complete)
+	}
+	if r2.EnergyJ >= r1.EnergyJ {
+		t.Errorf("row hit energy %g not below miss %g", r2.EnergyJ, r1.EnergyJ)
+	}
+}
+
+func TestAccessRowConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	s := New(cfg)
+	// Two addresses in the same bank but different rows: the second access
+	// pays precharge + activate.
+	rowSpan := uint64(cfg.RowBytes/LineBytes) * uint64(cfg.Channels) * uint64(cfg.banksPerChannel()) * LineBytes
+	a, b := uint64(0), rowSpan
+	la, lb := cfg.MapAddress(a), cfg.MapAddress(b)
+	if la.Channel != lb.Channel || la.Bank != lb.Bank || la.Row == lb.Row {
+		t.Fatalf("test addresses don't conflict: %+v %+v", la, lb)
+	}
+	r1 := s.Access(0, a, false, ecc.SECDED)
+	r2 := s.Access(r1.Complete, b, false, ecc.SECDED)
+	cpm := uint64(cfg.CPUPerMemCycle)
+	wantMin := uint64(cfg.TRP+cfg.TRCD+cfg.TCL+cfg.TBurst) * cpm
+	if got := r2.Complete - r1.Complete; got < wantMin {
+		t.Errorf("conflict latency %d < %d", got, wantMin)
+	}
+}
+
+func TestChipkillEnergyExceedsSECDED(t *testing.T) {
+	sCk := New(DefaultConfig())
+	sSd := New(DefaultConfig())
+	rCk := sCk.Access(0, 0, false, ecc.Chipkill)
+	rSd := sSd.Access(0, 0, false, ecc.SECDED)
+	if rCk.EnergyJ <= rSd.EnergyJ {
+		t.Errorf("chipkill access energy %g <= secded %g", rCk.EnergyJ, rSd.EnergyJ)
+	}
+	// Exactly the 36/18 chip ratio on a miss.
+	if ratio := rCk.EnergyJ / rSd.EnergyJ; ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("chipkill/secded energy ratio = %v, want ≈2", ratio)
+	}
+}
+
+func TestNoECCCheaperThanSECDED(t *testing.T) {
+	sN := New(DefaultConfig())
+	sS := New(DefaultConfig())
+	rN := sN.Access(0, 0, false, ecc.None)
+	rS := sS.Access(0, 0, false, ecc.SECDED)
+	if r := rS.EnergyJ / rN.EnergyJ; r < 1.12 || r > 1.13 {
+		t.Errorf("secded/none energy ratio = %v, want 18/16", r)
+	}
+}
+
+func TestChipkillBlocksPartnerChannel(t *testing.T) {
+	cfg := DefaultConfig()
+	s := New(cfg)
+	// Chipkill access on channel 0 occupies channel 1's bus too.
+	r1 := s.Access(0, 0, false, ecc.Chipkill) // lines ch0+ch1
+	// A SECDED access to channel 1 issued at cycle 0 must wait.
+	r2 := s.Access(0, 1*LineBytes, false, ecc.SECDED)
+	if r2.Start < r1.Start+uint64(cfg.TBurst) {
+		t.Errorf("partner channel not blocked: start %d", r2.Start)
+	}
+	// Whereas channel 2 is free.
+	s2 := New(cfg)
+	s2.Access(0, 0, false, ecc.Chipkill)
+	r3 := s2.Access(0, 2*LineBytes, false, ecc.SECDED)
+	if r3.Start != 0 {
+		t.Errorf("independent channel was blocked: start %d", r3.Start)
+	}
+}
+
+func TestChipkillOpensPartnerRow(t *testing.T) {
+	// The forced prefetch means the companion line is a row hit afterwards.
+	s := New(DefaultConfig())
+	r1 := s.Access(0, 0, false, ecc.Chipkill)
+	comp := s.Config().CompanionLine(0)
+	r2 := s.Access(r1.Complete, comp, false, ecc.SECDED)
+	if !r2.RowHit {
+		t.Error("companion line should row-hit after a chipkill access")
+	}
+}
+
+func TestWriteCostsMoreThanRead(t *testing.T) {
+	s1 := New(DefaultConfig())
+	s2 := New(DefaultConfig())
+	rd := s1.Access(0, 0, false, ecc.SECDED)
+	wr := s2.Access(0, 0, true, ecc.SECDED)
+	if wr.EnergyJ <= rd.EnergyJ {
+		t.Errorf("write energy %g <= read %g", wr.EnergyJ, rd.EnergyJ)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Access(0, 0, false, ecc.SECDED)
+	s.Access(100, 0, true, ecc.SECDED)
+	st := s.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.RowHits != 1 || st.RowMiss != 1 || st.Activations != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.RowHitRate() != 0.5 {
+		t.Errorf("hit rate = %v", st.RowHitRate())
+	}
+}
+
+func TestFinalizeStandbyEnergy(t *testing.T) {
+	cfg := DefaultConfig()
+	s := New(cfg)
+	st := s.Finalize(2e9, 2e9) // one second at 2 GHz
+	want := cfg.BackgroundPowerW * float64(cfg.TotalChips())
+	if diff := st.StandbyEnergyJ - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("standby for 1s = %g, want %g", st.StandbyEnergyJ, want)
+	}
+	if st.TotalEnergyJ() != st.StandbyEnergyJ+st.DynamicEnergyJ {
+		t.Error("TotalEnergyJ inconsistent")
+	}
+}
+
+func TestRowHitRateEmptySafe(t *testing.T) {
+	var st Stats
+	if st.RowHitRate() != 0 {
+		t.Error("empty hit rate not 0")
+	}
+}
+
+// Property: completion is never before start, and never before `now`.
+func TestAccessMonotonicProperty(t *testing.T) {
+	s := New(DefaultConfig())
+	now := uint64(0)
+	f := func(addrSeed uint32, write bool, schemeSel uint8) bool {
+		scheme := []ecc.Scheme{ecc.None, ecc.SECDED, ecc.Chipkill}[schemeSel%3]
+		r := s.Access(now, uint64(addrSeed)*8, write, scheme)
+		ok := r.Complete > r.Start && r.Start >= now && r.EnergyJ > 0
+		now = r.Complete
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnmapLocation inverts MapAddress at line granularity.
+func TestUnmapInvertsMapProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(lineSeed uint32) bool {
+		addr := uint64(lineSeed) * LineBytes
+		return cfg.UnmapLocation(cfg.MapAddress(addr)) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAblationDisableLockstep(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableLockstep = true
+	s := New(cfg)
+	s.Access(0, 0, false, ecc.Chipkill)
+	// Partner channel stays free.
+	r := s.Access(0, 1*LineBytes, false, ecc.SECDED)
+	if r.Start != 0 {
+		t.Errorf("partner channel blocked with lockstep disabled: start %d", r.Start)
+	}
+}
+
+func TestAblationDisableChipOverfetch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableChipOverfetch = true
+	sCk := New(cfg)
+	sSd := New(cfg)
+	rCk := sCk.Access(0, 0, false, ecc.Chipkill)
+	rSd := sSd.Access(0, 0, false, ecc.SECDED)
+	if rCk.EnergyJ != rSd.EnergyJ {
+		t.Errorf("with overfetch disabled chipkill %g != secded %g", rCk.EnergyJ, rSd.EnergyJ)
+	}
+}
+
+func TestAblationClosedPage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClosedPagePolicy = true
+	s := New(cfg)
+	r1 := s.Access(0, 0, false, ecc.SECDED)
+	r2 := s.Access(r1.Complete, 0, false, ecc.SECDED)
+	if r2.RowHit {
+		t.Error("closed-page policy produced a row hit")
+	}
+	if r2.EnergyJ != r1.EnergyJ {
+		t.Errorf("closed-page repeat access energy %g != %g (both re-activate)", r2.EnergyJ, r1.EnergyJ)
+	}
+}

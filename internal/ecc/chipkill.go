@@ -1,0 +1,115 @@
+package ecc
+
+// Chipkill-correct SSC-DSD code [12].
+//
+// Physical model (§2.2, §3.1): two lock-stepped 72-bit channels form a
+// 144-bit logical channel backed by 36 x4 DRAM chips (32 data + 4 ECC).
+// Across two bus beats each chip contributes 8 bits, so one "beat group" is
+// a codeword of 36 byte-symbols: 32 data symbols and 4 check symbols, where
+// symbol i comes entirely from chip i. A dead or corrupted chip therefore
+// corrupts exactly one symbol, which the code corrects — that is chipkill.
+//
+// The code is a systematic Reed–Solomon code over GF(2^8) with generator
+// g(x) = (x−α⁰)(x−α¹)(x−α²)(x−α³), minimum distance 5. We use it in
+// SSC-DSD mode: correct any single-symbol error, and detect (refuse to
+// correct) multi-symbol errors. Because correction requires all four
+// syndromes to be consistent with one error location, every 2- and 3-symbol
+// error is detected; d=5 guarantees this cannot alias to a valid codeword.
+
+// ChipkillData is the number of data symbols per codeword.
+const ChipkillData = 32
+
+// ChipkillCheck is the number of check symbols per codeword.
+const ChipkillCheck = 4
+
+// chipkillGen holds the generator polynomial coefficients, lowest degree
+// first, excluding the leading 1 (g has degree 4).
+var chipkillGen [ChipkillCheck]byte
+
+func init() {
+	// g(x) = ∏_{i=0..3} (x − α^i); build by convolution.
+	g := []byte{1}
+	for i := 0; i < ChipkillCheck; i++ {
+		root := gfPow(i)
+		ng := make([]byte, len(g)+1)
+		for j, c := range g {
+			ng[j] ^= gfMul(c, root)
+			ng[j+1] ^= c
+		}
+		g = ng
+	}
+	// g is degree 4 with leading coefficient 1 at g[4].
+	copy(chipkillGen[:], g[:ChipkillCheck])
+}
+
+// ChipkillEncode computes the 4 check symbols for 32 data symbols.
+func ChipkillEncode(data *[ChipkillData]byte) [ChipkillCheck]byte {
+	// Systematic encoding: parity = (data(x)·x⁴) mod g(x), computed with an
+	// LFSR running over the data symbols high-degree-first.
+	var reg [ChipkillCheck]byte
+	for i := ChipkillData - 1; i >= 0; i-- {
+		fb := data[i] ^ reg[ChipkillCheck-1]
+		copy(reg[1:], reg[:ChipkillCheck-1])
+		reg[0] = 0
+		if fb != 0 {
+			for j := 0; j < ChipkillCheck; j++ {
+				reg[j] ^= gfMul(fb, chipkillGen[j])
+			}
+		}
+	}
+	return reg
+}
+
+// chipkillSyndromes evaluates the received polynomial at the generator
+// roots. Codeword layout: coefficient of x^j is check[j] for j<4 and
+// data[j−4] for j≥4.
+func chipkillSyndromes(data *[ChipkillData]byte, check *[ChipkillCheck]byte) (s [ChipkillCheck]byte, zero bool) {
+	zero = true
+	for k := 0; k < ChipkillCheck; k++ {
+		root := gfPow(k)
+		// Horner from the highest coefficient down.
+		var acc byte
+		for i := ChipkillData - 1; i >= 0; i-- {
+			acc = gfMul(acc, root) ^ data[i]
+		}
+		for j := ChipkillCheck - 1; j >= 0; j-- {
+			acc = gfMul(acc, root) ^ check[j]
+		}
+		s[k] = acc
+		if acc != 0 {
+			zero = false
+		}
+	}
+	return s, zero
+}
+
+// ChipkillDecode checks and repairs one codeword in place. It returns the
+// symbol position corrected (0–31 data, 32–35 check) when Result is
+// Corrected, else −1.
+func ChipkillDecode(data *[ChipkillData]byte, check *[ChipkillCheck]byte) (Result, int) {
+	s, zero := chipkillSyndromes(data, check)
+	if zero {
+		return OK, -1
+	}
+	// Single error e at codeword position p (degree p): s[k] = e·(α^k)^p.
+	// Then s[1]/s[0] = α^p and the remaining syndromes must agree.
+	if s[0] == 0 || s[1] == 0 {
+		// A single error cannot zero any syndrome (e≠0, α^kp≠0).
+		return Detected, -1
+	}
+	x := gfDiv(s[1], s[0]) // α^p
+	e := s[0]
+	if gfMul(s[1], x) != s[2] || gfMul(s[2], x) != s[3] {
+		return Detected, -1
+	}
+	p := int(gfLog[x])
+	if p >= ChipkillData+ChipkillCheck {
+		return Detected, -1
+	}
+	if p < ChipkillCheck {
+		check[p] ^= e
+		return Corrected, ChipkillData + p
+	}
+	data[p-ChipkillCheck] ^= e
+	return Corrected, p - ChipkillCheck
+}

@@ -1,0 +1,370 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Spot-check table construction: α^0 = 1, α^255 wraps, inverses work.
+	if gfExp[0] != 1 {
+		t.Fatalf("α^0 = %d", gfExp[0])
+	}
+	for a := 1; a < 256; a++ {
+		inv := gfInv(byte(a))
+		if gfMul(byte(a), inv) != 1 {
+			t.Fatalf("a·a⁻¹ ≠ 1 for a=%d", a)
+		}
+	}
+	if gfMul(0, 77) != 0 || gfMul(55, 0) != 0 {
+		t.Error("multiplication by zero is nonzero")
+	}
+}
+
+func TestGFDistributivityProperty(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gfDiv by zero did not panic")
+		}
+	}()
+	gfDiv(1, 0)
+}
+
+func TestSECDEDClean(t *testing.T) {
+	for _, d := range []uint64{0, 1, ^uint64(0), 0xdeadbeefcafebabe} {
+		chk := SECDEDEncode(d)
+		got, gotChk, r := SECDEDDecode(d, chk)
+		if r != OK || got != d || gotChk != chk {
+			t.Errorf("clean decode of %x: %v", d, r)
+		}
+	}
+}
+
+func TestSECDEDCorrectsEverySingleBit(t *testing.T) {
+	data := uint64(0x0123456789abcdef)
+	chk := SECDEDEncode(data)
+	// Every data-bit flip must be corrected.
+	for b := 0; b < 64; b++ {
+		bad := data ^ 1<<b
+		fixed, _, r := SECDEDDecode(bad, chk)
+		if r != Corrected || fixed != data {
+			t.Fatalf("data bit %d: result %v, fixed %x", b, r, fixed)
+		}
+	}
+	// Every check-bit flip must be corrected.
+	for b := 0; b < 8; b++ {
+		badChk := chk ^ 1<<b
+		fixed, fixedChk, r := SECDEDDecode(data, badChk)
+		if r != Corrected || fixed != data || fixedChk != chk {
+			t.Fatalf("check bit %d: result %v", b, r)
+		}
+	}
+}
+
+func TestSECDEDDetectsEveryDoubleBit(t *testing.T) {
+	data := uint64(0xfedcba9876543210)
+	chk := SECDEDEncode(data)
+	// All pairs across the 72 codeword bits must be Detected, never
+	// miscorrected. Bits 0–63 are data, 64–71 are check bits.
+	flip := func(d uint64, c byte, bit int) (uint64, byte) {
+		if bit < 64 {
+			return d ^ 1<<bit, c
+		}
+		return d, c ^ 1<<(bit-64)
+	}
+	for i := 0; i < 72; i++ {
+		for j := i + 1; j < 72; j++ {
+			d, c := flip(data, chk, i)
+			d, c = flip(d, c, j)
+			_, _, r := SECDEDDecode(d, c)
+			if r != Detected {
+				t.Fatalf("double (%d,%d): result %v", i, j, r)
+			}
+		}
+	}
+}
+
+func TestSECDEDRandomProperty(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		chk := SECDEDEncode(data)
+		b := int(bit) % 64
+		fixed, _, r := SECDEDDecode(data^1<<b, chk)
+		return r == Corrected && fixed == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randData(rng *rand.Rand) [ChipkillData]byte {
+	var d [ChipkillData]byte
+	for i := range d {
+		d[i] = byte(rng.Intn(256))
+	}
+	return d
+}
+
+func TestChipkillClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		d := randData(rng)
+		chk := ChipkillEncode(&d)
+		r, pos := ChipkillDecode(&d, &chk)
+		if r != OK || pos != -1 {
+			t.Fatalf("clean decode: %v pos %d", r, pos)
+		}
+	}
+}
+
+func TestChipkillCorrectsAnySingleSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randData(rng)
+	want := d
+	chk := ChipkillEncode(&d)
+	wantChk := chk
+	// Every data symbol, every nonzero error value pattern sample.
+	for pos := 0; pos < ChipkillData; pos++ {
+		for _, e := range []byte{0x01, 0x80, 0xff, 0x5a} {
+			d = want
+			chk = wantChk
+			d[pos] ^= e
+			r, got := ChipkillDecode(&d, &chk)
+			if r != Corrected || got != pos || d != want {
+				t.Fatalf("symbol %d e=%#x: %v pos=%d", pos, e, r, got)
+			}
+		}
+	}
+	// Check symbols too.
+	for pos := 0; pos < ChipkillCheck; pos++ {
+		d = want
+		chk = wantChk
+		chk[pos] ^= 0x3c
+		r, got := ChipkillDecode(&d, &chk)
+		if r != Corrected || got != ChipkillData+pos || chk != wantChk {
+			t.Fatalf("check symbol %d: %v pos=%d", pos, r, got)
+		}
+	}
+}
+
+func TestChipkillWholeChipError(t *testing.T) {
+	// Chipkill's defining property: an entire chip (= whole symbol, all 8
+	// bits garbage) is corrected.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		d := randData(rng)
+		want := d
+		chk := ChipkillEncode(&d)
+		pos := rng.Intn(ChipkillData)
+		d[pos] = byte(rng.Intn(256)) // arbitrary replacement
+		if d[pos] == want[pos] {
+			continue
+		}
+		r, got := ChipkillDecode(&d, &chk)
+		if r != Corrected || got != pos || d != want {
+			t.Fatalf("trial %d: %v pos=%d", trial, r, got)
+		}
+	}
+}
+
+func TestChipkillDetectsDoubleSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		d := randData(rng)
+		orig := d
+		chk := ChipkillEncode(&d)
+		i := rng.Intn(ChipkillData)
+		j := rng.Intn(ChipkillData)
+		for j == i {
+			j = rng.Intn(ChipkillData)
+		}
+		d[i] ^= byte(1 + rng.Intn(255))
+		d[j] ^= byte(1 + rng.Intn(255))
+		r, _ := ChipkillDecode(&d, &chk)
+		if r != Detected {
+			t.Fatalf("trial %d: double symbol (%d,%d) gave %v", trial, i, j, r)
+		}
+		_ = orig
+	}
+}
+
+func TestChipkillDetectsTripleSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		d := randData(rng)
+		chk := ChipkillEncode(&d)
+		perm := rng.Perm(ChipkillData)[:3]
+		for _, p := range perm {
+			d[p] ^= byte(1 + rng.Intn(255))
+		}
+		r, _ := ChipkillDecode(&d, &chk)
+		if r == Corrected {
+			// d=5 guarantees a weight-3 error is at distance ≥2 from every
+			// codeword, so single-symbol correction must not fire.
+			t.Fatalf("trial %d: triple-symbol error was miscorrected", trial)
+		}
+	}
+}
+
+func TestSchemeMetadata(t *testing.T) {
+	cases := []struct {
+		s        Scheme
+		chips    int
+		channels int
+		overhead float64
+	}{
+		{None, 16, 1, 0},
+		{SECDED, 18, 1, 0.125},
+		{Chipkill, 36, 2, 0.125},
+	}
+	for _, c := range cases {
+		if got := c.s.ChipsActivated(); got != c.chips {
+			t.Errorf("%v chips = %d, want %d", c.s, got, c.chips)
+		}
+		if got := c.s.ChannelsBusy(); got != c.channels {
+			t.Errorf("%v channels = %d, want %d", c.s, got, c.channels)
+		}
+		if got := c.s.StorageOverhead(); got != c.overhead {
+			t.Errorf("%v overhead = %v, want %v", c.s, got, c.overhead)
+		}
+	}
+	if !Chipkill.Stronger(SECDED) || !SECDED.Stronger(None) || None.Stronger(SECDED) {
+		t.Error("Stronger ordering wrong")
+	}
+	if Chipkill.FITPerMbit() >= SECDED.FITPerMbit() || SECDED.FITPerMbit() >= None.FITPerMbit() {
+		t.Error("Table 5 FIT ordering wrong")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if None.String() != "none" || SECDED.String() != "secded" || Chipkill.String() != "chipkill" {
+		t.Error("Scheme.String wrong")
+	}
+	if Scheme(9).String() != "Scheme(9)" {
+		t.Error("unknown scheme string wrong")
+	}
+	if OK.String() != "ok" || Corrected.String() != "corrected" {
+		t.Error("Result.String wrong")
+	}
+}
+
+func fillLine(rng *rand.Rand) [LineSize]byte {
+	var l [LineSize]byte
+	for i := range l {
+		l[i] = byte(rng.Intn(256))
+	}
+	return l
+}
+
+func TestLineCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range []Scheme{None, SECDED, Chipkill} {
+		c := LineCodec{Scheme: s}
+		line := fillLine(rng)
+		chk := c.Encode(&line)
+		if len(chk) != c.CheckBytes() {
+			t.Fatalf("%v: check len %d, want %d", s, len(chk), c.CheckBytes())
+		}
+		if r := c.Decode(&line, chk); r != OK {
+			t.Fatalf("%v: clean line decode = %v", s, r)
+		}
+	}
+}
+
+func TestLineCodecSECDEDSingleBitPerWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := LineCodec{Scheme: SECDED}
+	line := fillLine(rng)
+	want := line
+	chk := c.Encode(&line)
+	// One bit flip in each of the 8 words: all corrected independently.
+	for w := 0; w < 8; w++ {
+		line[w*8+rng.Intn(8)] ^= 1 << rng.Intn(8)
+	}
+	if r := c.Decode(&line, chk); r != Corrected {
+		t.Fatalf("decode = %v", r)
+	}
+	if line != want {
+		t.Fatal("line not restored")
+	}
+}
+
+func TestLineCodecSECDEDDoubleBitDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := LineCodec{Scheme: SECDED}
+	line := fillLine(rng)
+	chk := c.Encode(&line)
+	line[3] ^= 0x03 // two bits in the same 64-bit word
+	if r := c.Decode(&line, chk); r != Detected {
+		t.Fatalf("decode = %v, want Detected", r)
+	}
+}
+
+func TestLineCodecChipkillChipFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := LineCodec{Scheme: Chipkill}
+	line := fillLine(rng)
+	want := line
+	chk := c.Encode(&line)
+	// Kill "chip" 7 in both halves (symbol 7 of each codeword).
+	line[7] ^= 0xff
+	line[32+7] ^= 0xff
+	if r := c.Decode(&line, chk); r != Corrected {
+		t.Fatalf("decode = %v", r)
+	}
+	if line != want {
+		t.Fatal("line not restored")
+	}
+}
+
+func TestLineCodecChipkillScatteredDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := LineCodec{Scheme: Chipkill}
+	line := fillLine(rng)
+	chk := c.Encode(&line)
+	// Errors on two different symbols within the same half: uncorrectable.
+	line[1] ^= 0x10
+	line[9] ^= 0x10
+	if r := c.Decode(&line, chk); r != Detected {
+		t.Fatalf("decode = %v, want Detected", r)
+	}
+}
+
+func TestLineCodecNonePassesErrors(t *testing.T) {
+	c := LineCodec{Scheme: None}
+	var line [LineSize]byte
+	chk := c.Encode(&line)
+	line[0] = 0xff
+	if r := c.Decode(&line, chk); r != OK {
+		t.Fatalf("None decode = %v, want OK (errors invisible)", r)
+	}
+	if line[0] != 0xff {
+		t.Fatal("None decode modified data")
+	}
+}
+
+// Property: SECDED encode/decode round-trips any word with any single flip.
+func TestLineCodecRandomSingleFlipProperty(t *testing.T) {
+	f := func(seed int64, wordIdx, bit uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := LineCodec{Scheme: SECDED}
+		line := fillLine(rng)
+		want := line
+		chk := c.Encode(&line)
+		line[int(wordIdx)%LineSize] ^= 1 << (bit % 8)
+		r := c.Decode(&line, chk)
+		return r == Corrected && line == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

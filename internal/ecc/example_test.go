@@ -1,0 +1,38 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"coopabft/internal/ecc"
+)
+
+// SECDED corrects single-bit errors and refuses double-bit ones.
+func ExampleSECDEDDecode() {
+	data := uint64(0xdeadbeef)
+	check := ecc.SECDEDEncode(data)
+
+	fixed, _, r := ecc.SECDEDDecode(data^(1<<17), check)
+	fmt.Println(r, fixed == data)
+
+	_, _, r = ecc.SECDEDDecode(data^0b11, check)
+	fmt.Println(r)
+	// Output:
+	// corrected true
+	// detected-uncorrectable
+}
+
+// Chipkill survives a whole chip returning garbage.
+func ExampleChipkillDecode() {
+	var data [ecc.ChipkillData]byte
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	want := data
+	check := ecc.ChipkillEncode(&data)
+
+	data[11] = 0xFF // chip 11 dies
+	r, pos := ecc.ChipkillDecode(&data, &check)
+	fmt.Println(r, pos, data == want)
+	// Output:
+	// corrected 11 true
+}

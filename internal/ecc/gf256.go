@@ -1,0 +1,67 @@
+// Package ecc implements the memory-protection codes evaluated by the paper:
+// Hsiao (72,64) SECDED and a chipkill-correct single-symbol-correct /
+// double-symbol-detect (SSC-DSD) Reed–Solomon code, plus the scheme metadata
+// (storage overhead, chips activated, correction energy) the memory
+// controller model needs.
+//
+// Both codecs are real: they encode redundant bits and decode by syndrome,
+// so fault-injection campaigns exercise genuine correction and detection
+// paths rather than flags.
+package ecc
+
+// GF(2^8) arithmetic with the AES/RS primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), via log/exp tables built at init.
+
+const gfPoly = 0x11d
+
+// Built as package-level variable initializers (not init funcs) so they are
+// ready before any other file's init in this package runs.
+var gfExp, gfLog = buildGFTables()
+
+func buildGFTables() (exp [512]byte, log [256]byte) {
+	x := 1
+	for i := 0; i < 255; i++ {
+		exp[i] = byte(x)
+		log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	// Doubled to avoid a mod in gfMul.
+	for i := 255; i < 512; i++ {
+		exp[i] = exp[i-255]
+	}
+	return exp, log
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides in GF(2^8); b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfPow returns α^n for the field generator α = 2.
+func gfPow(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return gfExp[n]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte { return gfDiv(1, a) }

@@ -1,0 +1,168 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRSMatchesChipkillInstance(t *testing.T) {
+	// The generic RS(32,4) must agree with the dedicated chipkill codec.
+	rs := NewRSCode(ChipkillData, ChipkillCheck)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var d [ChipkillData]byte
+		for i := range d {
+			d[i] = byte(rng.Intn(256))
+		}
+		want := ChipkillEncode(&d)
+		got := rs.Encode(d[:])
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: RS encode differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestRSValidatesParameters(t *testing.T) {
+	for _, c := range [][2]int{{0, 4}, {16, 1}, {250, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRSCode(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			NewRSCode(c[0], c[1])
+		}()
+	}
+}
+
+func TestX8ChipkillSingleSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 16)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		want := append([]byte(nil), data...)
+		check := X8Chipkill.Encode(data)
+		wantChk := append([]byte(nil), check...)
+
+		pos := rng.Intn(16)
+		data[pos] ^= byte(1 + rng.Intn(255)) // a whole x8 chip goes bad
+		r, got := X8Chipkill.Decode(data, check)
+		if r != Corrected || got != pos {
+			t.Fatalf("trial %d: %v pos=%d", trial, r, got)
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatal("data not restored")
+			}
+		}
+		for i := range check {
+			if check[i] != wantChk[i] {
+				t.Fatal("check modified")
+			}
+		}
+	}
+}
+
+func TestX8ChipkillDetectsDoubleSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 16)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		check := X8Chipkill.Encode(data)
+		i := rng.Intn(16)
+		j := rng.Intn(16)
+		for j == i {
+			j = rng.Intn(16)
+		}
+		data[i] ^= byte(1 + rng.Intn(255))
+		data[j] ^= byte(1 + rng.Intn(255))
+		if r, _ := X8Chipkill.Decode(data, check); r != Detected {
+			t.Fatalf("trial %d: double symbol gave %v", trial, r)
+		}
+	}
+}
+
+func TestX8ChipkillCheckSymbolErrors(t *testing.T) {
+	data := make([]byte, 16)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	check := X8Chipkill.Encode(data)
+	orig := append([]byte(nil), check...)
+	check[1] ^= 0x55
+	r, pos := X8Chipkill.Decode(data, check)
+	if r != Corrected || pos != 16+1 {
+		t.Fatalf("%v pos=%d", r, pos)
+	}
+	for i := range check {
+		if check[i] != orig[i] {
+			t.Fatal("check not restored")
+		}
+	}
+}
+
+func TestX8OverheadMatchesPaper(t *testing.T) {
+	// §2.2: "18.75%–37.5% for 3-check symbol chipkill (x8 DRAM)".
+	ovh := float64(X8Chipkill.CheckSymbols()) / float64(X8Chipkill.DataSymbols())
+	if ovh != 0.1875 {
+		t.Errorf("x8 overhead = %v, want 0.1875", ovh)
+	}
+}
+
+// Property: for random parameters and a random single-symbol error, the
+// generic RS codec round-trips.
+func TestRSRoundTripProperty(t *testing.T) {
+	f := func(seed int64, dataSel, checkSel uint8) bool {
+		nData := 2 + int(dataSel)%60
+		nCheck := 2 + int(checkSel)%5
+		rs := NewRSCode(nData, nCheck)
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, nData)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		want := append([]byte(nil), data...)
+		check := rs.Encode(data)
+		pos := rng.Intn(nData)
+		data[pos] ^= byte(1 + rng.Intn(255))
+		r, got := rs.Decode(data, check)
+		if r != Corrected || got != pos {
+			return false
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clean codewords always decode OK for any valid parameters.
+func TestRSCleanProperty(t *testing.T) {
+	f := func(seed int64, dataSel uint8) bool {
+		nData := 2 + int(dataSel)%100
+		rs := NewRSCode(nData, 3)
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, nData)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		check := rs.Encode(data)
+		r, _ := rs.Decode(data, check)
+		return r == OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package ecc
+
+import "math/bits"
+
+// Hsiao (72,64) single-error-correcting, double-error-detecting code [19].
+// The parity-check matrix H has 72 columns of odd weight: the 8 check-bit
+// positions use the weight-1 columns (identity block) and the 64 data-bit
+// positions use distinct columns of weight 3 (all 56 of them) and weight 5
+// (the first 8). Odd-weight columns give Hsiao's key property: every
+// single-bit error produces an odd-weight syndrome and every double-bit
+// error an even-weight (nonzero) syndrome, so the two never alias.
+
+// secdedCol[i] is the H column for data bit i.
+var secdedCol [64]byte
+
+// secdedColIndex maps an H column value back to its data-bit position + 1
+// (0 means "not a data column").
+var secdedColIndex [256]int
+
+func init() {
+	n := 0
+	for w := 3; w <= 5 && n < 64; w += 2 {
+		for v := 1; v < 256 && n < 64; v++ {
+			if bits.OnesCount8(uint8(v)) == w {
+				secdedCol[n] = byte(v)
+				secdedColIndex[v] = n + 1
+				n++
+			}
+		}
+	}
+	if n != 64 {
+		panic("ecc: failed to build Hsiao column set")
+	}
+}
+
+// Result classifies the outcome of a decode.
+type Result int
+
+const (
+	// OK means the codeword was clean.
+	OK Result = iota
+	// Corrected means an error was present and has been corrected in place.
+	Corrected
+	// Detected means an uncorrectable error was detected (e.g. a double-bit
+	// error under SECDED); data is not trustworthy.
+	Detected
+	// Undetected is used by fault-classification helpers for error patterns
+	// that a code silently miscorrects or misses; the decoder itself cannot
+	// return it.
+	Undetected
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected-uncorrectable"
+	case Undetected:
+		return "undetected"
+	default:
+		return "unknown"
+	}
+}
+
+// SECDEDEncode returns the 8 check bits for a 64-bit word.
+func SECDEDEncode(data uint64) byte {
+	var s byte
+	for d := data; d != 0; d &= d - 1 {
+		s ^= secdedCol[bits.TrailingZeros64(d)]
+	}
+	return s
+}
+
+// SECDEDDecode checks a (72,64) codeword. On a single-bit error (in data or
+// check bits) it returns the corrected word. On a double-bit error it
+// returns Detected and the original word.
+func SECDEDDecode(data uint64, check byte) (fixed uint64, fixedCheck byte, r Result) {
+	syn := SECDEDEncode(data) ^ check
+	switch {
+	case syn == 0:
+		return data, check, OK
+	case bits.OnesCount8(syn) == 1:
+		// Error in a check bit itself.
+		return data, check ^ syn, Corrected
+	case bits.OnesCount8(syn)%2 == 1:
+		if i := secdedColIndex[syn]; i != 0 {
+			return data ^ 1<<(i-1), check, Corrected
+		}
+		// Odd-weight syndrome matching no column: ≥3-bit error.
+		return data, check, Detected
+	default:
+		// Even-weight nonzero syndrome: double-bit error.
+		return data, check, Detected
+	}
+}

@@ -1,0 +1,168 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) from the simulator: Figure 3 (ABFT overhead breakdown),
+// Table 1 (simplified verification), Table 3 (system parameters), Table 4
+// (LLC-miss classification), Figures 5–7 (memory energy, system energy and
+// performance under the six ECC strategies), Table 5 (FIT rates), Figures
+// 8–9 (weak/strong scaling of energy benefit vs recovery cost) and Figure
+// 10 (comparison with DGMS). Each experiment returns a typed result plus a
+// text rendering with the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"coopabft/internal/abft"
+	"coopabft/internal/core"
+	"coopabft/internal/machine"
+	"coopabft/internal/scaling"
+)
+
+// KernelID selects one of the four ABFT workloads.
+type KernelID int
+
+const (
+	// KDGEMM is FT-DGEMM.
+	KDGEMM KernelID = iota
+	// KCholesky is FT-Cholesky.
+	KCholesky
+	// KCG is FT-Pred-CG.
+	KCG
+	// KHPL is FT-HPL.
+	KHPL
+)
+
+// AllKernels lists the workloads in the paper's order.
+var AllKernels = []KernelID{KDGEMM, KCholesky, KCG, KHPL}
+
+// String returns the paper's label.
+func (k KernelID) String() string {
+	switch k {
+	case KDGEMM:
+		return "FT-DGEMM"
+	case KCholesky:
+		return "FT-Cholesky"
+	case KCG:
+		return "FT-CG"
+	case KHPL:
+		return "FT-HPL"
+	default:
+		return "?"
+	}
+}
+
+// Options sizes the workloads. The paper simulates 3000²/8192² matrices;
+// these run scaled-down problems on a proportionally scaled L2 (see
+// DESIGN.md) so the working-set-to-cache ratios are preserved.
+type Options struct {
+	DGEMMN     int
+	CholN      int
+	CGX, CGY   int
+	CGIters    int
+	HPLN       int
+	HPLNB      int
+	L2Divisor  int
+	Seed       uint64
+	ScalingCfg scaling.Config
+}
+
+// Default returns the paperfigs/bench configuration.
+func Default() Options {
+	o := Options{
+		DGEMMN: 224, CholN: 224,
+		CGX: 96, CGY: 96, CGIters: 20,
+		HPLN: 160, HPLNB: 8,
+		L2Divisor: 32,
+		Seed:      42,
+	}
+	o.ScalingCfg = scaling.DefaultConfig()
+	o.ScalingCfg.GridX, o.ScalingCfg.GridY = 96, 96
+	o.ScalingCfg.Iterations = 16
+	return o
+}
+
+// Small returns a fast configuration for unit tests.
+func Small() Options {
+	o := Default()
+	o.DGEMMN, o.CholN = 48, 64
+	o.CGX, o.CGY, o.CGIters = 24, 24, 8
+	o.HPLN, o.HPLNB = 32, 4
+	o.ScalingCfg.GridX, o.ScalingCfg.GridY = 24, 24
+	o.ScalingCfg.Iterations = 8
+	return o
+}
+
+func (o Options) machineConfig() machine.Config {
+	return machine.ScaledConfig(o.L2Divisor)
+}
+
+// RunKernel executes one workload under one ECC strategy on a fresh
+// simulated node and returns the platform metrics.
+func RunKernel(o Options, k KernelID, s core.Strategy, mode abft.VerifyMode) machine.Result {
+	rt := core.NewRuntime(o.machineConfig(), s, int64(o.Seed))
+	switch k {
+	case KDGEMM:
+		d := rt.NewDGEMM(o.DGEMMN, o.Seed)
+		d.Mode = mode
+		if err := d.Run(); err != nil {
+			panic(fmt.Sprintf("experiments: DGEMM: %v", err))
+		}
+	case KCholesky:
+		c := rt.NewCholesky(o.CholN, o.Seed)
+		c.Mode = mode
+		if err := c.Run(); err != nil {
+			panic(fmt.Sprintf("experiments: Cholesky: %v", err))
+		}
+	case KCG:
+		c := rt.NewCG(o.CGX, o.CGY, o.Seed)
+		c.Mode = mode
+		c.MaxIter = o.CGIters
+		c.RelTol = 0
+		c.CheckPeriod = 4
+		if _, err := c.Run(); err != nil {
+			panic(fmt.Sprintf("experiments: CG: %v", err))
+		}
+	case KHPL:
+		h := rt.NewHPL(o.HPLN, o.HPLNB, o.Seed)
+		if err := h.Run(); err != nil {
+			panic(fmt.Sprintf("experiments: HPL: %v", err))
+		}
+	}
+	return rt.Finish()
+}
+
+// BasicResults holds the §5.1 sweep: every kernel under every strategy.
+type BasicResults map[KernelID]map[core.Strategy]machine.Result
+
+var (
+	basicMu    sync.Mutex
+	basicCache = map[Options]BasicResults{}
+)
+
+// Basic runs (once per Options, cached) the full §5.1 sweep.
+func Basic(o Options) BasicResults {
+	basicMu.Lock()
+	defer basicMu.Unlock()
+	if r, ok := basicCache[o]; ok {
+		return r
+	}
+	out := BasicResults{}
+	for _, k := range AllKernels {
+		out[k] = map[core.Strategy]machine.Result{}
+		for _, s := range core.Strategies {
+			out[k][s] = RunKernel(o, k, s, abft.FullVerify)
+		}
+	}
+	basicCache[o] = out
+	return out
+}
+
+// header writes a row of column labels.
+func header(w io.Writer, title string, cols []string) {
+	fmt.Fprintf(w, "\n== %s ==\n%-14s", title, "")
+	for _, c := range cols {
+		fmt.Fprintf(w, "%14s", c)
+	}
+	fmt.Fprintln(w)
+}

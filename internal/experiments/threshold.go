@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"coopabft/internal/bifit"
+	"coopabft/internal/core"
+	"coopabft/internal/machine"
+)
+
+// ThresholdPoint is one sample of the empirical ARE-vs-ASE comparison: the
+// same FT-CG run under both configurations with `Errors` Case-1 errors
+// injected. Under ASE (whole chipkill) the hardware corrects each error at
+// negligible cost; under ARE (chipkill relaxed to nothing on ABFT data)
+// every error costs an ABFT recovery. Sweeping the error count measures the
+// crossover that Equation (7) predicts analytically.
+type ThresholdPoint struct {
+	Errors        int
+	AREEnergyJ    float64
+	ASEEnergyJ    float64
+	ARESeconds    float64
+	ASESeconds    float64
+	ARERecoveries int
+}
+
+// splitmix generates the deterministic injection-site stream.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ThresholdStudy runs the sweep. Errors are single-bit flips in FT-CG's
+// residual vector — correctable by both chipkill and ABFT (§4 Case 1).
+func ThresholdStudy(o Options, errorCounts []int) []ThresholdPoint {
+	out := make([]ThresholdPoint, 0, len(errorCounts))
+	for _, n := range errorCounts {
+		are, rec := thresholdRun(o, core.PartialChipkillNoECC, n)
+		ase, _ := thresholdRun(o, core.WholeChipkill, n)
+		out = append(out, ThresholdPoint{
+			Errors:        n,
+			AREEnergyJ:    are.SystemEnergyJ,
+			ASEEnergyJ:    ase.SystemEnergyJ,
+			ARESeconds:    are.Seconds,
+			ASESeconds:    ase.Seconds,
+			ARERecoveries: rec,
+		})
+	}
+	return out
+}
+
+// thresholdRun executes FT-CG with n injected errors under a strategy.
+func thresholdRun(o Options, s core.Strategy, n int) (res machine.Result, recoveries int) {
+	rt := core.NewRuntime(o.machineConfig(), s, int64(o.Seed))
+	cg := rt.NewCG(o.CGX, o.CGY, o.Seed)
+	cg.MaxIter = o.CGIters
+	cg.RelTol = 0
+	cg.CheckPeriod = 1 // examine every iteration: one recovery per error
+
+	r, _ := cg.VecFor("r")
+	tgt := bifit.Target{Data: r.Data, Reg: r.Reg}
+	// Spread n injections evenly over the iterations (several per
+	// iteration when n exceeds the iteration count).
+	perIter := make([][]int, o.CGIters)
+	for j := 0; j < n; j++ {
+		it := j % o.CGIters
+		elem := int(splitmix(uint64(j)*2654435761+o.Seed) % uint64(len(r.Data)))
+		perIter[it] = append(perIter[it], elem)
+	}
+	hw := s == core.WholeChipkill
+	cg.OnIteration = func(iter int) {
+		for _, elem := range perIter[iter] {
+			// A single-bit flip in a high mantissa bit: Case 1 material.
+			if err := rt.Injector.FlipBits(tgt, elem, []int{51}); err != nil {
+				panic(err)
+			}
+			if hw {
+				// Under strong ECC the error is corrected at the next fetch
+				// from DRAM, before the algorithm consumes it; model that
+				// fetch directly at the controller (a patrol/demand read).
+				paddr, err := rt.M.OS.Translate(tgt.Reg.Base + uint64(elem)*8)
+				if err != nil {
+					panic(err)
+				}
+				rt.M.Ctl.Access(rt.M.Core.Now(), paddr, false, true)
+			}
+		}
+	}
+	if _, err := cg.Run(); err != nil {
+		panic(fmt.Sprintf("threshold run: %v", err))
+	}
+	return rt.Finish(), cg.Recoveries
+}
+
+// RenderThreshold writes the sweep as a table and reports the crossover.
+func RenderThreshold(w io.Writer, pts []ThresholdPoint) {
+	header(w, "Empirical ARE-vs-ASE threshold (FT-CG, Case-1 errors; extension of Eq. 7)",
+		[]string{"ARE (J)", "ASE (J)", "ARE recoveries", "winner"})
+	cross := -1
+	for i, p := range pts {
+		winner := "ARE"
+		if p.AREEnergyJ >= p.ASEEnergyJ {
+			winner = "ASE"
+			if cross < 0 {
+				cross = i
+			}
+		}
+		fmt.Fprintf(w, "%-14d%14.4g%14.4g%14d%14s\n",
+			p.Errors, p.AREEnergyJ, p.ASEEnergyJ, p.ARERecoveries, winner)
+	}
+	if cross > 0 {
+		fmt.Fprintf(w, "crossover between %d and %d errors per run: below it relax ECC, above it keep it strong\n",
+			pts[cross-1].Errors, pts[cross].Errors)
+	} else if cross < 0 {
+		fmt.Fprintln(w, "no crossover in the swept range: ARE wins throughout")
+	}
+}

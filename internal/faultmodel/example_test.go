@@ -1,0 +1,36 @@
+package faultmodel_test
+
+import (
+	"fmt"
+
+	"coopabft/internal/ecc"
+	"coopabft/internal/faultmodel"
+)
+
+// The §4 decision pipeline: from FIT rates to "should I relax ECC?".
+func Example() {
+	// A node with 8 GB (64000 Mbit) of ABFT-protected data under no ECC.
+	mttf := faultmodel.MTTF(ecc.None.FITPerMbit(), 64000, 1, 1)
+	fmt.Printf("node MTTF: %.1f hours\n", mttf/3600)
+
+	// One ABFT recovery costs 0.5 s; strong ECC slows the app by 12%,
+	// relaxed by 1%. Equation (7): the MTTF above which relaxing wins.
+	thr := faultmodel.MTTFThresholdPerf(0.5, 0.12, 0.01)
+	fmt.Printf("threshold: %.2f s\n", thr)
+	fmt.Printf("relax ECC: %v\n", mttf > thr)
+	// Output:
+	// node MTTF: 3.1 hours
+	// threshold: 4.59 s
+	// relax ECC: true
+}
+
+// Classifying one error event into the §4 cases.
+func ExampleClassify() {
+	// A chip failure: chipkill corrects it, and so would ABFT.
+	fmt.Println(faultmodel.Classify(true, true))
+	// Two scattered symbols: beyond chipkill, within ABFT.
+	fmt.Println(faultmodel.Classify(false, true))
+	// Output:
+	// case1-both-correct
+	// case2-abft-only
+}

@@ -1,0 +1,190 @@
+// Package faultmodel implements the analytical fault models of §4: the
+// MTTF equations (2)–(4) for homogeneous and heterogeneous ECC protection,
+// the recovery-cost and benefit relations (5)–(6), the MTTF thresholds
+// (7)–(8) that decide when ARE (ABFT plus relaxed ECC) beats ASE (ABFT plus
+// strong ECC), and the error-scenario classification (Cases 1–4).
+package faultmodel
+
+import (
+	"fmt"
+	"math"
+
+	"coopabft/internal/ecc"
+)
+
+// FITPerMbit re-exports Table 5 (failures per 10⁹ hours per Mbit).
+func FITPerMbit(s ecc.Scheme) float64 { return s.FITPerMbit() }
+
+// failureRatePerSecondPerMbit converts a FIT rate to failures/s/Mbit.
+func failureRatePerSecondPerMbit(fit float64) float64 {
+	return fit / 1e9 / 3600
+}
+
+// MTTF implements Equation (2): mean time to failure in seconds for N
+// nodes, each with memCapacityMbit of memory at the given FIT rate, scaled
+// by the age function f(A) (1 = nominal).
+func MTTF(fitPerMbit, memCapacityMbit, ageFactor float64, nodes int) float64 {
+	r := failureRatePerSecondPerMbit(fitPerMbit) * memCapacityMbit * ageFactor * float64(nodes)
+	if r == 0 {
+		return math.Inf(1)
+	}
+	return 1 / r
+}
+
+// RegionSpec describes one memory region with its own ECC protection — a
+// term of Equation (3)'s sum.
+type RegionSpec struct {
+	CapacityMbit float64
+	Scheme       ecc.Scheme
+	AgeFactor    float64 // fᵢ(A); 1 = nominal
+}
+
+// MTTFHetero implements Equation (3): MTTF for a node whose memory is split
+// across regions with heterogeneous ECC.
+func MTTFHetero(regions []RegionSpec, nodes int) float64 {
+	sum := 0.0
+	for _, r := range regions {
+		age := r.AgeFactor
+		if age == 0 {
+			age = 1
+		}
+		sum += failureRatePerSecondPerMbit(r.Scheme.FITPerMbit()) * r.CapacityMbit * age
+	}
+	sum *= float64(nodes)
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return 1 / sum
+}
+
+// ExpectedErrors implements Equation (4): N_e = T₀·(1+τ)/MTTF_hetero, the
+// number of main-memory errors over a run of native duration t0Seconds with
+// ECC performance-impact ratio tau.
+func ExpectedErrors(t0Seconds, tau, mttfHetero float64) float64 {
+	if math.IsInf(mttfHetero, 1) {
+		return 0
+	}
+	return t0Seconds * (1 + tau) / mttfHetero
+}
+
+// RecoveryCost implements Equation (5): T_e = N_e·t_c, the worst-case
+// performance loss with one recovery per error, each costing tcSeconds.
+func RecoveryCost(t0Seconds, tauARE, mttfHetero, tcSeconds float64) float64 {
+	return ExpectedErrors(t0Seconds, tauARE, mttfHetero) * tcSeconds
+}
+
+// Benefit implements Equation (6): ΔT = T₀·(τ_ase − τ_are), the performance
+// benefit of relaxed ECC in error-free execution.
+func Benefit(t0Seconds, tauASE, tauARE float64) float64 {
+	return t0Seconds * (tauASE - tauARE)
+}
+
+// MTTFThresholdPerf implements Equation (7): the MTTF above which ARE's
+// recovery cost stays below its performance benefit,
+// MTTF_thr = t_c·(1+τ_are)/(τ_ase − τ_are).
+func MTTFThresholdPerf(tcSeconds, tauASE, tauARE float64) float64 {
+	d := tauASE - tauARE
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return tcSeconds * (1 + tauARE) / d
+}
+
+// MTTFThresholdEnergy is the energy analogue of Equation (7): recovery
+// energy per error ecJoules against per-time energy saving rate
+// (pASE − pARE watts), yielding the MTTF above which ARE saves energy.
+func MTTFThresholdEnergy(ecJoules, pASEWatts, pAREWatts, tauARE float64) float64 {
+	d := pASEWatts - pAREWatts
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return ecJoules * (1 + tauARE) / d
+}
+
+// MTTFThreshold implements Equation (8): the combined threshold
+// MAX(MTTF_thr_t, MTTF_thr_en).
+func MTTFThreshold(perf, energy float64) float64 { return math.Max(perf, energy) }
+
+// Case is the §4 error-scenario classification.
+type Case int
+
+const (
+	// CaseBothCorrect — Case 1: both strong ECC and ABFT can correct.
+	CaseBothCorrect Case = iota + 1
+	// CaseABFTOnly — Case 2: ABFT corrects what strong ECC cannot.
+	CaseABFTOnly
+	// CaseECCOnly — Case 3: strong ECC corrects what ABFT cannot.
+	CaseECCOnly
+	// CaseNeither — Case 4: only checkpoint/restart remains.
+	CaseNeither
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	switch c {
+	case CaseBothCorrect:
+		return "case1-both-correct"
+	case CaseABFTOnly:
+		return "case2-abft-only"
+	case CaseECCOnly:
+		return "case3-ecc-only"
+	case CaseNeither:
+		return "case4-neither"
+	default:
+		return fmt.Sprintf("Case(%d)", int(c))
+	}
+}
+
+// Classify determines the §4 case from the two capabilities.
+func Classify(strongECCCorrects, abftCorrects bool) Case {
+	switch {
+	case strongECCCorrects && abftCorrects:
+		return CaseBothCorrect
+	case abftCorrects:
+		return CaseABFTOnly
+	case strongECCCorrects:
+		return CaseECCOnly
+	default:
+		return CaseNeither
+	}
+}
+
+// Outcome compares ARE and ASE for one error instance of a given case,
+// returning the additional cost each side pays (seconds), following the §4
+// discussion. checkpointRestart is the cost of falling back to a restart.
+type Outcome struct {
+	Case    Case
+	ARECost float64
+	ASECost float64
+}
+
+// CompareCase evaluates one error under both configurations.
+//
+//	tcABFT          cost of one ABFT recovery
+//	tcECC           cost of one hardware correction (≈ nanoseconds)
+//	checkpointCost  cost of a restart from the last checkpoint
+//	exposedToABFT   whether, under ASE, the uncorrectable error is exposed
+//	                to the application (Case 2's second scenario)
+func CompareCase(c Case, tcABFT, tcECC, checkpointCost float64, exposedToABFT bool) Outcome {
+	o := Outcome{Case: c}
+	switch c {
+	case CaseBothCorrect:
+		// ARE corrects with ABFT (expensive), ASE with ECC (cheap).
+		o.ARECost = tcABFT
+		o.ASECost = tcECC
+	case CaseABFTOnly:
+		o.ARECost = tcABFT
+		if exposedToABFT {
+			o.ASECost = tcABFT
+		} else {
+			o.ASECost = checkpointCost // system crash → restart
+		}
+	case CaseECCOnly:
+		o.ARECost = checkpointCost
+		o.ASECost = tcECC
+	case CaseNeither:
+		o.ARECost = checkpointCost
+		o.ASECost = checkpointCost
+	}
+	return o
+}

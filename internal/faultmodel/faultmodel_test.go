@@ -1,0 +1,179 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coopabft/internal/ecc"
+)
+
+func TestMTTFScalesInversely(t *testing.T) {
+	base := MTTF(5000, 8000, 1, 1)
+	if MTTF(5000, 8000, 1, 2) != base/2 {
+		t.Error("MTTF should halve with double the nodes")
+	}
+	if MTTF(10000, 8000, 1, 1) != base/2 {
+		t.Error("MTTF should halve with double the FIT rate")
+	}
+	if MTTF(5000, 16000, 1, 1) != base/2 {
+		t.Error("MTTF should halve with double the capacity")
+	}
+	if MTTF(5000, 8000, 2, 1) != base/2 {
+		t.Error("MTTF should halve with doubled aging")
+	}
+	if !math.IsInf(MTTF(0, 8000, 1, 1), 1) {
+		t.Error("zero rate should give infinite MTTF")
+	}
+}
+
+func TestMTTFValuesSane(t *testing.T) {
+	// 8 GB node, no ECC, 5000 FIT/Mbit: 64000 Mbit·5000 FIT = 3.2e8
+	// failures/1e9h → MTTF ≈ 3.125 h.
+	got := MTTF(5000, 64000, 1, 1)
+	want := 3.125 * 3600
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("MTTF = %v s, want %v s", got, want)
+	}
+}
+
+func TestMTTFHeteroBetweenExtremes(t *testing.T) {
+	whole := func(s ecc.Scheme) float64 {
+		return MTTFHetero([]RegionSpec{{CapacityMbit: 64000, Scheme: s}}, 1)
+	}
+	mixed := MTTFHetero([]RegionSpec{
+		{CapacityMbit: 32000, Scheme: ecc.Chipkill},
+		{CapacityMbit: 32000, Scheme: ecc.None},
+	}, 1)
+	if !(whole(ecc.None) < mixed && mixed < whole(ecc.Chipkill)) {
+		t.Errorf("hetero MTTF %v not between %v and %v",
+			mixed, whole(ecc.None), whole(ecc.Chipkill))
+	}
+}
+
+func TestMTTFHeteroMatchesHomogeneousLimit(t *testing.T) {
+	h := MTTFHetero([]RegionSpec{{CapacityMbit: 64000, Scheme: ecc.SECDED}}, 4)
+	m := MTTF(ecc.SECDED.FITPerMbit(), 64000, 1, 4)
+	if math.Abs(h-m)/m > 1e-12 {
+		t.Errorf("hetero single-region %v != homogeneous %v", h, m)
+	}
+}
+
+func TestExpectedErrorsEquation4(t *testing.T) {
+	// T0=1000s, tau=0.1, MTTF=100s → Ne = 11.
+	if got := ExpectedErrors(1000, 0.1, 100); math.Abs(got-11) > 1e-12 {
+		t.Errorf("Ne = %v", got)
+	}
+	if ExpectedErrors(1000, 0, math.Inf(1)) != 0 {
+		t.Error("infinite MTTF should give zero errors")
+	}
+}
+
+func TestRecoveryCostEquation5(t *testing.T) {
+	// Ne = 11 errors × 2s each = 22s.
+	if got := RecoveryCost(1000, 0.1, 100, 2); math.Abs(got-22) > 1e-12 {
+		t.Errorf("Te = %v", got)
+	}
+}
+
+func TestBenefitEquation6(t *testing.T) {
+	if got := Benefit(1000, 0.3, 0.1); math.Abs(got-200) > 1e-12 {
+		t.Errorf("benefit = %v", got)
+	}
+	if Benefit(1000, 0.1, 0.3) >= 0 {
+		t.Error("negative benefit expected when ARE is slower")
+	}
+}
+
+func TestThresholdEquation7ConsistentWithEquations5and6(t *testing.T) {
+	// At MTTF exactly the threshold, recovery cost equals benefit.
+	tc, tauASE, tauARE := 2.0, 0.3, 0.1
+	thr := MTTFThresholdPerf(tc, tauASE, tauARE)
+	t0 := 5000.0
+	cost := RecoveryCost(t0, tauARE, thr, tc)
+	benefit := Benefit(t0, tauASE, tauARE)
+	if math.Abs(cost-benefit)/benefit > 1e-12 {
+		t.Errorf("at threshold: cost %v != benefit %v", cost, benefit)
+	}
+	// Above the threshold (larger MTTF), benefit wins.
+	if RecoveryCost(t0, tauARE, thr*2, tc) >= benefit {
+		t.Error("above-threshold MTTF should favor ARE")
+	}
+	if !math.IsInf(MTTFThresholdPerf(tc, 0.1, 0.1), 1) {
+		t.Error("equal taus should give infinite threshold")
+	}
+}
+
+func TestThresholdEquation8(t *testing.T) {
+	if MTTFThreshold(5, 9) != 9 || MTTFThreshold(9, 5) != 9 {
+		t.Error("Equation 8 must take the max")
+	}
+	en := MTTFThresholdEnergy(100, 50, 30, 0.1)
+	if math.Abs(en-5.5) > 1e-12 {
+		t.Errorf("energy threshold = %v, want 5.5", en)
+	}
+	if !math.IsInf(MTTFThresholdEnergy(100, 30, 50, 0.1), 1) {
+		t.Error("no energy saving → infinite threshold")
+	}
+}
+
+func TestClassifyCases(t *testing.T) {
+	if Classify(true, true) != CaseBothCorrect ||
+		Classify(false, true) != CaseABFTOnly ||
+		Classify(true, false) != CaseECCOnly ||
+		Classify(false, false) != CaseNeither {
+		t.Error("Classify wrong")
+	}
+	if CaseBothCorrect.String() != "case1-both-correct" || CaseNeither.String() != "case4-neither" {
+		t.Error("Case strings wrong")
+	}
+}
+
+func TestCompareCaseSemantics(t *testing.T) {
+	const tcABFT, tcECC, ckpt = 10.0, 1e-9, 1000.0
+	// Case 1: ASE much cheaper per error.
+	o := CompareCase(CaseBothCorrect, tcABFT, tcECC, ckpt, false)
+	if o.ARECost != tcABFT || o.ASECost != tcECC {
+		t.Errorf("case1 = %+v", o)
+	}
+	// Case 2 crash scenario: ASE pays a restart.
+	o = CompareCase(CaseABFTOnly, tcABFT, tcECC, ckpt, false)
+	if o.ASECost != ckpt || o.ARECost != tcABFT {
+		t.Errorf("case2 = %+v", o)
+	}
+	// Case 2 exposed scenario: equal recovery cost.
+	o = CompareCase(CaseABFTOnly, tcABFT, tcECC, ckpt, true)
+	if o.ASECost != tcABFT {
+		t.Errorf("case2-exposed = %+v", o)
+	}
+	// Case 3: ARE pays the restart.
+	o = CompareCase(CaseECCOnly, tcABFT, tcECC, ckpt, false)
+	if o.ARECost != ckpt || o.ASECost != tcECC {
+		t.Errorf("case3 = %+v", o)
+	}
+	// Case 4: both restart.
+	o = CompareCase(CaseNeither, tcABFT, tcECC, ckpt, false)
+	if o.ARECost != ckpt || o.ASECost != ckpt {
+		t.Errorf("case4 = %+v", o)
+	}
+}
+
+// Property: MTTFHetero is monotone — strengthening any region's scheme
+// never lowers the MTTF.
+func TestHeteroMonotoneProperty(t *testing.T) {
+	f := func(capA, capB uint16) bool {
+		a, b := float64(capA%10000)+1, float64(capB%10000)+1
+		weak := MTTFHetero([]RegionSpec{
+			{CapacityMbit: a, Scheme: ecc.None},
+			{CapacityMbit: b, Scheme: ecc.SECDED},
+		}, 1)
+		strong := MTTFHetero([]RegionSpec{
+			{CapacityMbit: a, Scheme: ecc.SECDED},
+			{CapacityMbit: b, Scheme: ecc.SECDED},
+		}, 1)
+		return strong >= weak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package machine assembles the full evaluation platform of Figure 4 —
+// the McSim + DRAMSim2 substitute: an in-order core, the L1/L2 hierarchy,
+// the ECC-aware memory controller, the DRAM timing/power model, and the OS
+// model, all driven by the instrumentation probes the ABFT kernels emit.
+package machine
+
+import (
+	"fmt"
+
+	"coopabft/internal/cache"
+	"coopabft/internal/cpu"
+	"coopabft/internal/dram"
+	"coopabft/internal/ecc"
+	"coopabft/internal/memctrl"
+	"coopabft/internal/osmodel"
+	"coopabft/internal/trace"
+)
+
+// InterruptHandlerCycles is the modeled cost of taking the ECC-error
+// interrupt and running the §3.2.1 handler (read error registers, derive
+// addresses, publish to the shared list).
+const InterruptHandlerCycles = 20000
+
+// Config assembles the component configurations.
+type Config struct {
+	CPU  cpu.Config
+	L1   cache.Config
+	L2   cache.Config
+	DRAM dram.Config
+	// DefaultScheme is the strong protection covering all memory not
+	// explicitly relaxed through malloc_ecc.
+	DefaultScheme ecc.Scheme
+}
+
+// DefaultConfig reproduces Table 3 verbatim.
+func DefaultConfig() Config {
+	return Config{
+		CPU:           cpu.DefaultConfig(),
+		L1:            cache.L1Default(),
+		L2:            cache.L2Default(),
+		DRAM:          dram.DefaultConfig(),
+		DefaultScheme: ecc.Chipkill,
+	}
+}
+
+// ScaledConfig shrinks the node to a 1/divisor "slice" so that scaled-down
+// matrices (the harness default; the paper simulates 3000²) keep the
+// paper's ratios: the L2 keeps the working-set-to-LLC ratio, and the
+// always-on power terms (processor idle/max power, DRAM background power)
+// shrink with it so static energy does not drown the dynamic deltas the
+// experiments measure. Per-access DRAM energies are untouched — they are
+// per-chip physics, not capacity.
+func ScaledConfig(divisor int) Config {
+	c := DefaultConfig()
+	c.L2.SizeBytes /= divisor
+	if c.L2.SizeBytes < c.L2.Ways*cache.LineBytes {
+		c.L2.SizeBytes = c.L2.Ways * cache.LineBytes
+	}
+	d := float64(divisor)
+	c.CPU.MaxPowerW /= d
+	c.CPU.IdlePowerW /= d
+	c.DRAM.BackgroundPowerW /= d
+	return c
+}
+
+// Machine is one simulated node.
+type Machine struct {
+	cfg  Config
+	Core *cpu.Core
+	Hier *cache.Hierarchy
+	Ctl  *memctrl.Controller
+	OS   *osmodel.OS
+
+	mem        *trace.Memory
+	llcABFT    uint64 // Table 4: LLC misses to ABFT-protected blocks
+	llcOther   uint64
+	tlb        map[uint64]uint64 // tiny page-translation cache
+	curVaddr   uint64            // vaddr of the access currently in flight
+	interrupts uint64
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	m := &Machine{
+		cfg:  cfg,
+		Core: cpu.New(cfg.CPU),
+		tlb:  make(map[uint64]uint64),
+	}
+	mem := dram.New(cfg.DRAM)
+	m.Ctl = memctrl.New(mem, cfg.DefaultScheme)
+	m.OS = osmodel.New(m.Ctl)
+
+	// Wrap the OS interrupt handler to charge the handler cost to the core.
+	osHandler := m.Ctl.OnUncorr
+	m.Ctl.OnUncorr = func(rec memctrl.ErrorRecord) {
+		m.interrupts++
+		m.Core.Advance(InterruptHandlerCycles)
+		osHandler(rec)
+	}
+
+	// TLB shootdown on page remaps (retirement/migration).
+	m.OS.OnRemap = func(vpage uint64) { delete(m.tlb, vpage) }
+
+	m.Hier = cache.NewHierarchy(cfg.L1, cfg.L2, m.handleMiss)
+	m.mem = &trace.Memory{Probe: m.probe, OnOps: m.ops}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Memory returns the instrumentation endpoint kernels write their accesses
+// and operation counts to.
+func (m *Machine) Memory() *trace.Memory { return m.mem }
+
+// ops advances compute time.
+func (m *Machine) ops(n int) { m.Core.Compute(uint64(n)) }
+
+// probe walks one data access through translation and the cache hierarchy.
+func (m *Machine) probe(vaddr uint64, write bool) {
+	paddr, ok := m.translate(vaddr)
+	if !ok {
+		// Accesses outside OS allocations (kernel scratch that was not
+		// allocated through the OS model) are ignored by the platform.
+		return
+	}
+	m.curVaddr = vaddr
+	switch m.Hier.Access(paddr, write) {
+	case cache.LevelL1:
+		m.Core.L1Hit()
+	case cache.LevelL2:
+		m.Core.L2Hit()
+	case cache.LevelMemory:
+		// Timing handled in handleMiss via the MSHR window.
+	}
+}
+
+// handleMiss services the L2 miss stream at the memory controller.
+func (m *Machine) handleMiss(ev cache.MissEvent) {
+	if ev.Demand {
+		if m.OS.Space.IsABFT(m.curVaddr) {
+			m.llcABFT++
+		} else {
+			m.llcOther++
+		}
+		issue := m.Core.BeginMiss()
+		res := m.Ctl.Access(issue, ev.Addr, false, true)
+		m.Core.CompleteMiss(res.Complete)
+		return
+	}
+	// Writebacks occupy banks and consume energy off the critical path.
+	m.Ctl.Access(m.Core.Now(), ev.Addr, ev.Write, false)
+}
+
+func (m *Machine) translate(vaddr uint64) (uint64, bool) {
+	page := vaddr / osmodel.PageSize
+	if frame, ok := m.tlb[page]; ok {
+		return frame + vaddr%osmodel.PageSize, true
+	}
+	paddr, err := m.OS.Translate(vaddr)
+	if err != nil {
+		return 0, false
+	}
+	m.tlb[page] = paddr - vaddr%osmodel.PageSize
+	return paddr, true
+}
+
+// FlushCaches writes back all dirty lines and empties the hierarchy, so
+// subsequent reads observe memory contents (used between program phases and
+// by fault-injection campaigns: a DRAM error is only visible on a fetch).
+func (m *Machine) FlushCaches() {
+	m.Hier.Flush()
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Cycles       uint64
+	Seconds      float64
+	Instructions uint64
+	IPC          float64
+
+	ProcEnergyJ   float64
+	MemDynamicJ   float64
+	MemStandbyJ   float64
+	SystemEnergyJ float64
+
+	LLCMissABFT  uint64
+	LLCMissOther uint64
+	RowHitRate   float64
+	Interrupts   uint64
+	ECC          memctrl.Stats
+	OS           osmodel.Stats
+}
+
+// MemEnergyJ returns total memory energy.
+func (r Result) MemEnergyJ() float64 { return r.MemDynamicJ + r.MemStandbyJ }
+
+// Finish drains outstanding misses, charges standby energy, and returns the
+// run summary. The machine can keep running afterwards, but energy totals
+// are only consistent at Finish points.
+func (m *Machine) Finish() Result {
+	m.Core.Drain()
+	st := m.Ctl.Mem.Finalize(m.Core.Now(), m.cfg.CPU.ClockHz)
+	r := Result{
+		Cycles:       m.Core.Now(),
+		Seconds:      m.Core.Seconds(),
+		Instructions: m.Core.Instructions(),
+		IPC:          m.Core.IPC(),
+		ProcEnergyJ:  m.Core.EnergyJ(),
+		MemDynamicJ:  st.DynamicEnergyJ + m.Ctl.Stats().ECCEnergyJ,
+		MemStandbyJ:  st.StandbyEnergyJ,
+		LLCMissABFT:  m.llcABFT,
+		LLCMissOther: m.llcOther,
+		RowHitRate:   st.RowHitRate(),
+		Interrupts:   m.interrupts,
+		ECC:          m.Ctl.Stats(),
+		OS:           m.OS.Stats(),
+	}
+	r.SystemEnergyJ = r.ProcEnergyJ + r.MemDynamicJ + r.MemStandbyJ
+	return r
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("machine.Result{%.3g s, IPC %.3f, proc %.3g J, mem %.3g J (dyn %.3g), llc abft/other %d/%d}",
+		r.Seconds, r.IPC, r.ProcEnergyJ, r.MemEnergyJ(), r.MemDynamicJ, r.LLCMissABFT, r.LLCMissOther)
+}

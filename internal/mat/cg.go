@@ -1,0 +1,63 @@
+package mat
+
+import "errors"
+
+// ErrNoConvergence is returned when an iterative method exhausts its
+// iteration budget without meeting its tolerance.
+var ErrNoConvergence = errors.New("mat: iteration limit reached without convergence")
+
+// CGResult reports the outcome of a conjugate gradient solve.
+type CGResult struct {
+	X          []float64 // solution estimate
+	Iterations int
+	Residual   float64 // final ‖b − A·x‖₂
+}
+
+// CG solves a·x = b for SPD a with Jacobi-preconditioned conjugate gradient
+// (Figure 1 of the paper, with M = diag(A)). It iterates until
+// ‖r‖₂ ≤ tol·‖b‖₂ or maxIter iterations.
+func CG(a *Matrix, b []float64, tol float64, maxIter int) (CGResult, error) {
+	n := a.Rows
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b) // r⁰ = b − A·0 = b
+	minv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		minv[i] = 1 / a.At(i, i)
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = minv[i] * r[i]
+	}
+	p := make([]float64, n)
+	copy(p, z)
+	rho := Dot(r, z)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	if Norm2(r) <= tol*bnorm {
+		return CGResult{X: x, Iterations: 0, Residual: Norm2(r)}, nil
+	}
+	q := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		MulVecInto(q, a, p)
+		alpha := rho / Dot(p, q)
+		Axpy(alpha, p, x)
+		Axpy(-alpha, q, r)
+		res := Norm2(r)
+		if res <= tol*bnorm {
+			return CGResult{X: x, Iterations: it + 1, Residual: res}, nil
+		}
+		for i := range z {
+			z[i] = minv[i] * r[i]
+		}
+		rhoNext := Dot(r, z)
+		beta := rhoNext / rho
+		rho = rhoNext
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return CGResult{X: x, Iterations: maxIter, Residual: Norm2(r)}, ErrNoConvergence
+}

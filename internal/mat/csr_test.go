@@ -1,0 +1,84 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoisson2DStructure(t *testing.T) {
+	a := Poisson2D(3, 3)
+	if a.N != 9 {
+		t.Fatalf("N = %d", a.N)
+	}
+	// Interior point (1,1) = row 4 has 5 entries; corner row 0 has 3.
+	if got := a.RowPtr[5] - a.RowPtr[4]; got != 5 {
+		t.Errorf("interior row nnz = %d", got)
+	}
+	if got := a.RowPtr[1] - a.RowPtr[0]; got != 3 {
+		t.Errorf("corner row nnz = %d", got)
+	}
+	d := a.Diag()
+	for i, v := range d {
+		if v != 4 {
+			t.Errorf("diag[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestPoisson2DSymmetricSPD(t *testing.T) {
+	a := Poisson2D(4, 5).Dense()
+	if !Equal(a, a.Transpose(), 0) {
+		t.Error("Poisson2D not symmetric")
+	}
+	l := a.Clone()
+	if err := Cholesky(l); err != nil {
+		t.Errorf("Poisson2D not SPD: %v", err)
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	a := Poisson2D(5, 4)
+	d := a.Dense()
+	x := RandomVec(a.N, 3)
+	y := make([]float64, a.N)
+	a.MulVecInto(y, x)
+	want := MulVec(d, x)
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestCSRRowDot(t *testing.T) {
+	a := Poisson2D(4, 4)
+	x := RandomVec(a.N, 9)
+	y := make([]float64, a.N)
+	a.MulVecInto(y, x)
+	for i := 0; i < a.N; i++ {
+		if math.Abs(a.RowDot(i, x)-y[i]) > 1e-12 {
+			t.Fatalf("RowDot(%d) mismatch", i)
+		}
+	}
+}
+
+func TestCSRMulVecShapePanics(t *testing.T) {
+	a := Poisson2D(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a.MulVecInto(make([]float64, 4), make([]float64, 3))
+}
+
+func TestCSRColumnsSorted(t *testing.T) {
+	a := Poisson2D(6, 7)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i] + 1; k < a.RowPtr[i+1]; k++ {
+			if a.Col[k] <= a.Col[k-1] {
+				t.Fatalf("row %d columns unsorted", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package mat
+
+import "fmt"
+
+// gemmBlock is the cache-blocking factor for MulInto. 64 float64 = one 4KB
+// tile per operand pair at 64×64, comfortably inside the modeled L1.
+const gemmBlock = 64
+
+// Mul returns a×b as a new matrix.
+func Mul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	MulInto(c, a, b)
+	return c
+}
+
+// MulInto computes c = a×b. c must not alias a or b.
+func MulInto(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulInto shape mismatch: c %dx%d = a %dx%d × b %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c.Zero()
+	MulAddInto(c, a, b)
+}
+
+// MulAddInto computes c += a×b with i-k-j loop order blocked for locality.
+func MulAddInto(c, a, b *Matrix) {
+	n, k, m := a.Rows, a.Cols, b.Cols
+	for ii := 0; ii < n; ii += gemmBlock {
+		iMax := min(ii+gemmBlock, n)
+		for kk := 0; kk < k; kk += gemmBlock {
+			kMax := min(kk+gemmBlock, k)
+			for jj := 0; jj < m; jj += gemmBlock {
+				jMax := min(jj+gemmBlock, m)
+				for i := ii; i < iMax; i++ {
+					crow := c.Data[i*c.Stride : i*c.Stride+m]
+					arow := a.Data[i*a.Stride : i*a.Stride+k]
+					for p := kk; p < kMax; p++ {
+						av := arow[p]
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[p*b.Stride : p*b.Stride+m]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// MulVec returns a·x for an a.Rows-length result.
+func MulVec(a *Matrix, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	MulVecInto(y, a, x)
+	return y
+}
+
+// MulVecInto computes y = a·x.
+func MulVecInto(y []float64, a *Matrix, x []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("mat: MulVecInto shape mismatch: y[%d] = a %dx%d · x[%d]",
+			len(y), a.Rows, a.Cols, len(x)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+// Package mat provides the dense linear algebra substrate used by the ABFT
+// kernels: a row-major float64 matrix type, blocked matrix multiplication,
+// Cholesky factorization, LU factorization with partial pivoting, triangular
+// solves, and the vector operations needed by conjugate gradient.
+//
+// It is written from scratch (no external BLAS) because the ABFT algorithms
+// in this repository need to interleave checksum maintenance and verification
+// with the factorization steps, and because the simulator needs to observe
+// every element access through probe hooks (see package trace).
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	// Stride is the distance in elements between vertically adjacent
+	// elements. For a freshly allocated matrix Stride == Cols; views share
+	// the parent's stride.
+	Stride int
+	Data   []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (row-major, len r*c) in a Matrix without copying.
+func FromSlice(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice: len(data)=%d, want %d", len(data), r*c))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: c, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// Add adds v to the element at row i, column j.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Stride+j] += v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+// View returns an r×c submatrix starting at (i, j) sharing storage with m.
+func (m *Matrix) View(i, j, r, c int) *Matrix {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("mat: View(%d,%d,%d,%d) out of bounds for %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Matrix{Rows: r, Cols: c, Stride: m.Stride}
+	}
+	off := i*m.Stride + j
+	end := (i+r-1)*m.Stride + j + c
+	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off:end]}
+}
+
+// Clone returns a deep copy of m with a compact stride.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: CopyFrom dimension mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same shape and elements within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if math.Abs(a.At(i, j)-b.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute value in m (0 for an empty matrix).
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			if a := math.Abs(v); a > max {
+				max = a
+			}
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 400 {
+		return fmt.Sprintf("Matrix{%dx%d}", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%10.4g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// SymmetricPositiveDefinite builds a well-conditioned SPD n×n matrix
+// deterministically from seed: A = B Bᵀ + n·I with B pseudo-random in [0,1).
+func SymmetricPositiveDefinite(n int, seed uint64) *Matrix {
+	b := Random(n, n, seed)
+	a := New(n, n)
+	MulInto(a, b, b.Transpose())
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+// Random returns an r×c matrix with deterministic pseudo-random entries in
+// [0, 1), generated from seed with a SplitMix64 stream.
+func Random(r, c int, seed uint64) *Matrix {
+	m := New(r, c)
+	s := seed
+	for i := range m.Data {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		m.Data[i] = float64(z>>11) / float64(1<<53)
+	}
+	return m
+}
+
+// DiagonallyDominant builds a nonsingular n×n matrix suitable for LU with
+// partial pivoting: random entries with the diagonal boosted by n.
+func DiagonallyDominant(n int, seed uint64) *Matrix {
+	m := Random(n, n, seed)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, float64(n))
+	}
+	return m
+}

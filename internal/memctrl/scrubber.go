@@ -1,0 +1,90 @@
+package memctrl
+
+// Scrubber is the patrol scrubber common in chipkill-class servers: it
+// walks physical memory in the background, demand-checking each line's ECC
+// so latent errors are found (and single errors corrected) before they can
+// accumulate into uncorrectable multi-bit patterns. The paper's ASE
+// configuration implicitly relies on this behavior — Case 1 errors are
+// corrected "before the application consumes them" — and the threshold
+// experiments use it to model that path explicitly.
+type Scrubber struct {
+	Ctl *Controller
+	// LinesPerPass bounds one Scrub invocation (a patrol interval's worth
+	// of traffic).
+	LinesPerPass int
+
+	cursor  uint64
+	regions []Region // physical ranges to patrol
+
+	// Stats
+	LinesScrubbed uint64
+	Passes        uint64
+}
+
+// NewScrubber builds a scrubber over the controller, patrolling the given
+// physical ranges (typically the node's allocated frames).
+func NewScrubber(ctl *Controller, linesPerPass int) *Scrubber {
+	return &Scrubber{Ctl: ctl, LinesPerPass: linesPerPass}
+}
+
+// AddRange registers a physical range for patrol.
+func (s *Scrubber) AddRange(base, size uint64) {
+	s.regions = append(s.regions, Region{Base: base &^ 63, Size: (size + 63) &^ 63, valid: true})
+}
+
+// lines returns the total patrolled line count.
+func (s *Scrubber) lines() uint64 {
+	var n uint64
+	for _, r := range s.regions {
+		n += r.Size / 64
+	}
+	return n
+}
+
+// lineAt maps a patrol cursor position to a physical line address.
+func (s *Scrubber) lineAt(idx uint64) uint64 {
+	for _, r := range s.regions {
+		n := r.Size / 64
+		if idx < n {
+			return r.Base + idx*64
+		}
+		idx -= n
+	}
+	return 0
+}
+
+// Scrub advances the patrol by LinesPerPass lines at the given cycle,
+// demand-reading each so the controller's ECC path runs. Returns how many
+// faulty lines were encountered this pass.
+func (s *Scrubber) Scrub(now uint64) int {
+	total := s.lines()
+	if total == 0 || s.LinesPerPass <= 0 {
+		return 0
+	}
+	found := 0
+	for i := 0; i < s.LinesPerPass; i++ {
+		addr := s.lineAt(s.cursor % total)
+		s.cursor++
+		if _, ok := s.Ctl.faults[addr]; ok {
+			found++
+		}
+		s.Ctl.Access(now, addr, false, true)
+		s.LinesScrubbed++
+		if s.cursor%total == 0 {
+			s.Passes++
+		}
+	}
+	return found
+}
+
+// ScrubAll patrols every registered line once (a full pass).
+func (s *Scrubber) ScrubAll(now uint64) int {
+	total := s.lines()
+	if total == 0 {
+		return 0
+	}
+	saved := s.LinesPerPass
+	s.LinesPerPass = int(total)
+	defer func() { s.LinesPerPass = saved }()
+	return s.Scrub(now)
+}

@@ -1,0 +1,306 @@
+package osmodel
+
+import (
+	"testing"
+
+	"coopabft/internal/dram"
+	"coopabft/internal/ecc"
+	"coopabft/internal/memctrl"
+)
+
+func newOS(def ecc.Scheme) *OS {
+	return New(memctrl.New(dram.New(dram.DefaultConfig()), def))
+}
+
+func TestMallocAndTranslate(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	a := o.Malloc("x", 10000)
+	p, err := o.Translate(a.VBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < physBase {
+		t.Errorf("physical address %#x below physBase", p)
+	}
+	// Round trip.
+	v, err := o.PhysToVirt(p + 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != a.VBase()+123 {
+		t.Errorf("round trip = %#x, want %#x", v, a.VBase()+123)
+	}
+	// Offsets within a page are preserved.
+	p2, _ := o.Translate(a.VBase() + PageSize + 77)
+	if p2 != p+PageSize+77 {
+		t.Errorf("contiguity broken: %#x vs %#x", p2, p+PageSize+77)
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	if _, err := o.Translate(0x123456789); err != ErrNotMapped {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := o.PhysToVirt(0x50); err != ErrNotMapped {
+		t.Errorf("PhysToVirt below physBase err = %v", err)
+	}
+	if _, err := o.PhysToVirt(physBase + 1<<30); err != ErrNotMapped {
+		t.Errorf("PhysToVirt unmapped frame err = %v", err)
+	}
+}
+
+func TestMallocECCProgramsController(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	a, err := o.MallocECC("matrixC", 3*PageSize, ecc.None, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := o.Translate(a.VBase())
+	if s := o.Ctl.SchemeFor(p); s != ecc.None {
+		t.Errorf("scheme at phys base = %v, want none", s)
+	}
+	pEnd, _ := o.Translate(a.VBase() + a.Region.Size - 1)
+	if s := o.Ctl.SchemeFor(pEnd); s != ecc.None {
+		t.Errorf("scheme at phys end = %v", s)
+	}
+	if s := o.Ctl.SchemeFor(pEnd + 1); s != ecc.Chipkill {
+		t.Errorf("scheme past region = %v", s)
+	}
+	if !a.Region.ABFT {
+		t.Error("ABFT tag lost")
+	}
+}
+
+func TestAssignECC(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	a, _ := o.MallocECC("m", PageSize, ecc.None, true)
+	o.AssignECC(a, ecc.SECDED)
+	p, _ := o.Translate(a.VBase())
+	if s := o.Ctl.SchemeFor(p); s != ecc.SECDED {
+		t.Errorf("after assign_ecc: %v", s)
+	}
+	if a.Scheme != ecc.SECDED {
+		t.Error("allocation scheme not updated")
+	}
+}
+
+func TestAssignECCOnPlainMallocPanics(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	a := o.Malloc("m", PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	o.AssignECC(a, ecc.None)
+}
+
+func TestFreeECCReleasesRegister(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	// Alternate schemes so adjacent allocations cannot merge registers.
+	scheme := func(i int) ecc.Scheme {
+		if i%2 == 0 {
+			return ecc.None
+		}
+		return ecc.SECDED
+	}
+	var allocs []*Allocation
+	for i := 0; i < memctrl.NumRegions; i++ {
+		a, err := o.MallocECC("m", PageSize, scheme(i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs = append(allocs, a)
+	}
+	if _, err := o.MallocECC("overflow", PageSize, scheme(memctrl.NumRegions), true); err == nil {
+		t.Fatal("expected register exhaustion")
+	}
+	o.FreeECC(allocs[0])
+	if _, err := o.MallocECC("again", PageSize, ecc.SECDED, true); err != nil {
+		t.Errorf("after free: %v", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	a, _ := o.MallocECC("m", PageSize, ecc.None, true)
+	o.FreeECC(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double free")
+		}
+	}()
+	o.FreeECC(a)
+}
+
+func TestInterruptExposesABFTData(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	// ABFT data under SECDED: a double-bit error is uncorrectable and must
+	// be exposed to ABFT, not panic.
+	a, _ := o.MallocECC("matrixA", 4*PageSize, ecc.SECDED, true)
+	vaddr := a.VBase() + 256
+	var p memctrl.Pattern
+	p.Data[0] = 0x03
+	if err := o.InjectAt(vaddr, p); err != nil {
+		t.Fatal(err)
+	}
+	paddr, _ := o.Translate(vaddr)
+	o.Ctl.Access(0, paddr, false, true)
+
+	if o.Panicked() {
+		t.Fatal("panicked on ABFT-protected data")
+	}
+	pend := o.PendingCorruptions()
+	if len(pend) != 1 {
+		t.Fatalf("pending = %d", len(pend))
+	}
+	if pend[0].Alloc != a {
+		t.Error("wrong allocation attributed")
+	}
+	if pend[0].VirtAddr != vaddr&^63 {
+		t.Errorf("virt addr = %#x, want line of %#x", pend[0].VirtAddr, vaddr)
+	}
+	// Drained.
+	if len(o.PendingCorruptions()) != 0 {
+		t.Error("pending not drained")
+	}
+	st := o.Stats()
+	if st.Interrupts != 1 || st.ExposedToABFT != 1 || st.Panics != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInterruptPanicsOnUnprotectedData(t *testing.T) {
+	o := newOS(ecc.SECDED)
+	a := o.Malloc("osdata", 4*PageSize)
+	vaddr := a.VBase()
+	var p memctrl.Pattern
+	p.Data[0] = 0x03
+	if err := o.InjectAt(vaddr, p); err != nil {
+		t.Fatal(err)
+	}
+	paddr, _ := o.Translate(vaddr)
+	o.Ctl.Access(0, paddr, false, true)
+	if !o.Panicked() {
+		t.Fatal("did not panic on unprotected data")
+	}
+	if len(o.PanicRecords()) != 1 {
+		t.Errorf("panic records = %d", len(o.PanicRecords()))
+	}
+	o.ClearPanic()
+	if o.Panicked() {
+		t.Error("ClearPanic failed")
+	}
+}
+
+func TestClearFaultAt(t *testing.T) {
+	o := newOS(ecc.SECDED)
+	a, _ := o.MallocECC("m", PageSize, ecc.None, true)
+	var p memctrl.Pattern
+	p.Data[0] = 0xff
+	if err := o.InjectAt(a.VBase(), p); err != nil {
+		t.Fatal(err)
+	}
+	if o.Ctl.FaultyLines() != 1 {
+		t.Fatal("injection failed")
+	}
+	if err := o.ClearFaultAt(a.VBase() + 5); err != nil {
+		t.Fatal(err)
+	}
+	if o.Ctl.FaultyLines() != 0 {
+		t.Error("fault not cleared")
+	}
+}
+
+func TestAllocationAt(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	a := o.Malloc("one", PageSize)
+	b := o.Malloc("two", PageSize)
+	if got, ok := o.AllocationAt(b.VBase()); !ok || got != b {
+		t.Error("AllocationAt wrong")
+	}
+	if got, ok := o.AllocationAt(a.VBase() + 100); !ok || got != a {
+		t.Error("AllocationAt wrong for offset")
+	}
+	if _, ok := o.AllocationAt(0); ok {
+		t.Error("AllocationAt(0) should fail")
+	}
+}
+
+func TestPeekDoesNotDrain(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	a, _ := o.MallocECC("m", PageSize, ecc.SECDED, true)
+	var p memctrl.Pattern
+	p.Data[0] = 0x03
+	o.InjectAt(a.VBase(), p)
+	paddr, _ := o.Translate(a.VBase())
+	o.Ctl.Access(0, paddr, false, true)
+	if len(o.PeekCorruptions()) != 1 {
+		t.Fatal("peek empty")
+	}
+	if len(o.PeekCorruptions()) != 1 {
+		t.Error("peek drained the list")
+	}
+}
+
+func TestMallocECCMergesAdjacentSameScheme(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	// Seven consecutive same-scheme allocations must share one register.
+	var allocs []*Allocation
+	for i := 0; i < 7; i++ {
+		a, err := o.MallocECC("vec", PageSize, ecc.None, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs = append(allocs, a)
+	}
+	if got := len(o.Ctl.Regions()); got != 1 {
+		t.Fatalf("regions = %d, want 1 (merged)", got)
+	}
+	// All addresses resolve to the relaxed scheme.
+	for _, a := range allocs {
+		p, _ := o.Translate(a.VBase())
+		if o.Ctl.SchemeFor(p) != ecc.None {
+			t.Fatalf("merged region lost scheme at %q", a.Name)
+		}
+	}
+	// Register only released when every sharer is freed.
+	for i, a := range allocs {
+		o.FreeECC(a)
+		want := 1
+		if i == len(allocs)-1 {
+			want = 0
+		}
+		if got := len(o.Ctl.Regions()); got != want {
+			t.Fatalf("after %d frees regions = %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestMallocECCNoMergeAcrossSchemes(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	if _, err := o.MallocECC("a", PageSize, ecc.None, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.MallocECC("b", PageSize, ecc.SECDED, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Ctl.Regions()); got != 2 {
+		t.Fatalf("regions = %d, want 2", got)
+	}
+}
+
+func TestMallocECCNoMergeAcrossGaps(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	if _, err := o.MallocECC("a", PageSize, ecc.None, true); err != nil {
+		t.Fatal(err)
+	}
+	o.Malloc("gap", PageSize) // plain allocation breaks physical adjacency
+	if _, err := o.MallocECC("b", PageSize, ecc.None, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Ctl.Regions()); got != 2 {
+		t.Fatalf("regions = %d, want 2 (gap must prevent merge)", got)
+	}
+}

@@ -1,0 +1,174 @@
+package osmodel
+
+import (
+	"testing"
+
+	"coopabft/internal/ecc"
+	"coopabft/internal/memctrl"
+)
+
+// hitFrame plants an uncorrectable error on vaddr's line and demand-reads
+// it, driving one interrupt.
+func hitFrame(t *testing.T, o *OS, vaddr uint64) {
+	t.Helper()
+	var p memctrl.Pattern
+	p.Data[0] = 0x03
+	if err := o.InjectAt(vaddr, p); err != nil {
+		t.Fatal(err)
+	}
+	paddr, err := o.Translate(vaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Ctl.Access(0, paddr, false, true)
+	// ABFT "repairs" it so the next hit is a fresh event.
+	if err := o.ClearFaultAt(vaddr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRetiredAfterThreshold(t *testing.T) {
+	o := newOS(ecc.SECDED)
+	a, err := o.MallocECC("m", 2*PageSize, ecc.SECDED, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vaddr := a.VBase() + 100
+	oldP, _ := o.Translate(vaddr)
+
+	for i := 0; i < DefaultRetireThreshold-1; i++ {
+		hitFrame(t, o, vaddr)
+		if o.Stats().PagesRetired != 0 {
+			t.Fatalf("retired after %d events", i+1)
+		}
+	}
+	hitFrame(t, o, vaddr)
+	if o.Stats().PagesRetired != 1 {
+		t.Fatalf("not retired after %d events", DefaultRetireThreshold)
+	}
+	newP, err := o.Translate(vaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newP == oldP {
+		t.Error("translation unchanged after retirement")
+	}
+	// Old frame no longer reverse-maps.
+	if _, err := o.PhysToVirt(oldP); err == nil {
+		t.Error("retired frame still mapped")
+	}
+	// New frame round-trips.
+	if v, err := o.PhysToVirt(newP); err != nil || v != vaddr {
+		t.Errorf("new frame round trip: %#x, %v", v, err)
+	}
+	// The second page of the allocation is untouched.
+	p2, _ := o.Translate(a.VBase() + PageSize)
+	if p2 == newP {
+		t.Error("wrong page remapped")
+	}
+	log := o.Retirements()
+	if len(log) != 1 || log[0].VPage != vaddr/PageSize {
+		t.Errorf("retirement log = %+v", log)
+	}
+	if len(o.RetiredFrames()) != 1 {
+		t.Errorf("retired frames = %v", o.RetiredFrames())
+	}
+}
+
+func TestRetirementPreservesRelaxedScheme(t *testing.T) {
+	o := newOS(ecc.Chipkill)
+	a, err := o.MallocECC("abft", PageSize, ecc.None, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No-ECC regions never interrupt; simulate the hard fault by calling
+	// the retirement bookkeeping through SECDED-protected hits after
+	// switching the scheme temporarily... simpler: use SECDED from the
+	// start and check scheme preservation for a non-default scheme.
+	o2 := newOS(ecc.Chipkill)
+	b, err := o2.MallocECC("abft", PageSize, ecc.SECDED, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vaddr := b.VBase()
+	for i := 0; i < DefaultRetireThreshold; i++ {
+		hitFrame(t, o2, vaddr)
+	}
+	if o2.Stats().PagesRetired != 1 {
+		t.Fatal("not retired")
+	}
+	newP, _ := o2.Translate(vaddr)
+	if s := o2.Ctl.SchemeFor(newP); s != ecc.SECDED {
+		t.Errorf("scheme after migration = %v, want SECDED", s)
+	}
+	_ = a
+}
+
+func TestRetirementMigratesResidualFaults(t *testing.T) {
+	o := newOS(ecc.SECDED)
+	a, err := o.MallocECC("m", PageSize, ecc.SECDED, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vaddr := a.VBase()
+	// Two clean hits...
+	hitFrame(t, o, vaddr)
+	hitFrame(t, o, vaddr)
+	// ...then a third whose pattern is NOT cleared before retirement.
+	var p memctrl.Pattern
+	p.Data[0] = 0x03
+	if err := o.InjectAt(vaddr+128, p); err != nil {
+		t.Fatal(err)
+	}
+	paddr, _ := o.Translate(vaddr + 128)
+	o.Ctl.Access(0, paddr, false, true) // third event → retire, fault moves
+	if o.Stats().PagesRetired != 1 {
+		t.Fatal("not retired")
+	}
+	if got := o.Retirements()[0].MovedFaults; got != 1 {
+		t.Errorf("moved faults = %d, want 1", got)
+	}
+	// The corruption is still observable at the same VIRTUAL address
+	// through the new frame.
+	newP, _ := o.Translate(vaddr + 128)
+	before := o.Ctl.Stats().UncorrectableErrors
+	o.Ctl.Access(0, newP, false, true)
+	if o.Ctl.Stats().UncorrectableErrors != before+1 {
+		t.Error("migrated fault not observable at the new frame")
+	}
+}
+
+func TestRetirementDisabled(t *testing.T) {
+	o := newOS(ecc.SECDED)
+	o.RetireThreshold = 0
+	a, _ := o.MallocECC("m", PageSize, ecc.SECDED, true)
+	for i := 0; i < 10; i++ {
+		hitFrame(t, o, a.VBase())
+	}
+	if o.Stats().PagesRetired != 0 {
+		t.Error("retirement fired while disabled")
+	}
+}
+
+func TestMoveFaultAndFaultsInRange(t *testing.T) {
+	o := newOS(ecc.SECDED)
+	var p memctrl.Pattern
+	p.Data[0] = 0xff
+	o.Ctl.InjectFault(1<<41, p)
+	o.Ctl.InjectFault(1<<41+64, p)
+	got := o.Ctl.FaultsInRange(1<<41, 4096)
+	if len(got) != 2 {
+		t.Fatalf("FaultsInRange = %v", got)
+	}
+	if len(o.Ctl.FaultsInRange(1<<41+64, 4096)) != 1 {
+		t.Error("range filter wrong")
+	}
+	o.Ctl.MoveFault(1<<41, 1<<42)
+	if len(o.Ctl.FaultsInRange(1<<42, 64)) != 1 {
+		t.Error("MoveFault lost the pattern")
+	}
+	if len(o.Ctl.FaultsInRange(1<<41, 64)) != 0 {
+		t.Error("MoveFault left the old pattern")
+	}
+	o.Ctl.MoveFault(1<<20, 1<<21) // moving a clean line is a no-op
+}

@@ -1,0 +1,220 @@
+package resilience
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coopabft/internal/ecc"
+)
+
+func TestSingleBitAlwaysCorrected(t *testing.T) {
+	for _, s := range []ecc.Scheme{ecc.SECDED, ecc.Chipkill} {
+		o := RunCampaign(s, SingleBit, 500, 1)
+		if o.Corrected != o.Trials {
+			t.Errorf("%v: single-bit corrected %d/%d", s, o.Corrected, o.Trials)
+		}
+	}
+}
+
+func TestDoubleBitSplit(t *testing.T) {
+	// SECDED: all double-bit-per-word errors detected, never miscorrected.
+	o := RunCampaign(ecc.SECDED, DoubleBitWord, 500, 2)
+	if o.Detected != o.Trials {
+		t.Errorf("SECDED double-bit: %+v", o)
+	}
+	// Chipkill: two bits within one symbol are corrected, across symbols
+	// (same codeword) detected — never silent.
+	o = RunCampaign(ecc.Chipkill, DoubleBitWord, 500, 3)
+	if o.Miscorrected != 0 {
+		t.Errorf("chipkill double-bit miscorrects: %+v", o)
+	}
+	if o.Corrected == 0 || o.Detected == 0 {
+		t.Errorf("chipkill double-bit should split corrected/detected: %+v", o)
+	}
+	if o.Corrected+o.Detected != o.Trials {
+		t.Errorf("chipkill double-bit unaccounted: %+v", o)
+	}
+}
+
+func TestChipSymbolShowsChipkillAdvantage(t *testing.T) {
+	ck := RunCampaign(ecc.Chipkill, ChipSymbol, 500, 4)
+	if ck.Corrected != ck.Trials {
+		t.Errorf("chipkill should correct every chip failure: %+v", ck)
+	}
+	sd := RunCampaign(ecc.SECDED, ChipSymbol, 500, 4)
+	if sd.Corrected == sd.Trials {
+		t.Error("SECDED should not correct every chip failure")
+	}
+	// SECDED on multi-bit symbols: mostly detected, some single-bit symbols
+	// corrected, odd-weight wide patterns occasionally miscorrected — but
+	// detection must dominate.
+	if sd.Detected <= sd.Trials/2 {
+		t.Errorf("SECDED chip-symbol detection too low: %+v", sd)
+	}
+}
+
+func TestTwoSymbolsBeyondBoth(t *testing.T) {
+	ck := RunCampaign(ecc.Chipkill, TwoSymbols, 500, 5)
+	if ck.Corrected != 0 {
+		t.Errorf("chipkill corrected a two-symbol error: %+v", ck)
+	}
+	if ck.Detected != ck.Trials {
+		t.Errorf("chipkill two-symbol should always detect: %+v", ck)
+	}
+}
+
+func TestNoECCPassthrough(t *testing.T) {
+	o := RunCampaign(ecc.None, Burst64, 100, 6)
+	if o.Passthrough != o.Trials {
+		t.Errorf("no-ECC should pass everything through: %+v", o)
+	}
+}
+
+func TestBurstRatesSane(t *testing.T) {
+	sd := RunCampaign(ecc.SECDED, Burst64, 1000, 7)
+	ck := RunCampaign(ecc.Chipkill, Burst64, 1000, 7)
+	for _, o := range []Outcome{sd, ck} {
+		if o.Corrected+o.Detected+o.Miscorrected+o.Passthrough != o.Trials {
+			t.Errorf("outcomes don't sum: %+v", o)
+		}
+		if o.Rate(o.Detected) < 0.5 {
+			t.Errorf("burst detection rate %.2f too low: %+v", o.Rate(o.Detected), o)
+		}
+	}
+	// SECDED genuinely miscorrects a sizable share of wide bursts (odd-
+	// weight syndromes alias to single-bit corrections) — one of chipkill's
+	// raisons d'être. Chipkill's 4-syndrome consistency check makes its
+	// burst miscorrection essentially zero.
+	if r := sd.Rate(sd.Miscorrected); r < 0.05 || r > 0.40 {
+		t.Errorf("SECDED burst miscorrection rate %.2f outside the expected band", r)
+	}
+	if r := ck.Rate(ck.Miscorrected); r > 0.01 {
+		t.Errorf("chipkill burst miscorrection rate %.3f should be ≈0", r)
+	}
+	// Bursts confined to one symbol are corrected by chipkill only.
+	if ck.Corrected == 0 {
+		t.Error("chipkill corrected no bursts (2-byte bursts within a symbol exist)")
+	}
+}
+
+func TestClassifyCasesStructure(t *testing.T) {
+	rows := ClassifyCases(ecc.Chipkill, 300, 8)
+	if len(rows) != len(Families) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		sum := r.Case1Rate + r.Case2Rate + r.Case3Rate + r.Case4Rate + r.SilentSDC
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%v: case rates sum to %v", r.Family, sum)
+		}
+		// With single-line patterns ABFT corrects everything: the paper's
+		// "Case 3 may be rare" is exactly 0 here.
+		if r.Case3Rate != 0 || r.Case4Rate != 0 {
+			t.Errorf("%v: unexpected case3/case4: %+v", r.Family, r)
+		}
+	}
+	// Chip failures under chipkill are pure Case 1.
+	for _, r := range rows {
+		if r.Family == ChipSymbol && r.Case1Rate != 1 {
+			t.Errorf("chip-symbol under chipkill case1 = %v", r.Case1Rate)
+		}
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	var b bytes.Buffer
+	Render(&b, ClassifyCases(ecc.SECDED, 100, 9))
+	out := b.String()
+	for _, want := range []string{"case1", "silent SDC", "single-bit", "byte-burst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestDeterministicCampaigns(t *testing.T) {
+	a := RunCampaign(ecc.SECDED, Burst64, 200, 11)
+	b := RunCampaign(ecc.SECDED, Burst64, 200, 11)
+	if a != b {
+		t.Error("campaign not deterministic for equal seeds")
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	for _, f := range Families {
+		if strings.Contains(f.String(), "PatternFamily") {
+			t.Errorf("family %d missing name", f)
+		}
+	}
+	if PatternFamily(99).String() != "PatternFamily(99)" {
+		t.Error("unknown family string")
+	}
+}
+
+func TestCapabilityCurveDGEMM(t *testing.T) {
+	pts := CapabilityCurve(KernelDGEMM, 20, []int{1, 2, 8}, 12, 1)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Single errors are always repaired.
+	if pts[0].RepairRate() != 1 {
+		t.Errorf("k=1 repair rate = %v", pts[0].RepairRate())
+	}
+	// No silent wrong answers anywhere: failures must be honest refusals.
+	for _, p := range pts {
+		if p.SilentWrong != 0 {
+			t.Errorf("k=%d: %d silent wrong results", p.Errors, p.SilentWrong)
+		}
+		if p.Repaired+p.Detected+p.SilentWrong != p.Trials {
+			t.Errorf("k=%d: outcomes don't sum", p.Errors)
+		}
+	}
+	// Repair rate is non-increasing in the error count.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RepairRate() > pts[i-1].RepairRate() {
+			t.Errorf("repair rate increased: %+v", pts)
+		}
+	}
+}
+
+func TestCapabilitySingleErrorAllKernels(t *testing.T) {
+	for _, k := range CapabilityKernels {
+		pts := CapabilityCurve(k, 16, []int{1}, 8, 2)
+		if pts[0].RepairRate() != 1 {
+			t.Errorf("%v: single-error repair rate = %v (detected %d, wrong %d)",
+				k, pts[0].RepairRate(), pts[0].Detected, pts[0].SilentWrong)
+		}
+	}
+}
+
+func TestCapabilityCGMultiError(t *testing.T) {
+	// CG's invariant recovery rebuilds the whole state: even several
+	// simultaneous errors are healed by one restart.
+	pts := CapabilityCurve(KernelCG, 0, []int{4}, 6, 3)
+	if pts[0].RepairRate() != 1 {
+		t.Errorf("CG 4-error repair rate = %v", pts[0].RepairRate())
+	}
+}
+
+func TestRenderCapability(t *testing.T) {
+	var b bytes.Buffer
+	RenderCapability(&b, [][]CapabilityPoint{
+		CapabilityCurve(KernelDGEMM, 16, []int{1, 2}, 4, 4),
+	})
+	if !strings.Contains(b.String(), "FT-DGEMM") {
+		t.Error("render missing kernel name")
+	}
+}
+
+func TestNoSilentWrongAcrossAllKernels(t *testing.T) {
+	// The post-repair re-verification guarantee: ABFT either repairs or
+	// honestly refuses — it never silently produces a wrong result.
+	for _, k := range CapabilityKernels {
+		for _, p := range CapabilityCurve(k, 20, []int{2, 4, 8}, 10, 9) {
+			if p.SilentWrong != 0 {
+				t.Errorf("%v k=%d: %d silent wrong results", k, p.Errors, p.SilentWrong)
+			}
+		}
+	}
+}

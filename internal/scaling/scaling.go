@@ -1,0 +1,211 @@
+// Package scaling implements the §5.2 scaling methodology behind Figures 8
+// and 9: per-process energy deltas and ABFT recovery costs are measured on
+// the single-node simulator, then extrapolated to large process counts with
+// the fault models of §4 and a parallel-efficiency model in the spirit of
+// [5, 37]. FT-CG is the studied kernel because its recovery is the most
+// expensive of the four ABFT algorithms.
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"coopabft/internal/core"
+	"coopabft/internal/faultmodel"
+	"coopabft/internal/machine"
+)
+
+// Config controls a study.
+type Config struct {
+	// Machine is the per-node platform configuration.
+	Machine machine.Config
+	// GridX/GridY size the per-process CG problem (weak scaling) or the
+	// base per-process problem (strong scaling).
+	GridX, GridY int
+	// Iterations fixes the number of CG iterations simulated per process.
+	Iterations int
+	// EffLogCoeff parameterizes weak-scaling parallel efficiency
+	// eff(P) = 1/(1 + c·log2(P)); c ≈ 0.01 reproduces the high weak-scaling
+	// efficiency of CG-class codes [5].
+	EffLogCoeff float64
+	// StrongEffLogCoeff is the analogous coefficient under strong scaling,
+	// where the shrinking per-process problem makes communication dominate;
+	// c ≈ 0.3 models CG efficiency falling to ~40% at 32× concurrency.
+	StrongEffLogCoeff float64
+	Seed              uint64
+}
+
+// DefaultConfig returns a laptop-tractable study configuration.
+func DefaultConfig() Config {
+	return Config{
+		Machine:           machine.ScaledConfig(32),
+		GridX:             96,
+		GridY:             96,
+		Iterations:        24,
+		EffLogCoeff:       0.01,
+		StrongEffLogCoeff: 0.3,
+		Seed:              12,
+	}
+}
+
+// Point is one scaling-curve sample.
+type Point struct {
+	Processes       int
+	EnergyBenefitJ  float64 // aggregate system-energy saving vs the baseline
+	RecoveryCostJ   float64 // aggregate ABFT recovery energy (Eq. 4/5)
+	ExpectedErrors  float64
+	PerProcSeconds  float64
+	PerProcBenefitJ float64
+}
+
+// Measurement captures one per-process simulator run.
+type Measurement struct {
+	SystemEnergyJ float64
+	Seconds       float64
+	ABFTBytes     float64 // footprint under relaxed ECC
+	RecoveryJ     float64 // energy of one FT-CG invariant recovery
+}
+
+// baselineFor maps a partial strategy to its whole-ECC baseline (§5.2).
+func baselineFor(s core.Strategy) core.Strategy {
+	switch s {
+	case core.PartialChipkillNoECC, core.PartialChipkillSECDED:
+		return core.WholeChipkill
+	case core.PartialSECDEDNoECC:
+		return core.WholeSECDED
+	default:
+		return s
+	}
+}
+
+// MeasureCG runs FT-CG for the configured iterations under a strategy and
+// returns per-process metrics.
+func MeasureCG(cfg Config, s core.Strategy, withRecovery bool) Measurement {
+	rt := core.NewRuntime(cfg.Machine, s, int64(cfg.Seed))
+	cg := rt.NewCG(cfg.GridX, cfg.GridY, cfg.Seed)
+	cg.MaxIter = cfg.Iterations
+	cg.RelTol = 0 // fixed-iteration run
+	cg.CheckPeriod = 8
+	if withRecovery {
+		cg.OnIteration = func(iter int) {
+			if iter == cfg.Iterations-1 {
+				cg.Recover()
+			}
+		}
+	}
+	if _, err := cg.Run(); err != nil {
+		panic(fmt.Sprintf("scaling: CG run failed: %v", err))
+	}
+	res := rt.Finish()
+
+	var abftBytes float64
+	for _, r := range rt.M.OS.Space.Regions() {
+		if r.ABFT {
+			abftBytes += float64(r.Size)
+		}
+	}
+	return Measurement{
+		SystemEnergyJ: res.SystemEnergyJ,
+		Seconds:       res.Seconds,
+		ABFTBytes:     abftBytes,
+	}
+}
+
+// RecoveryEnergy measures the energy of a single FT-CG recovery by
+// differencing two otherwise identical runs.
+func RecoveryEnergy(cfg Config, s core.Strategy) float64 {
+	with := MeasureCG(cfg, s, true)
+	without := MeasureCG(cfg, s, false)
+	d := with.SystemEnergyJ - without.SystemEnergyJ
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// efficiency returns the modeled parallel efficiency at P processes
+// relative to base processes with the given log coefficient.
+func efficiency(coeff float64, p, base int) float64 {
+	if p <= base {
+		return 1
+	}
+	return 1 / (1 + coeff*math.Log2(float64(p)/float64(base)))
+}
+
+// WeakScaling reproduces Figure 8: fixed per-process problem, growing
+// process count. Injected errors are Case-1 (correctable by both ABFT and
+// strong ECC), occurring at the Table 5 rate of the scheme protecting the
+// ABFT data.
+func WeakScaling(cfg Config, s core.Strategy, procs []int) []Point {
+	perProc := MeasureCG(cfg, s, false)
+	base := MeasureCG(cfg, baselineFor(s), false)
+	recovery := RecoveryEnergy(cfg, s)
+	deltaJ := base.SystemEnergyJ - perProc.SystemEnergyJ
+
+	fit := s.ABFTScheme().FITPerMbit()
+	out := make([]Point, 0, len(procs))
+	for _, p := range procs {
+		eff := efficiency(cfg.EffLogCoeff, p, 1)
+		seconds := perProc.Seconds / eff
+		footprint := perProc.ABFTBytes * float64(p)
+		mttf := faultmodel.MTTF(fit, footprint*8/1e6, 1, 1)
+		ne := faultmodel.ExpectedErrors(seconds, 0, mttf)
+		out = append(out, Point{
+			Processes:       p,
+			EnergyBenefitJ:  float64(p) * deltaJ / eff,
+			RecoveryCostJ:   ne * recovery,
+			ExpectedErrors:  ne,
+			PerProcSeconds:  seconds,
+			PerProcBenefitJ: deltaJ,
+		})
+	}
+	return out
+}
+
+// StrongScaling reproduces Figure 9: the paper's mixed deployment — weak
+// scaling to baseProcs processes of GridX×GridY each, then strong scaling
+// beyond, shrinking the per-process problem as 1/√(P/base) per dimension.
+func StrongScaling(cfg Config, s core.Strategy, baseProcs int, procs []int) []Point {
+	fit := s.ABFTScheme().FITPerMbit()
+	out := make([]Point, 0, len(procs))
+	for _, p := range procs {
+		shrink := math.Sqrt(float64(baseProcs) / float64(p))
+		sub := cfg
+		sub.GridX = maxInt(8, int(float64(cfg.GridX)*shrink))
+		sub.GridY = maxInt(8, int(float64(cfg.GridY)*shrink))
+
+		perProc := MeasureCG(sub, s, false)
+		base := MeasureCG(sub, baselineFor(s), false)
+		recovery := RecoveryEnergy(sub, s)
+		deltaJ := base.SystemEnergyJ - perProc.SystemEnergyJ
+
+		eff := efficiency(cfg.StrongEffLogCoeff, p, baseProcs)
+		seconds := perProc.Seconds / eff
+		footprint := perProc.ABFTBytes * float64(p)
+		mttf := faultmodel.MTTF(fit, footprint*8/1e6, 1, 1)
+		ne := faultmodel.ExpectedErrors(seconds, 0, mttf)
+		out = append(out, Point{
+			Processes:       p,
+			EnergyBenefitJ:  float64(p) * deltaJ / eff,
+			RecoveryCostJ:   ne * recovery,
+			ExpectedErrors:  ne,
+			PerProcSeconds:  seconds,
+			PerProcBenefitJ: deltaJ,
+		})
+	}
+	return out
+}
+
+// PartialStrategies are the three relaxed schemes Figures 8–9 sweep.
+var PartialStrategies = []core.Strategy{
+	core.PartialChipkillNoECC,
+	core.PartialChipkillSECDED,
+	core.PartialSECDEDNoECC,
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package scaling
+
+import (
+	"testing"
+
+	"coopabft/internal/core"
+)
+
+// tinyConfig keeps unit tests fast; the experiment harness uses larger.
+func tinyConfig() Config {
+	c := DefaultConfig()
+	c.GridX, c.GridY = 32, 32
+	c.Iterations = 10
+	return c
+}
+
+func TestMeasureCGBasics(t *testing.T) {
+	cfg := tinyConfig()
+	m := MeasureCG(cfg, core.PartialChipkillNoECC, false)
+	if m.SystemEnergyJ <= 0 || m.Seconds <= 0 {
+		t.Fatalf("measurement = %+v", m)
+	}
+	if m.ABFTBytes < float64(32*32*8*5) {
+		t.Errorf("ABFT footprint %v too small for 5+ vectors", m.ABFTBytes)
+	}
+	// The whole-chipkill baseline must cost more energy.
+	b := MeasureCG(cfg, core.WholeChipkill, false)
+	if b.SystemEnergyJ <= m.SystemEnergyJ {
+		t.Errorf("W_CK %g <= P_CK+No_ECC %g", b.SystemEnergyJ, m.SystemEnergyJ)
+	}
+}
+
+func TestRecoveryEnergyPositive(t *testing.T) {
+	cfg := tinyConfig()
+	r := RecoveryEnergy(cfg, core.PartialChipkillNoECC)
+	if r <= 0 {
+		t.Errorf("recovery energy = %v", r)
+	}
+	// Recovery is a single matvec+rebuild: far below the full run energy.
+	m := MeasureCG(cfg, core.PartialChipkillNoECC, false)
+	if r >= m.SystemEnergyJ/2 {
+		t.Errorf("recovery %g not small vs run %g", r, m.SystemEnergyJ)
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	cfg := tinyConfig()
+	procs := []int{100, 800, 6400}
+	pts := WeakScaling(cfg, core.PartialChipkillNoECC, procs)
+	if len(pts) != len(procs) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].EnergyBenefitJ <= pts[i-1].EnergyBenefitJ {
+			t.Errorf("benefit not growing: %v", pts)
+		}
+		if pts[i].RecoveryCostJ <= pts[i-1].RecoveryCostJ {
+			t.Errorf("recovery cost not growing: %v", pts)
+		}
+	}
+	// The paper's headline: benefit far exceeds recovery cost.
+	for _, p := range pts {
+		if p.EnergyBenefitJ <= p.RecoveryCostJ {
+			t.Errorf("P=%d: benefit %g <= recovery %g",
+				p.Processes, p.EnergyBenefitJ, p.RecoveryCostJ)
+		}
+	}
+}
+
+func TestWeakScalingPCKPSDRecoveryLower(t *testing.T) {
+	cfg := tinyConfig()
+	procs := []int{6400}
+	noECC := WeakScaling(cfg, core.PartialChipkillNoECC, procs)[0]
+	psd := WeakScaling(cfg, core.PartialChipkillSECDED, procs)[0]
+	// SECDED on ABFT data means far fewer errors escape to ABFT.
+	if psd.RecoveryCostJ >= noECC.RecoveryCostJ {
+		t.Errorf("P_CK+P_SD recovery %g >= P_CK+No_ECC %g",
+			psd.RecoveryCostJ, noECC.RecoveryCostJ)
+	}
+	if psd.ExpectedErrors >= noECC.ExpectedErrors {
+		t.Errorf("expected errors ordering wrong: %g vs %g",
+			psd.ExpectedErrors, noECC.ExpectedErrors)
+	}
+}
+
+func TestStrongScalingRecoveryFalls(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.GridX, cfg.GridY = 48, 48
+	procs := []int{100, 400, 1600}
+	pts := StrongScaling(cfg, core.PartialChipkillNoECC, 100, procs)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Recovery cost decreases as the per-process problem shrinks.
+	if !(pts[2].RecoveryCostJ < pts[0].RecoveryCostJ) {
+		t.Errorf("recovery did not fall: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.EnergyBenefitJ <= p.RecoveryCostJ {
+			t.Errorf("P=%d: benefit %g <= recovery %g",
+				p.Processes, p.EnergyBenefitJ, p.RecoveryCostJ)
+		}
+	}
+}
+
+func TestEfficiencyModel(t *testing.T) {
+	cfg := DefaultConfig()
+	if efficiency(cfg.EffLogCoeff, 1, 1) != 1 || efficiency(cfg.EffLogCoeff, 50, 100) != 1 {
+		t.Error("efficiency at or below base must be 1")
+	}
+	e1 := efficiency(cfg.EffLogCoeff, 1000, 1)
+	e2 := efficiency(cfg.EffLogCoeff, 100000, 1)
+	if !(0 < e2 && e2 < e1 && e1 < 1) {
+		t.Errorf("efficiency ordering wrong: %v %v", e1, e2)
+	}
+	// Strong scaling degrades much faster than weak scaling.
+	if efficiency(cfg.StrongEffLogCoeff, 3200, 100) >= efficiency(cfg.EffLogCoeff, 3200, 100) {
+		t.Error("strong-scaling efficiency should be below weak-scaling")
+	}
+}
+
+func TestPartialStrategiesList(t *testing.T) {
+	if len(PartialStrategies) != 3 {
+		t.Fatalf("PartialStrategies = %d", len(PartialStrategies))
+	}
+	for _, s := range PartialStrategies {
+		if !s.Partial() {
+			t.Errorf("%v not partial", s)
+		}
+	}
+}

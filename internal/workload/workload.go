@@ -1,0 +1,128 @@
+// Package workload provides synthetic memory-access generators — stream,
+// strided, random, and pointer-chase patterns — used to validate the memory
+// system model independently of the ABFT kernels and to characterize the
+// ECC schemes' sensitivity to locality (the effect behind §5.1's
+// "if access locality is good ... the dynamic energy saving is limited").
+package workload
+
+import (
+	"math/rand"
+
+	"coopabft/internal/trace"
+)
+
+// Pattern generates a sequence of addresses over a region.
+type Pattern interface {
+	// Name identifies the pattern.
+	Name() string
+	// Run emits `accesses` touches over region r through mem.
+	Run(mem *trace.Memory, r trace.Region, accesses int)
+}
+
+// Stream sweeps the region sequentially, line by line — maximal spatial
+// locality and row-buffer friendliness.
+type Stream struct {
+	// WriteFraction in [0,1] marks that share of accesses as writes.
+	WriteFraction float64
+}
+
+// Name implements Pattern.
+func (Stream) Name() string { return "stream" }
+
+// Run implements Pattern.
+func (s Stream) Run(mem *trace.Memory, r trace.Region, accesses int) {
+	lines := r.Size / trace.LineSize
+	if lines == 0 {
+		return
+	}
+	writeEvery := 0
+	if s.WriteFraction > 0 {
+		writeEvery = int(1 / s.WriteFraction)
+	}
+	for i := 0; i < accesses; i++ {
+		addr := r.Base + (uint64(i)%lines)*trace.LineSize
+		write := writeEvery > 0 && i%writeEvery == 0
+		mem.Touch(addr, 8, write)
+	}
+}
+
+// Stride walks the region with a fixed line stride — the pathological
+// row-buffer case when the stride exceeds a row.
+type Stride struct {
+	Lines int // stride in cachelines
+}
+
+// Name implements Pattern.
+func (Stride) Name() string { return "stride" }
+
+// Run implements Pattern.
+func (s Stride) Run(mem *trace.Memory, r trace.Region, accesses int) {
+	lines := r.Size / trace.LineSize
+	if lines == 0 {
+		return
+	}
+	step := uint64(s.Lines)
+	if step == 0 {
+		step = 1
+	}
+	pos := uint64(0)
+	for i := 0; i < accesses; i++ {
+		mem.Touch(r.Base+(pos%lines)*trace.LineSize, 8, false)
+		pos += step
+	}
+}
+
+// Random touches uniformly random lines — minimal locality, the worst case
+// for chipkill's forced prefetch.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Pattern.
+func (Random) Name() string { return "random" }
+
+// Run implements Pattern.
+func (p Random) Run(mem *trace.Memory, r trace.Region, accesses int) {
+	lines := r.Size / trace.LineSize
+	if lines == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := 0; i < accesses; i++ {
+		mem.Touch(r.Base+uint64(rng.Int63n(int64(lines)))*trace.LineSize, 8, false)
+	}
+}
+
+// PointerChase follows a precomputed random permutation cycle — fully
+// serialized dependent accesses (no memory-level parallelism to exploit).
+type PointerChase struct {
+	Seed int64
+}
+
+// Name implements Pattern.
+func (PointerChase) Name() string { return "pointer-chase" }
+
+// Run implements Pattern.
+func (p PointerChase) Run(mem *trace.Memory, r trace.Region, accesses int) {
+	lines := int(r.Size / trace.LineSize)
+	if lines == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	next := rng.Perm(lines)
+	pos := 0
+	for i := 0; i < accesses; i++ {
+		mem.Touch(r.Base+uint64(pos)*trace.LineSize, 8, false)
+		pos = next[pos]
+	}
+}
+
+// All lists one instance of each pattern.
+func All(seed int64) []Pattern {
+	return []Pattern{
+		Stream{WriteFraction: 0.25},
+		Stride{Lines: 64},
+		Random{Seed: seed},
+		PointerChase{Seed: seed},
+	}
+}

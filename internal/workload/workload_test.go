@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"coopabft/internal/ecc"
+	"coopabft/internal/machine"
+	"coopabft/internal/trace"
+)
+
+// runOn drives a pattern over a fresh machine and returns the result.
+func runOn(t *testing.T, p Pattern, scheme ecc.Scheme, regionBytes uint64, accesses int) machine.Result {
+	t.Helper()
+	cfg := machine.ScaledConfig(32)
+	cfg.DefaultScheme = scheme
+	m := machine.New(cfg)
+	a := m.OS.Malloc("workload", regionBytes)
+	p.Run(m.Memory(), a.Region, accesses)
+	return m.Finish()
+}
+
+func TestStreamBeatsRandomOnRowHits(t *testing.T) {
+	const size = 4 << 20 // 4MB ≫ scaled L2
+	stream := runOn(t, Stream{}, ecc.None, size, 1<<16)
+	random := runOn(t, Random{Seed: 1}, ecc.None, size, 1<<16)
+	if stream.RowHitRate <= random.RowHitRate {
+		t.Errorf("stream row-hit %.2f <= random %.2f", stream.RowHitRate, random.RowHitRate)
+	}
+	if stream.RowHitRate < 0.9 {
+		t.Errorf("stream row-hit rate %.2f too low", stream.RowHitRate)
+	}
+	if stream.IPC <= random.IPC {
+		t.Errorf("stream IPC %.3f <= random %.3f", stream.IPC, random.IPC)
+	}
+}
+
+func TestChipkillPenaltyGrowsWithRandomness(t *testing.T) {
+	// §5.1's locality argument, reproduced with synthetic patterns: the
+	// chipkill-vs-none dynamic-energy ratio is worse for random access than
+	// for streaming (the forced prefetch is wasted).
+	const size = 4 << 20
+	ratio := func(p Pattern) float64 {
+		ck := runOn(t, p, ecc.Chipkill, size, 1<<15)
+		nn := runOn(t, p, ecc.None, size, 1<<15)
+		return ck.MemDynamicJ / nn.MemDynamicJ
+	}
+	streamRatio := ratio(Stream{})
+	randomRatio := ratio(Random{Seed: 2})
+	if streamRatio >= randomRatio {
+		t.Errorf("chipkill penalty: stream %.2f >= random %.2f", streamRatio, randomRatio)
+	}
+	if randomRatio < 2.0 {
+		t.Errorf("random chipkill penalty %.2f below the 36/16 chip floor", randomRatio)
+	}
+}
+
+func TestStrideDefeatsRowBuffer(t *testing.T) {
+	const size = 8 << 20
+	// A stride spanning a full row group (linesPerRow × channels = 512
+	// lines) lands every consecutive access in a fresh row.
+	stride := runOn(t, Stride{Lines: 512}, ecc.None, size, 1<<14)
+	if stride.RowHitRate > 0.2 {
+		t.Errorf("large-stride row-hit rate %.2f should be near zero", stride.RowHitRate)
+	}
+}
+
+func TestPointerChaseSlowestPerAccess(t *testing.T) {
+	const size = 4 << 20
+	const n = 1 << 14
+	chase := runOn(t, PointerChase{Seed: 3}, ecc.None, size, n)
+	stream := runOn(t, Stream{}, ecc.None, size, n)
+	if chase.Seconds <= stream.Seconds {
+		t.Errorf("pointer chase %.3gs not slower than stream %.3gs", chase.Seconds, stream.Seconds)
+	}
+}
+
+func TestPatternsEmitRequestedAccessCount(t *testing.T) {
+	var count int
+	mem := &trace.Memory{Probe: func(addr uint64, write bool) { count++ }}
+	r := trace.Region{Base: 4096, Size: 1 << 20}
+	for _, p := range All(4) {
+		count = 0
+		p.Run(mem, r, 1000)
+		if count != 1000 {
+			t.Errorf("%s emitted %d accesses, want 1000", p.Name(), count)
+		}
+	}
+}
+
+func TestStreamWriteFraction(t *testing.T) {
+	var writes int
+	mem := &trace.Memory{Probe: func(addr uint64, write bool) {
+		if write {
+			writes++
+		}
+	}}
+	r := trace.Region{Base: 4096, Size: 1 << 20}
+	Stream{WriteFraction: 0.25}.Run(mem, r, 1000)
+	if writes != 250 {
+		t.Errorf("writes = %d, want 250", writes)
+	}
+	writes = 0
+	Stream{}.Run(mem, r, 1000)
+	if writes != 0 {
+		t.Errorf("read-only stream produced %d writes", writes)
+	}
+}
+
+func TestEmptyRegionSafe(t *testing.T) {
+	mem := &trace.Memory{}
+	for _, p := range All(5) {
+		p.Run(mem, trace.Region{}, 100) // must not panic or divide by zero
+	}
+}
