@@ -7,11 +7,15 @@ package coopabft
 // reproduction pipeline and prints the reproduced numbers.
 
 import (
+	"context"
 	"testing"
 
 	"coopabft/internal/abft"
+	"coopabft/internal/campaign"
 	"coopabft/internal/core"
+	"coopabft/internal/ecc"
 	"coopabft/internal/experiments"
+	"coopabft/internal/resilience"
 	"coopabft/internal/scaling"
 )
 
@@ -210,5 +214,42 @@ func BenchmarkSimulatedNodeCG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
 		scaling.MeasureCG(cfg, core.PartialChipkillSECDED, false)
+	}
+}
+
+// --- Campaign engine: serial vs parallel fan-out of the same sweep ---
+
+// benchSweep runs the 24-cell kernel×strategy sweep behind fig5/6/7 with
+// the given worker count. The seed base must differ per benchmark: the
+// harness cache deliberately ignores Workers (equal seeds give equal
+// results at any width), so reusing a base would time cache hits.
+func benchSweep(b *testing.B, base, workers int) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions(base, i)
+		o.Workers = workers
+		if _, err := experiments.BasicCtx(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBasicSweepSerial pins the campaign engine to one worker.
+func BenchmarkBasicSweepSerial(b *testing.B) { benchSweep(b, 10000, 1) }
+
+// BenchmarkBasicSweepParallel lets the campaign engine use every core; on
+// a multi-core host the ratio to the serial benchmark is the engine's
+// speedup (the per-cell seeding keeps the results bit-identical either
+// way).
+func BenchmarkBasicSweepParallel(b *testing.B) { benchSweep(b, 11000, 0) }
+
+// BenchmarkResilienceCampaignParallel times the Monte-Carlo codec campaign
+// through the engine at full width.
+func BenchmarkResilienceCampaignParallel(b *testing.B) {
+	eng := campaign.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.RunCampaignCtx(context.Background(),
+			ecc.Chipkill, resilience.Burst64, 2000, int64(i), eng); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# CI gate: vet, build, and the full test suite under the race detector.
+# -short trims the Monte-Carlo trial budgets so the race run stays within
+# a small-machine time budget; the plain `go test ./...` tier-1 gate runs
+# the full budgets.
+set -eux
+
+cd "$(dirname "$0")"
+
+go vet ./...
+go build ./...
+go test -race -short ./...

@@ -6,21 +6,32 @@
 //
 //	abftsim -kernel dgemm|cholesky|cg|hpl -strategy no_ecc|w_ck|p_ck+no_ecc|w_sd|p_sd+no_ecc|p_ck+p_sd
 //	        [-n N] [-grid X] [-iters I] [-notified] [-inject kind]
+//	        [-seed S] [-runs R] [-parallel N] [-progress]
 //
 // -inject plants one error of the given kind (single-bit, double-bit,
 // chip-failure, scattered) into the kernel's primary ABFT structure after
 // the run and reads through it, demonstrating the detection path.
+//
+// -runs R > 1 replays the experiment R times with per-replica seeds
+// derived from (-seed, replica index) and fans the replicas across
+// -parallel workers (default: all cores) through the campaign engine,
+// reporting aggregate statistics — a quick Monte-Carlo over the seed
+// dimension. Replicated runs do not support -inject.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
+	"coopabft/internal/campaign"
 	"coopabft/internal/core"
 	"coopabft/internal/machine"
 )
@@ -43,6 +54,69 @@ func kindByName(name string) (bifit.Kind, error) {
 	return 0, fmt.Errorf("unknown error kind %q", name)
 }
 
+// post carries the state the injection demo needs after a run.
+type post struct {
+	target      bifit.Target
+	corrections *[]abft.Correction
+	fix         func() error
+}
+
+// runKernel builds a fresh runtime and executes the selected kernel once
+// with the given seed. It shares no state with concurrent replicas.
+func runKernel(kernel string, s core.Strategy, mode abft.VerifyMode, n, grid, iters int, seed uint64) (*core.Runtime, post, error) {
+	rt := core.NewRuntime(machine.ScaledConfig(32), s, int64(seed))
+	var p post
+	switch strings.ToLower(kernel) {
+	case "dgemm":
+		d := rt.NewDGEMM(n, seed)
+		d.Mode = mode
+		if err := d.Run(); err != nil {
+			return nil, post{}, err
+		}
+		p = post{bifit.Target{Data: d.Cf.Data, Reg: d.Cf.Reg}, &d.Corrections, d.VerifyFull}
+	case "cholesky":
+		c := rt.NewCholesky(n, seed)
+		c.Mode = mode
+		if err := c.Run(); err != nil {
+			return nil, post{}, err
+		}
+		p = post{bifit.Target{Data: c.A.Data, Reg: c.A.Reg}, &c.Corrections, func() error { return c.VerifyL(c.N) }}
+	case "cg":
+		c := rt.NewCG(grid, grid, seed)
+		c.Mode = mode
+		c.MaxIter = iters
+		c.RelTol = 0
+		if _, err := c.Run(); err != nil {
+			return nil, post{}, err
+		}
+		v, _ := c.VecFor("x")
+		p = post{bifit.Target{Data: v.Data, Reg: v.Reg}, &c.Corrections, func() error { _, err := c.VerifyInvariants(); return err }}
+	case "hpl":
+		h := rt.NewHPL(n-n%16, 8, seed)
+		if err := h.Run(); err != nil {
+			return nil, post{}, err
+		}
+		p = post{bifit.Target{Data: h.A.Data, Reg: h.A.Reg}, &h.Corrections, func() error { return nil }}
+	case "lu":
+		u := rt.NewLU(n, seed)
+		u.Mode = mode
+		if err := u.Run(); err != nil {
+			return nil, post{}, err
+		}
+		p = post{bifit.Target{Data: u.Af.Data, Reg: u.Af.Reg}, &u.Corrections, func() error { return u.VerifyRows(0) }}
+	case "qr":
+		r := rt.NewQR(n, seed)
+		r.Mode = mode
+		if err := r.Run(); err != nil {
+			return nil, post{}, err
+		}
+		p = post{bifit.Target{Data: r.Af.Data, Reg: r.Af.Reg}, &r.Corrections, r.VerifyR}
+	default:
+		return nil, post{}, fmt.Errorf("unknown kernel %q", kernel)
+	}
+	return rt, p, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	kernel := flag.String("kernel", "dgemm", "dgemm, cholesky, cg, hpl, lu or qr")
@@ -52,6 +126,10 @@ func main() {
 	iters := flag.Int("iters", 20, "CG iterations")
 	notified := flag.Bool("notified", false, "use hardware-notified verification")
 	inject := flag.String("inject", "", "post-run injection kind (single-bit, double-bit, chip-failure, scattered)")
+	seed := flag.Uint64("seed", 1, "base seed (replica seeds derive from it)")
+	runs := flag.Int("runs", 1, "independent replicas to run")
+	parallel := flag.Int("parallel", 0, "campaign engine workers for -runs > 1 (0 = all cores)")
+	progress := flag.Bool("progress", false, "live replica progress on stderr")
 	flag.Parse()
 
 	s, err := strategyByName(*strategy)
@@ -63,54 +141,17 @@ func main() {
 		mode = abft.NotifiedVerify
 	}
 
-	rt := core.NewRuntime(machine.ScaledConfig(32), s, 1)
-	var target bifit.Target
-	var corrections *[]abft.Correction
-	var fix func() error
-
-	switch strings.ToLower(*kernel) {
-	case "dgemm":
-		d := rt.NewDGEMM(*n, 1)
-		d.Mode = mode
-		must(d.Run())
-		target = bifit.Target{Data: d.Cf.Data, Reg: d.Cf.Reg}
-		corrections, fix = &d.Corrections, d.VerifyFull
-	case "cholesky":
-		c := rt.NewCholesky(*n, 1)
-		c.Mode = mode
-		must(c.Run())
-		target = bifit.Target{Data: c.A.Data, Reg: c.A.Reg}
-		corrections, fix = &c.Corrections, func() error { return c.VerifyL(c.N) }
-	case "cg":
-		c := rt.NewCG(*grid, *grid, 1)
-		c.Mode = mode
-		c.MaxIter = *iters
-		c.RelTol = 0
-		if _, err := c.Run(); err != nil {
-			log.Fatal(err)
+	if *runs > 1 {
+		if *inject != "" {
+			log.Fatal("-inject requires -runs 1 (injection demos a single node)")
 		}
-		v, _ := c.VecFor("x")
-		target = bifit.Target{Data: v.Data, Reg: v.Reg}
-		corrections, fix = &c.Corrections, func() error { _, err := c.VerifyInvariants(); return err }
-	case "hpl":
-		h := rt.NewHPL(*n-*n%16, 8, 1)
-		must(h.Run())
-		target = bifit.Target{Data: h.A.Data, Reg: h.A.Reg}
-		corrections, fix = &h.Corrections, func() error { return nil }
-	case "lu":
-		u := rt.NewLU(*n, 1)
-		u.Mode = mode
-		must(u.Run())
-		target = bifit.Target{Data: u.Af.Data, Reg: u.Af.Reg}
-		corrections, fix = &u.Corrections, func() error { return u.VerifyRows(0) }
-	case "qr":
-		r := rt.NewQR(*n, 1)
-		r.Mode = mode
-		must(r.Run())
-		target = bifit.Target{Data: r.Af.Data, Reg: r.Af.Reg}
-		corrections, fix = &r.Corrections, r.VerifyR
-	default:
-		log.Fatalf("unknown kernel %q", *kernel)
+		runReplicated(*kernel, s, mode, *n, *grid, *iters, *seed, *runs, *parallel, *progress)
+		return
+	}
+
+	rt, p, err := runKernel(*kernel, s, mode, *n, *grid, *iters, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *inject != "" {
@@ -119,47 +160,96 @@ func main() {
 			log.Fatal(err)
 		}
 		rt.M.FlushCaches()
-		idx := rt.Injector.RandomElement(target)
-		if err := rt.Injector.InjectKind(target, idx, kind); err != nil {
+		idx := rt.Injector.RandomElement(p.target)
+		if err := rt.Injector.InjectKind(p.target, idx, kind); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("injected %v error at element %d of %s\n", kind, idx, target.Reg.Name)
+		fmt.Printf("injected %v error at element %d of %s\n", kind, idx, p.target.Reg.Name)
 		// Demand-read the line to let the hardware observe it.
-		rt.M.Memory().Touch(target.Reg.Base+uint64(idx)*8, 8, false)
+		rt.M.Memory().Touch(p.target.Reg.Base+uint64(idx)*8, 8, false)
 		if rt.M.OS.Panicked() {
 			fmt.Println("outcome: OS PANIC (error outside ABFT protection)")
 		} else if pend := rt.M.OS.PeekCorruptions(); len(pend) > 0 {
 			fmt.Printf("outcome: ECC-uncorrectable; OS exposed %d corrupted line(s) to ABFT\n", len(pend))
-			if err := fix(); err != nil {
+			if err := p.fix(); err != nil {
 				fmt.Printf("ABFT could not correct: %v\n", err)
 			}
 		} else if st := rt.M.Ctl.Stats(); st.CorrectedErrors > 0 {
 			fmt.Println("outcome: corrected silently by ECC hardware")
 		} else {
 			fmt.Println("outcome: error latent (no ECC on this region); ABFT verification will catch it")
-			if err := fix(); err != nil {
+			if err := p.fix(); err != nil {
 				fmt.Printf("ABFT verification: %v\n", err)
 			}
 		}
 	}
 
 	res := rt.Finish()
-	fmt.Printf("\nkernel=%s strategy=%s mode=%s\n", *kernel, s, mode)
+	fmt.Printf("\nkernel=%s strategy=%s mode=%s seed=%d\n", *kernel, s, mode, *seed)
 	fmt.Printf("time      %.6f s (%.3g cycles), IPC %.3f\n", res.Seconds, float64(res.Cycles), res.IPC)
 	fmt.Printf("energy    processor %.4g J, memory dynamic %.4g J, memory standby %.4g J, system %.4g J\n",
 		res.ProcEnergyJ, res.MemDynamicJ, res.MemStandbyJ, res.SystemEnergyJ)
 	fmt.Printf("memory    row-buffer hit rate %.1f%%, LLC misses (ABFT/other) %d/%d\n",
 		100*res.RowHitRate, res.LLCMissABFT, res.LLCMissOther)
 	fmt.Printf("resilience ECC corrected %d, uncorrectable %d, interrupts %d, ABFT corrections %d\n",
-		res.ECC.CorrectedErrors, res.ECC.UncorrectableErrors, res.Interrupts, len(*corrections))
+		res.ECC.CorrectedErrors, res.ECC.UncorrectableErrors, res.Interrupts, len(*p.corrections))
 	if res.OS.Panics > 0 {
 		fmt.Printf("OS panics %d — a production system would checkpoint/restart here\n", res.OS.Panics)
 		os.Exit(1)
 	}
 }
 
-func must(err error) {
+// runReplicated fans R independently-seeded replicas across the engine
+// and prints aggregate statistics.
+func runReplicated(kernel string, s core.Strategy, mode abft.VerifyMode, n, grid, iters int, seed uint64, runs, parallel int, progress bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	engOpts := []campaign.Option{campaign.WithWorkers(parallel)}
+	if progress {
+		engOpts = append(engOpts, campaign.WithProgress(
+			campaign.StderrProgress(os.Stderr, kernel+" replicas", 200*time.Millisecond)))
+	}
+	eng := campaign.New(engOpts...)
+
+	results, metrics, err := campaign.Map(ctx, eng, runs,
+		func(ctx context.Context, i int) (machine.Result, error) {
+			if err := ctx.Err(); err != nil {
+				return machine.Result{}, err
+			}
+			rt, _, err := runKernel(kernel, s, mode, n, grid, iters, campaign.CellSeed(seed, uint64(i)))
+			if err != nil {
+				return machine.Result{}, err
+			}
+			return rt.Finish(), nil
+		})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("abftsim: %v", err)
+	}
+
+	var sumS, minS, maxS, sumJ float64
+	var panics uint64
+	for i, r := range results {
+		if i == 0 || r.Seconds < minS {
+			minS = r.Seconds
+		}
+		if r.Seconds > maxS {
+			maxS = r.Seconds
+		}
+		sumS += r.Seconds
+		sumJ += r.SystemEnergyJ
+		panics += r.OS.Panics
+	}
+	fmt.Printf("\nkernel=%s strategy=%s mode=%s runs=%d seed=%d workers=%d\n",
+		kernel, s, mode, runs, seed, eng.Workers())
+	fmt.Printf("sim time  mean %.6f s, min %.6f s, max %.6f s\n",
+		sumS/float64(runs), minS, maxS)
+	fmt.Printf("energy    mean system %.4g J (aggregate %.4g J)\n", sumJ/float64(runs), sumJ)
+	fmt.Printf("campaign  %.2f cells/s, avg %s/cell, utilization %.0f%%, wall %s\n",
+		metrics.CellsPerSec, metrics.AvgCell.Round(time.Millisecond),
+		100*metrics.Utilization, metrics.Elapsed.Round(time.Millisecond))
+	if panics > 0 {
+		fmt.Printf("OS panics %d across replicas\n", panics)
+		os.Exit(1)
 	}
 }

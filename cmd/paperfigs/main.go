@@ -3,40 +3,58 @@
 //
 // Usage:
 //
-//	paperfigs [-small] [-only fig5,fig8,...]
+//	paperfigs [-small] [-only fig5,fig8,...] [-format text|json]
+//	          [-parallel N] [-seed S] [-progress]
 //
-// Experiments: table1 table3 table4 table5 fig3 fig5 fig6 fig7 fig8 fig9
-// fig10, plus three extensions: "cases" (Monte-Carlo §4 case frequencies on
-// the real codecs), "capability" (per-kernel multi-error repair rates) and
-// "threshold" (empirical ARE-vs-ASE crossover, the measured counterpart of
-// Equation 7). The default runs everything. -small
-// uses the fast test-scale problem sizes instead of the paper-ratio-
-// preserving defaults.
+// Experiments are dispatched by name through the experiments registry:
+// table3 fig3 table1 table4 fig5 fig6 fig7 headlines table5 fig8 fig9
+// fig10, plus three extensions: "cases" (Monte-Carlo §4 case frequencies
+// on the real codecs), "capability" (per-kernel multi-error repair rates)
+// and "threshold" (empirical ARE-vs-ASE crossover, the measured
+// counterpart of Equation 7). The default runs everything. -small uses the
+// fast test-scale problem sizes instead of the paper-ratio-preserving
+// defaults.
+//
+// Independent simulation cells fan out across -parallel workers (default:
+// all cores) through the campaign engine; per-cell seeding keeps the
+// output bit-identical to a -parallel 1 run. -progress renders a live
+// cells/sec + utilization line on stderr, and Ctrl-C cancels the campaign
+// promptly.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
-	"coopabft/internal/ecc"
+	"coopabft/internal/campaign"
 	"coopabft/internal/experiments"
-	"coopabft/internal/resilience"
 )
 
 func main() {
 	small := flag.Bool("small", false, "use fast test-scale problem sizes")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	format := flag.String("format", "text", "output format: text or json")
+	parallel := flag.Int("parallel", 0, "campaign engine workers (0 = all cores)")
+	seed := flag.Uint64("seed", 42, "campaign seed every cell seed derives from")
+	progress := flag.Bool("progress", false, "live per-experiment progress on stderr")
 	flag.Parse()
 
-	o := experiments.Default()
+	baseOpts := []experiments.Option{}
 	if *small {
-		o = experiments.Small()
+		baseOpts = append(baseOpts, experiments.WithSmall())
 	}
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+	if seedSet {
+		baseOpts = append(baseOpts, experiments.WithSeed(*seed))
+	}
+	baseOpts = append(baseOpts, experiments.WithWorkers(*parallel))
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -44,129 +62,50 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(s))] = true
 		}
 	}
+	for name := range want {
+		if _, err := experiments.Lookup(name); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
-	w := os.Stdout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	jsonOut := map[string]any{}
+	for _, name := range experiments.Names() {
+		if !sel(name) {
+			continue
+		}
+		exp, err := experiments.Lookup(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(2)
+		}
+		opts := baseOpts
+		if *progress {
+			opts = append(opts[:len(opts):len(opts)],
+				experiments.WithProgress(campaign.StderrProgress(os.Stderr, name, 200*time.Millisecond)))
+		}
+		res, err := exp.Run(ctx, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+		if *format == "json" {
+			jsonOut[name] = res.Data
+		} else {
+			res.Render(os.Stdout)
+		}
+	}
 
 	if *format == "json" {
-		emitJSON(w, o, sel)
-		return
-	}
-
-	if sel("table3") {
-		experiments.RenderTable3(w, o)
-	}
-	if sel("fig3") {
-		experiments.RenderFig3(w, experiments.Fig3(o))
-	}
-	if sel("table1") {
-		experiments.RenderTable1(w, experiments.Table1(o))
-	}
-	if sel("table4") || sel("fig5") || sel("fig6") || sel("fig7") {
-		rows := experiments.Fig567(o)
-		if sel("table4") {
-			experiments.RenderTable4(w, experiments.Table4(o))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
 		}
-		if sel("fig5") {
-			experiments.RenderFig5(w, rows)
-		}
-		if sel("fig6") {
-			experiments.RenderFig6(w, rows)
-		}
-		if sel("fig7") {
-			experiments.RenderFig7(w, rows)
-		}
-		if sel("fig5") || sel("fig6") {
-			h := experiments.Headlines(o)
-			fmt.Fprintf(w, "\n-- §5.1 headline comparisons --\n")
-			fmt.Fprintf(w, "FT-CG memory-energy increase under whole chipkill: %.0f%% (paper: 68%%)\n",
-				100*h.CGWholeChipkillMemIncrease)
-			fmt.Fprintf(w, "Whole-SECDED average memory-energy increase: %.0f%% (paper: ~12%%)\n",
-				100*h.WholeSECDEDAvgMemIncrease)
-			for _, k := range experiments.AllKernels {
-				fmt.Fprintf(w, "%-12s partial-vs-whole chipkill: memory −%.0f%%, system −%.0f%%\n",
-					k, 100*h.PartialVsWholeChipkillSaving[k], 100*h.SystemSavingPartialChipkill[k])
-			}
-		}
-	}
-	if sel("table5") {
-		experiments.RenderTable5(w)
-	}
-	if sel("fig8") {
-		experiments.RenderScaling(w, "Figure 8: weak scaling (energy benefit vs ABFT recovery cost)",
-			experiments.Fig8(o))
-	}
-	if sel("fig9") {
-		experiments.RenderScaling(w, "Figure 9: strong scaling (energy benefit vs ABFT recovery cost)",
-			experiments.Fig9(o))
-	}
-	if sel("fig10") {
-		experiments.RenderFig10(w, experiments.Fig10(o))
-	}
-	// Extensions beyond the paper's figures (see EXPERIMENTS.md).
-	if sel("cases") {
-		for _, s := range []ecc.Scheme{ecc.SECDED, ecc.Chipkill} {
-			resilience.Render(w, resilience.ClassifyCases(s, 20000, int64(o.Seed)))
-		}
-	}
-	if sel("capability") {
-		var curves [][]resilience.CapabilityPoint
-		counts := []int{1, 2, 4, 8}
-		for _, k := range resilience.CapabilityKernels {
-			curves = append(curves, resilience.CapabilityCurve(k, 24, counts, 20, int64(o.Seed)))
-		}
-		resilience.RenderCapability(w, curves)
-	}
-	if sel("threshold") {
-		experiments.RenderThreshold(w,
-			experiments.ThresholdStudy(o, []int{0, 4, 16, 64, 256, 1024}))
-	}
-}
-
-// emitJSON writes the selected experiments as one machine-readable object.
-func emitJSON(w io.Writer, o experiments.Options, sel func(string) bool) {
-	out := map[string]any{}
-	if sel("fig3") {
-		out["fig3"] = experiments.Fig3(o)
-	}
-	if sel("table1") {
-		out["table1"] = experiments.Table1(o)
-	}
-	if sel("table4") {
-		out["table4"] = experiments.Table4(o)
-	}
-	if sel("fig5") || sel("fig6") || sel("fig7") {
-		out["fig567"] = experiments.Fig567(o)
-		out["headlines"] = experiments.Headlines(o)
-	}
-	if sel("fig8") {
-		out["fig8"] = experiments.Fig8(o)
-	}
-	if sel("fig9") {
-		out["fig9"] = experiments.Fig9(o)
-	}
-	if sel("fig10") {
-		out["fig10"] = experiments.Fig10(o)
-	}
-	if sel("cases") {
-		out["cases"] = map[string]any{
-			"secded":   resilience.ClassifyCases(ecc.SECDED, 20000, int64(o.Seed)),
-			"chipkill": resilience.ClassifyCases(ecc.Chipkill, 20000, int64(o.Seed)),
-		}
-	}
-	if sel("capability") {
-		var curves [][]resilience.CapabilityPoint
-		for _, k := range resilience.CapabilityKernels {
-			curves = append(curves, resilience.CapabilityCurve(k, 24, []int{1, 2, 4, 8}, 20, int64(o.Seed)))
-		}
-		out["capability"] = curves
-	}
-	if sel("threshold") {
-		out["threshold"] = experiments.ThresholdStudy(o, []int{0, 4, 16, 64, 256, 1024})
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-		os.Exit(1)
 	}
 }

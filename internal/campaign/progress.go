@@ -1,0 +1,38 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StderrProgress returns a ProgressFunc rendering a one-line live status
+// to w (normally os.Stderr), throttled to at most one repaint per
+// interval plus a final line when the campaign completes. The line is
+// rewritten in place with a carriage return, so it is meant for a
+// terminal; pass a longer interval for log files.
+func StderrProgress(w io.Writer, label string, interval time.Duration) ProgressFunc {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	var (
+		mu   sync.Mutex
+		last time.Time
+	)
+	return func(m Metrics) {
+		mu.Lock()
+		defer mu.Unlock()
+		final := m.Done == m.Cells
+		if !final && time.Since(last) < interval {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(w, "\r%s: %d/%d cells  %.1f cells/s  avg %s/cell  util %.0f%% (%d workers)",
+			label, m.Done, m.Cells, m.CellsPerSec, m.AvgCell.Round(time.Millisecond),
+			100*m.Utilization, m.Workers)
+		if final {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"coopabft/internal/abft"
+	"coopabft/internal/campaign"
 	"coopabft/internal/core"
 )
 
@@ -17,51 +19,78 @@ type OverheadBreakdown struct {
 	OverheadOfTotal  float64 // (checksum+verify)/total ops
 }
 
-// Fig3 reproduces Figure 3 for the three fail-continue ABFT kernels.
-// The paper's observation — verification is responsible for a large part
-// of the overhead — is measured from the kernels' operation accounting.
+// failContinueKernels are the kernels with a Figure 3 / Table 1 row.
+var failContinueKernels = []KernelID{KDGEMM, KCholesky, KCG}
+
+// fig3Run reproduces Figure 3 for the three fail-continue ABFT kernels,
+// one engine cell per kernel. The paper's observation — verification is
+// responsible for a large part of the overhead — is measured from the
+// kernels' operation accounting.
+func fig3Run(ctx context.Context, rc runConfig) ([]OverheadBreakdown, error) {
+	out, _, err := campaign.Map(ctx, rc.engine(), len(failContinueKernels),
+		func(ctx context.Context, i int) (OverheadBreakdown, error) {
+			k := failContinueKernels[i]
+			ops, err := kernelOps(ctx, rc.o, k)
+			if err != nil {
+				return OverheadBreakdown{}, err
+			}
+			ov := ops.Checksum + ops.Verify
+			b := OverheadBreakdown{Kernel: k, OverheadOfTotal: ops.OverheadFraction()}
+			if ov > 0 {
+				b.ChecksumFraction = float64(ops.Checksum) / float64(ov)
+				b.VerifyFraction = float64(ops.Verify) / float64(ov)
+			}
+			return b, nil
+		})
+	return out, err
+}
+
+// Fig3Ctx computes the Figure 3 overhead breakdown.
+func Fig3Ctx(ctx context.Context, o Options) ([]OverheadBreakdown, error) {
+	return fig3Run(ctx, runConfig{o: o})
+}
+
+// Fig3 computes the Figure 3 overhead breakdown.
+//
+// Deprecated: use Fig3Ctx or the "fig3" Experiment.
 func Fig3(o Options) []OverheadBreakdown {
-	out := make([]OverheadBreakdown, 0, 3)
-	for _, k := range []KernelID{KDGEMM, KCholesky, KCG} {
-		ops := kernelOps(o, k)
-		ov := ops.Checksum + ops.Verify
-		b := OverheadBreakdown{Kernel: k, OverheadOfTotal: ops.OverheadFraction()}
-		if ov > 0 {
-			b.ChecksumFraction = float64(ops.Checksum) / float64(ov)
-			b.VerifyFraction = float64(ops.Verify) / float64(ov)
-		}
-		out = append(out, b)
+	rows, err := Fig3Ctx(context.Background(), o)
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return rows
 }
 
 // kernelOps runs a kernel standalone (no machine) and returns its buckets.
-func kernelOps(o Options, k KernelID) abft.OpCounters {
+func kernelOps(ctx context.Context, o Options, k KernelID) (abft.OpCounters, error) {
+	if err := ctx.Err(); err != nil {
+		return abft.OpCounters{}, err
+	}
 	env := abft.Standalone()
 	switch k {
 	case KDGEMM:
 		d := abft.NewDGEMM(env, o.DGEMMN, o.Seed)
 		if err := d.Run(); err != nil {
-			panic(err)
+			return abft.OpCounters{}, err
 		}
-		return d.Ops
+		return d.Ops, nil
 	case KCholesky:
 		c := abft.NewCholesky(env, o.CholN, o.Seed)
 		if err := c.Run(); err != nil {
-			panic(err)
+			return abft.OpCounters{}, err
 		}
-		return c.Ops
+		return c.Ops, nil
 	case KCG:
 		c := abft.NewCG(env, o.CGX, o.CGY, o.Seed)
 		c.MaxIter = o.CGIters
 		c.RelTol = 0
 		c.CheckPeriod = 4
 		if _, err := c.Run(); err != nil {
-			panic(err)
+			return abft.OpCounters{}, err
 		}
-		return c.Ops
+		return c.Ops, nil
 	default:
-		panic("fig3: kernel has no overhead breakdown")
+		return abft.OpCounters{}, fmt.Errorf("%w: %v has no overhead breakdown", ErrUnknownKernel, k)
 	}
 }
 
@@ -83,25 +112,50 @@ type Table1Row struct {
 	ImprovementPct float64
 }
 
-// Table1 reproduces Table 1: each fail-continue kernel is run on the
-// simulator twice — full verification vs simplified (notified) verification
-// — without ECC relaxing (strategy W_CK), matching §3.2.2's methodology.
-func Table1(o Options) []Table1Row {
-	out := make([]Table1Row, 0, 3)
-	for _, k := range []KernelID{KDGEMM, KCholesky, KCG} {
-		full := RunKernel(o, k, core.WholeChipkill, abft.FullVerify)
-		noti := RunKernel(o, k, core.WholeChipkill, abft.NotifiedVerify)
+// table1Run reproduces Table 1: each fail-continue kernel is run on the
+// simulator twice — full verification vs simplified (notified)
+// verification — without ECC relaxing (strategy W_CK), matching §3.2.2's
+// methodology. The six runs fan out as independent cells.
+func table1Run(ctx context.Context, rc runConfig) ([]Table1Row, error) {
+	modes := []abft.VerifyMode{abft.FullVerify, abft.NotifiedVerify}
+	res, _, err := campaign.Map(ctx, rc.engine(), len(failContinueKernels)*len(modes),
+		func(ctx context.Context, i int) (float64, error) {
+			k := failContinueKernels[i/len(modes)]
+			r, err := RunKernelCtx(ctx, rc.o, k, core.WholeChipkill, modes[i%len(modes)])
+			return r.Seconds, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table1Row, 0, len(failContinueKernels))
+	for i, k := range failContinueKernels {
 		r := Table1Row{
 			Kernel:        k,
-			FullSeconds:   full.Seconds,
-			NotifySeconds: noti.Seconds,
+			FullSeconds:   res[i*len(modes)],
+			NotifySeconds: res[i*len(modes)+1],
 		}
-		if full.Seconds > 0 {
-			r.ImprovementPct = 100 * (full.Seconds - noti.Seconds) / full.Seconds
+		if r.FullSeconds > 0 {
+			r.ImprovementPct = 100 * (r.FullSeconds - r.NotifySeconds) / r.FullSeconds
 		}
 		out = append(out, r)
 	}
-	return out
+	return out, nil
+}
+
+// Table1Ctx computes the Table 1 verification comparison.
+func Table1Ctx(ctx context.Context, o Options) ([]Table1Row, error) {
+	return table1Run(ctx, runConfig{o: o})
+}
+
+// Table1 computes the Table 1 verification comparison.
+//
+// Deprecated: use Table1Ctx or the "table1" Experiment.
+func Table1(o Options) []Table1Row {
+	rows, err := Table1Ctx(context.Background(), o)
+	if err != nil {
+		panic(err)
+	}
+	return rows
 }
 
 // RenderTable1 writes Table 1 as text.

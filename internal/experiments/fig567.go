@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,11 +22,16 @@ type StrategyMetrics struct {
 	IPCNorm        float64
 }
 
-// Fig567 computes the §5.1 basic tests: every kernel under the six ECC
+// fig567Run computes the §5.1 basic tests: every kernel under the six ECC
 // strategies, normalized to No_ECC — the data behind Figures 5 (memory
-// energy), 6 (system energy) and 7 (performance).
-func Fig567(o Options) []StrategyMetrics {
-	res := Basic(o)
+// energy), 6 (system energy) and 7 (performance). The 24-cell sweep runs
+// through the campaign engine (and is shared, via the sweep cache, with
+// Table 4 and the headline comparisons).
+func fig567Run(ctx context.Context, rc runConfig) ([]StrategyMetrics, error) {
+	res, err := basicCached(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
 	var out []StrategyMetrics
 	for _, k := range AllKernels {
 		baseline := res[k][core.NoECC]
@@ -53,7 +59,23 @@ func Fig567(o Options) []StrategyMetrics {
 			out = append(out, m)
 		}
 	}
-	return out
+	return out, nil
+}
+
+// Fig567Ctx computes the normalized §5.1 sweep rows.
+func Fig567Ctx(ctx context.Context, o Options) ([]StrategyMetrics, error) {
+	return fig567Run(ctx, runConfig{o: o})
+}
+
+// Fig567 computes the normalized §5.1 sweep rows.
+//
+// Deprecated: use Fig567Ctx or the "fig5"/"fig6"/"fig7" Experiments.
+func Fig567(o Options) []StrategyMetrics {
+	rows, err := Fig567Ctx(context.Background(), o)
+	if err != nil {
+		panic(err)
+	}
+	return rows
 }
 
 // RenderFig5 writes the memory-energy figure.
@@ -96,9 +118,12 @@ type Headline struct {
 	WholeSECDEDAvgMemIncrease float64
 }
 
-// Headlines computes the quoted percentages from the sweep.
-func Headlines(o Options) Headline {
-	res := Basic(o)
+// headlinesRun computes the quoted percentages from the sweep.
+func headlinesRun(ctx context.Context, rc runConfig) (Headline, error) {
+	res, err := basicCached(ctx, rc)
+	if err != nil {
+		return Headline{}, err
+	}
 	h := Headline{
 		PartialVsWholeChipkillSaving: map[KernelID]float64{},
 		SystemSavingPartialChipkill:  map[KernelID]float64{},
@@ -115,5 +140,34 @@ func Headlines(o Options) Headline {
 		sdSum += res[k][core.WholeSECDED].MemEnergyJ()/res[k][core.NoECC].MemEnergyJ() - 1
 	}
 	h.WholeSECDEDAvgMemIncrease = sdSum / float64(len(AllKernels))
+	return h, nil
+}
+
+// HeadlinesCtx computes the quoted §5.1 percentages from the sweep.
+func HeadlinesCtx(ctx context.Context, o Options) (Headline, error) {
+	return headlinesRun(ctx, runConfig{o: o})
+}
+
+// Headlines computes the quoted percentages from the sweep.
+//
+// Deprecated: use HeadlinesCtx or the "headlines" Experiment.
+func Headlines(o Options) Headline {
+	h, err := HeadlinesCtx(context.Background(), o)
+	if err != nil {
+		panic(err)
+	}
 	return h
+}
+
+// RenderHeadlines writes the §5.1 headline comparisons.
+func RenderHeadlines(w io.Writer, h Headline) {
+	fmt.Fprintf(w, "\n-- §5.1 headline comparisons --\n")
+	fmt.Fprintf(w, "FT-CG memory-energy increase under whole chipkill: %.0f%% (paper: 68%%)\n",
+		100*h.CGWholeChipkillMemIncrease)
+	fmt.Fprintf(w, "Whole-SECDED average memory-energy increase: %.0f%% (paper: ~12%%)\n",
+		100*h.WholeSECDEDAvgMemIncrease)
+	for _, k := range AllKernels {
+		fmt.Fprintf(w, "%-12s partial-vs-whole chipkill: memory −%.0f%%, system −%.0f%%\n",
+			k, 100*h.PartialVsWholeChipkillSaving[k], 100*h.SystemSavingPartialChipkill[k])
+	}
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"coopabft/internal/abft"
+	"coopabft/internal/campaign"
 	"coopabft/internal/core"
 	"coopabft/internal/dgms"
 	"coopabft/internal/machine"
@@ -23,33 +25,81 @@ var WeakScalingProcs = []int{100, 3200, 12800, 51200, 204800, 819200}
 // StrongScalingProcs are the Figure 9 x-axis values (base 100).
 var StrongScalingProcs = []int{100, 200, 400, 800, 1600, 3200}
 
-// Fig8 runs the weak-scaling study for the three partial strategies.
-func Fig8(o Options) []ScalingSeries {
-	out := make([]ScalingSeries, 0, 3)
-	for _, s := range scaling.PartialStrategies {
-		out = append(out, ScalingSeries{
-			Strategy: s,
-			Points:   scaling.WeakScaling(o.ScalingCfg, s, WeakScalingProcs),
+// fig8Run runs the weak-scaling study for the three partial strategies,
+// one engine cell per strategy (the per-process measurement dominates; the
+// per-scale extrapolation is arithmetic).
+func fig8Run(ctx context.Context, rc runConfig) ([]ScalingSeries, error) {
+	out, _, err := campaign.Map(ctx, rc.engine(), len(scaling.PartialStrategies),
+		func(ctx context.Context, i int) (ScalingSeries, error) {
+			if err := ctx.Err(); err != nil {
+				return ScalingSeries{}, err
+			}
+			s := scaling.PartialStrategies[i]
+			return ScalingSeries{
+				Strategy: s,
+				Points:   scaling.WeakScaling(rc.o.ScalingCfg, s, WeakScalingProcs),
+			}, nil
 		})
+	return out, err
+}
+
+// Fig8Ctx runs the Figure 8 weak-scaling study.
+func Fig8Ctx(ctx context.Context, o Options) ([]ScalingSeries, error) {
+	return fig8Run(ctx, runConfig{o: o})
+}
+
+// Fig8 runs the Figure 8 weak-scaling study.
+//
+// Deprecated: use Fig8Ctx or the "fig8" Experiment.
+func Fig8(o Options) []ScalingSeries {
+	out, err := Fig8Ctx(context.Background(), o)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
 
-// Fig9 runs the mixed strong-scaling study. The paper's base deployment is
-// 100 weak-scaled processes at 12K² (4× the weak-scaling problem edge);
-// correspondingly the base grid is twice the Fig-8 edge, so the per-process
-// working set crosses the cache capacity mid-range — the "contradicting
-// effects" that create the energy-benefit sweet point.
-func Fig9(o Options) []ScalingSeries {
-	cfg := o.ScalingCfg
+// fig9Run runs the mixed strong-scaling study. The paper's base deployment
+// is 100 weak-scaled processes at 12K² (4× the weak-scaling problem edge);
+// correspondingly the base grid is twice the Fig-8 edge, so the
+// per-process working set crosses the cache capacity mid-range — the
+// "contradicting effects" that create the energy-benefit sweet point.
+// Every (strategy, scale) sample is an independent engine cell.
+func fig9Run(ctx context.Context, rc runConfig) ([]ScalingSeries, error) {
+	cfg := rc.o.ScalingCfg
 	cfg.GridX *= 2
 	cfg.GridY *= 2
-	out := make([]ScalingSeries, 0, 3)
-	for _, s := range scaling.PartialStrategies {
-		out = append(out, ScalingSeries{
-			Strategy: s,
-			Points:   scaling.StrongScaling(cfg, s, 100, StrongScalingProcs),
+	nPts := len(StrongScalingProcs)
+	pts, _, err := campaign.Map(ctx, rc.engine(), len(scaling.PartialStrategies)*nPts,
+		func(ctx context.Context, i int) (scaling.Point, error) {
+			if err := ctx.Err(); err != nil {
+				return scaling.Point{}, err
+			}
+			s := scaling.PartialStrategies[i/nPts]
+			return scaling.StrongPoint(cfg, s, 100, StrongScalingProcs[i%nPts]), nil
 		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScalingSeries, 0, len(scaling.PartialStrategies))
+	for si, s := range scaling.PartialStrategies {
+		out = append(out, ScalingSeries{Strategy: s, Points: pts[si*nPts : (si+1)*nPts]})
+	}
+	return out, nil
+}
+
+// Fig9Ctx runs the Figure 9 mixed strong-scaling study.
+func Fig9Ctx(ctx context.Context, o Options) ([]ScalingSeries, error) {
+	return fig9Run(ctx, runConfig{o: o})
+}
+
+// Fig9 runs the mixed strong-scaling study.
+//
+// Deprecated: use Fig9Ctx or the "fig9" Experiment.
+func Fig9(o Options) []ScalingSeries {
+	out, err := Fig9Ctx(context.Background(), o)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
@@ -79,17 +129,39 @@ type Fig10Row struct {
 	CoarseFraction float64
 }
 
-// Fig10 compares DGMS with the cooperative approach (both using chipkill
-// for strong and SECDED for relaxed protection, §5.3) on FT-DGEMM (high
-// spatial locality) and FT-Pred-CG (low spatial locality), error-free.
-func Fig10(o Options) []Fig10Row {
+// fig10Run compares DGMS with the cooperative approach (both using
+// chipkill for strong and SECDED for relaxed protection, §5.3) on
+// FT-DGEMM (high spatial locality) and FT-Pred-CG (low spatial locality),
+// error-free. The eight simulator runs (2 kernels × {No_ECC, W_CK, DGMS,
+// cooperative}) fan out as independent cells.
+func fig10Run(ctx context.Context, rc runConfig) ([]Fig10Row, error) {
+	kernels := []KernelID{KDGEMM, KCG}
+	type cellOut struct {
+		res    machine.Result
+		coarse float64
+	}
+	strategies := []core.Strategy{core.NoECC, core.WholeChipkill, core.PartialChipkillSECDED}
+	perKernel := len(strategies) + 1 // + the DGMS run
+	cells, _, err := campaign.Map(ctx, rc.engine(), len(kernels)*perKernel,
+		func(ctx context.Context, i int) (cellOut, error) {
+			k := kernels[i/perKernel]
+			j := i % perKernel
+			if j < len(strategies) {
+				r, err := RunKernelCtx(ctx, rc.o, k, strategies[j], abft.FullVerify)
+				return cellOut{res: r}, err
+			}
+			r, frac, err := runDGMS(ctx, rc.o, k)
+			return cellOut{res: r, coarse: frac}, err
+		})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig10Row
-	for _, k := range []KernelID{KDGEMM, KCG} {
-		base := RunKernel(o, k, core.NoECC, abft.FullVerify)
-		wck := RunKernel(o, k, core.WholeChipkill, abft.FullVerify)
-		ours := RunKernel(o, k, core.PartialChipkillSECDED, abft.FullVerify)
-		dg, frac := runDGMS(o, k)
-
+	for ki, k := range kernels {
+		base := cells[ki*perKernel+0].res
+		wck := cells[ki*perKernel+1].res
+		ours := cells[ki*perKernel+2].res
+		dg := cells[ki*perKernel+3]
 		norm := func(name string, r machine.Result, coarse float64) Fig10Row {
 			return Fig10Row{
 				Kernel:         k,
@@ -101,22 +173,41 @@ func Fig10(o Options) []Fig10Row {
 		}
 		out = append(out,
 			norm("W_CK", wck, 1),
-			norm("DGMS", dg, frac),
+			norm("DGMS", dg.res, dg.coarse),
 			norm("ARE(P_CK+P_SD)", ours, 0),
 		)
+	}
+	return out, nil
+}
+
+// Fig10Ctx runs the Figure 10 DGMS comparison.
+func Fig10Ctx(ctx context.Context, o Options) ([]Fig10Row, error) {
+	return fig10Run(ctx, runConfig{o: o})
+}
+
+// Fig10 runs the Figure 10 DGMS comparison.
+//
+// Deprecated: use Fig10Ctx or the "fig10" Experiment.
+func Fig10(o Options) []Fig10Row {
+	out, err := Fig10Ctx(context.Background(), o)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
 
 // runDGMS executes a kernel on a DGMS-equipped machine.
-func runDGMS(o Options, k KernelID) (machine.Result, float64) {
+func runDGMS(ctx context.Context, o Options, k KernelID) (machine.Result, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return machine.Result{}, 0, err
+	}
 	rt := core.NewRuntime(o.machineConfig(), core.NoECC, int64(o.Seed))
 	pred := dgms.Attach(rt.M)
 	switch k {
 	case KDGEMM:
 		d := rt.NewDGEMM(o.DGEMMN, o.Seed)
 		if err := d.Run(); err != nil {
-			panic(err)
+			return machine.Result{}, 0, err
 		}
 	case KCG:
 		c := rt.NewCG(o.CGX, o.CGY, o.Seed)
@@ -124,12 +215,12 @@ func runDGMS(o Options, k KernelID) (machine.Result, float64) {
 		c.RelTol = 0
 		c.CheckPeriod = 4
 		if _, err := c.Run(); err != nil {
-			panic(err)
+			return machine.Result{}, 0, err
 		}
 	default:
-		panic("fig10: unsupported kernel")
+		return machine.Result{}, 0, fmt.Errorf("%w: fig10 does not sweep %v", ErrUnknownKernel, k)
 	}
-	return rt.Finish(), pred.CoarseFraction()
+	return rt.Finish(), pred.CoarseFraction(), nil
 }
 
 // RenderFig10 writes the comparison as text.

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"coopabft/internal/ecc"
+	"coopabft/internal/resilience"
+)
+
+// Experiment is the unified entry point of the evaluation harness: every
+// table, figure and extension study implements it and registers under its
+// paper name, so callers (cmd/paperfigs, benchmarks, future services)
+// dispatch by name instead of a hand-maintained switch.
+type Experiment interface {
+	// Name returns the registry key ("fig5", "table1", "threshold", ...).
+	Name() string
+	// Run executes the experiment: Default() options, then the functional
+	// options, then the (possibly parallel) computation under ctx.
+	Run(ctx context.Context, opts ...Option) (Result, error)
+}
+
+// Result is one experiment's outcome: the typed rows (JSON-marshalable)
+// plus the text rendering of the paper's table/figure.
+type Result struct {
+	Experiment string        `json:"experiment"`
+	Data       any           `json:"data"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+
+	render func(io.Writer)
+}
+
+// Render writes the paper-style text table for this result.
+func (r Result) Render(w io.Writer) {
+	if r.render != nil {
+		r.render(w)
+	}
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Experiment{}
+	// registryOrder preserves registration (paper) order for Names().
+	registryOrder []string
+)
+
+// Register adds an experiment to the registry; a duplicate name panics
+// (registration is an init-time programming act, not a runtime input).
+func Register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.Name()]; dup {
+		panic(fmt.Sprintf("experiments: duplicate registration of %q", e.Name()))
+	}
+	registry[e.Name()] = e
+	registryOrder = append(registryOrder, e.Name())
+}
+
+// Lookup returns the experiment registered under name, or an error
+// wrapping ErrUnknownExperiment listing the valid names.
+func Lookup(name string) (Experiment, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	if e, ok := registry[name]; ok {
+		return e, nil
+	}
+	known := append([]string(nil), registryOrder...)
+	sort.Strings(known)
+	return nil, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownExperiment, name, known)
+}
+
+// Names lists the registered experiments in registration (paper) order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return append([]string(nil), registryOrder...)
+}
+
+// expFunc adapts a (ctx, runConfig) function into an Experiment.
+type expFunc struct {
+	name string
+	run  func(ctx context.Context, rc runConfig) (data any, render func(io.Writer), err error)
+}
+
+func (e expFunc) Name() string { return e.name }
+
+func (e expFunc) Run(ctx context.Context, opts ...Option) (Result, error) {
+	rc, err := newRunConfig(opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	data, render, err := e.run(ctx, rc)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", e.name, err)
+	}
+	return Result{Experiment: e.name, Data: data, Elapsed: time.Since(start), render: render}, nil
+}
+
+// rowsExperiment registers a run function whose row type only needs to be
+// rendered with the matching Render helper.
+func rowsExperiment[T any](name string, run func(ctx context.Context, rc runConfig) (T, error), render func(io.Writer, T)) {
+	Register(expFunc{name: name, run: func(ctx context.Context, rc runConfig) (any, func(io.Writer), error) {
+		rows, err := run(ctx, rc)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rows, func(w io.Writer) { render(w, rows) }, nil
+	}})
+}
+
+func init() {
+	// Paper order: system parameters first, then §5.1, §5.2, §5.3, then
+	// the extensions beyond the paper's figures (see EXPERIMENTS.md).
+	rowsExperiment("table3",
+		func(_ context.Context, rc runConfig) (Options, error) { return rc.o, nil },
+		func(w io.Writer, o Options) { RenderTable3(w, o) })
+	rowsExperiment("fig3", fig3Run, RenderFig3)
+	rowsExperiment("table1", table1Run, RenderTable1)
+	rowsExperiment("table4", table4Run, RenderTable4)
+	rowsExperiment("fig5", fig567Run, RenderFig5)
+	rowsExperiment("fig6", fig567Run, RenderFig6)
+	rowsExperiment("fig7", fig567Run, RenderFig7)
+	rowsExperiment("headlines", headlinesRun, RenderHeadlines)
+	rowsExperiment("table5",
+		func(_ context.Context, _ runConfig) (struct{}, error) { return struct{}{}, nil },
+		func(w io.Writer, _ struct{}) { RenderTable5(w) })
+	rowsExperiment("fig8", fig8Run, func(w io.Writer, s []ScalingSeries) {
+		RenderScaling(w, "Figure 8: weak scaling (energy benefit vs ABFT recovery cost)", s)
+	})
+	rowsExperiment("fig9", fig9Run, func(w io.Writer, s []ScalingSeries) {
+		RenderScaling(w, "Figure 9: strong scaling (energy benefit vs ABFT recovery cost)", s)
+	})
+	rowsExperiment("fig10", fig10Run, RenderFig10)
+	rowsExperiment("cases", casesRun, func(w io.Writer, rows map[string][]resilience.CaseRow) {
+		for _, scheme := range []string{"secded", "chipkill"} {
+			resilience.Render(w, rows[scheme])
+		}
+	})
+	rowsExperiment("capability", capabilityRun, resilience.RenderCapability)
+	rowsExperiment("threshold",
+		func(ctx context.Context, rc runConfig) ([]ThresholdPoint, error) {
+			return thresholdStudyRun(ctx, rc, DefaultThresholdErrors)
+		},
+		RenderThreshold)
+}
+
+// casesRun measures the §4 case frequencies on the real codecs for both
+// strong schemes.
+func casesRun(ctx context.Context, rc runConfig) (map[string][]resilience.CaseRow, error) {
+	out := map[string][]resilience.CaseRow{}
+	for _, s := range []struct {
+		key    string
+		scheme ecc.Scheme
+	}{{"secded", ecc.SECDED}, {"chipkill", ecc.Chipkill}} {
+		rows, err := resilience.ClassifyCasesCtx(ctx, s.scheme, rc.o.CaseTrials, int64(rc.o.Seed), rc.engine())
+		if err != nil {
+			return nil, err
+		}
+		out[s.key] = rows
+	}
+	return out, nil
+}
+
+// DefaultCapabilityErrors is the swept simultaneous-error axis of the
+// capability curves.
+var DefaultCapabilityErrors = []int{1, 2, 4, 8}
+
+// capabilityRun measures per-kernel multi-error repair rates.
+func capabilityRun(ctx context.Context, rc runConfig) ([][]resilience.CapabilityPoint, error) {
+	eng := rc.engine()
+	curves := make([][]resilience.CapabilityPoint, 0, len(resilience.CapabilityKernels))
+	for _, k := range resilience.CapabilityKernels {
+		c, err := resilience.CapabilityCurveCtx(ctx, k, 24, DefaultCapabilityErrors, rc.o.CapTrials, int64(rc.o.Seed), eng)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,10 +18,13 @@ type Table4Row struct {
 	Ratio     float64
 }
 
-// Table4 profiles LLC misses for each kernel (the classification is
+// table4Run profiles LLC misses for each kernel (the classification is
 // scheme-independent; W_CK is used as in the paper's default).
-func Table4(o Options) []Table4Row {
-	res := Basic(o)
+func table4Run(ctx context.Context, rc runConfig) ([]Table4Row, error) {
+	res, err := basicCached(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Table4Row, 0, len(AllKernels))
 	for _, k := range AllKernels {
 		r := res[k][core.WholeChipkill]
@@ -30,7 +34,23 @@ func Table4(o Options) []Table4Row {
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
+}
+
+// Table4Ctx computes the Table 4 LLC-miss classification.
+func Table4Ctx(ctx context.Context, o Options) ([]Table4Row, error) {
+	return table4Run(ctx, runConfig{o: o})
+}
+
+// Table4 computes the Table 4 LLC-miss classification.
+//
+// Deprecated: use Table4Ctx or the "table4" Experiment.
+func Table4(o Options) []Table4Row {
+	rows, err := Table4Ctx(context.Background(), o)
+	if err != nil {
+		panic(err)
+	}
+	return rows
 }
 
 // RenderTable4 writes Table 4 as text.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"coopabft/internal/bifit"
+	"coopabft/internal/campaign"
 	"coopabft/internal/core"
 	"coopabft/internal/machine"
 )
@@ -24,35 +26,68 @@ type ThresholdPoint struct {
 	ARERecoveries int
 }
 
-// splitmix generates the deterministic injection-site stream.
-func splitmix(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// DefaultThresholdErrors is the swept error-count axis.
+var DefaultThresholdErrors = []int{0, 4, 16, 64, 256, 1024}
 
-// ThresholdStudy runs the sweep. Errors are single-bit flips in FT-CG's
+// thresholdStudyRun runs the sweep. Errors are single-bit flips in FT-CG's
 // residual vector — correctable by both chipkill and ABFT (§4 Case 1).
-func ThresholdStudy(o Options, errorCounts []int) []ThresholdPoint {
+// Each (error count, configuration) pair is an independent engine cell:
+// the injection-site stream is a pure function of (o.Seed, error index),
+// so the sweep is bit-identical at any worker count.
+func thresholdStudyRun(ctx context.Context, rc runConfig, errorCounts []int) ([]ThresholdPoint, error) {
+	type half struct {
+		res machine.Result
+		rec int
+	}
+	halves, _, err := campaign.Map(ctx, rc.engine(), 2*len(errorCounts),
+		func(ctx context.Context, i int) (half, error) {
+			if err := ctx.Err(); err != nil {
+				return half{}, err
+			}
+			n := errorCounts[i/2]
+			s := core.PartialChipkillNoECC // ARE half
+			if i%2 == 1 {
+				s = core.WholeChipkill // ASE half
+			}
+			res, rec, err := thresholdRun(rc.o, s, n)
+			return half{res, rec}, err
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]ThresholdPoint, 0, len(errorCounts))
-	for _, n := range errorCounts {
-		are, rec := thresholdRun(o, core.PartialChipkillNoECC, n)
-		ase, _ := thresholdRun(o, core.WholeChipkill, n)
+	for i, n := range errorCounts {
+		are, ase := halves[2*i], halves[2*i+1]
 		out = append(out, ThresholdPoint{
 			Errors:        n,
-			AREEnergyJ:    are.SystemEnergyJ,
-			ASEEnergyJ:    ase.SystemEnergyJ,
-			ARESeconds:    are.Seconds,
-			ASESeconds:    ase.Seconds,
-			ARERecoveries: rec,
+			AREEnergyJ:    are.res.SystemEnergyJ,
+			ASEEnergyJ:    ase.res.SystemEnergyJ,
+			ARESeconds:    are.res.Seconds,
+			ASESeconds:    ase.res.Seconds,
+			ARERecoveries: are.rec,
 		})
+	}
+	return out, nil
+}
+
+// ThresholdStudyCtx runs the ARE-vs-ASE sweep over the given error counts.
+func ThresholdStudyCtx(ctx context.Context, o Options, errorCounts []int) ([]ThresholdPoint, error) {
+	return thresholdStudyRun(ctx, runConfig{o: o}, errorCounts)
+}
+
+// ThresholdStudy runs the ARE-vs-ASE sweep.
+//
+// Deprecated: use ThresholdStudyCtx or the "threshold" Experiment.
+func ThresholdStudy(o Options, errorCounts []int) []ThresholdPoint {
+	out, err := ThresholdStudyCtx(context.Background(), o, errorCounts)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
 
 // thresholdRun executes FT-CG with n injected errors under a strategy.
-func thresholdRun(o Options, s core.Strategy, n int) (res machine.Result, recoveries int) {
+func thresholdRun(o Options, s core.Strategy, n int) (res machine.Result, recoveries int, err error) {
 	rt := core.NewRuntime(o.machineConfig(), s, int64(o.Seed))
 	cg := rt.NewCG(o.CGX, o.CGY, o.Seed)
 	cg.MaxIter = o.CGIters
@@ -62,19 +97,25 @@ func thresholdRun(o Options, s core.Strategy, n int) (res machine.Result, recove
 	r, _ := cg.VecFor("r")
 	tgt := bifit.Target{Data: r.Data, Reg: r.Reg}
 	// Spread n injections evenly over the iterations (several per
-	// iteration when n exceeds the iteration count).
+	// iteration when n exceeds the iteration count). The site stream is a
+	// pure function of (o.Seed, j): no shared RNG state.
 	perIter := make([][]int, o.CGIters)
 	for j := 0; j < n; j++ {
 		it := j % o.CGIters
-		elem := int(splitmix(uint64(j)*2654435761+o.Seed) % uint64(len(r.Data)))
+		elem := int(campaign.Splitmix64(uint64(j)*2654435761+o.Seed) % uint64(len(r.Data)))
 		perIter[it] = append(perIter[it], elem)
 	}
 	hw := s == core.WholeChipkill
+	var injectErr error
 	cg.OnIteration = func(iter int) {
+		if injectErr != nil {
+			return
+		}
 		for _, elem := range perIter[iter] {
 			// A single-bit flip in a high mantissa bit: Case 1 material.
 			if err := rt.Injector.FlipBits(tgt, elem, []int{51}); err != nil {
-				panic(err)
+				injectErr = err
+				return
 			}
 			if hw {
 				// Under strong ECC the error is corrected at the next fetch
@@ -82,16 +123,20 @@ func thresholdRun(o Options, s core.Strategy, n int) (res machine.Result, recove
 				// fetch directly at the controller (a patrol/demand read).
 				paddr, err := rt.M.OS.Translate(tgt.Reg.Base + uint64(elem)*8)
 				if err != nil {
-					panic(err)
+					injectErr = err
+					return
 				}
 				rt.M.Ctl.Access(rt.M.Core.Now(), paddr, false, true)
 			}
 		}
 	}
 	if _, err := cg.Run(); err != nil {
-		panic(fmt.Sprintf("threshold run: %v", err))
+		return machine.Result{}, 0, fmt.Errorf("threshold run: %w", err)
 	}
-	return rt.Finish(), cg.Recoveries
+	if injectErr != nil {
+		return machine.Result{}, 0, fmt.Errorf("threshold run: inject: %w", injectErr)
+	}
+	return rt.Finish(), cg.Recoveries, nil
 }
 
 // RenderThreshold writes the sweep as a table and reports the crossover.

@@ -52,14 +52,7 @@ func DefaultConfig() Config {
 // per-chip physics, not capacity.
 func ScaledConfig(divisor int) Config {
 	c := DefaultConfig()
-	c.L2.SizeBytes /= divisor
-	if c.L2.SizeBytes < c.L2.Ways*cache.LineBytes {
-		c.L2.SizeBytes = c.L2.Ways * cache.LineBytes
-	}
-	d := float64(divisor)
-	c.CPU.MaxPowerW /= d
-	c.CPU.IdlePowerW /= d
-	c.DRAM.BackgroundPowerW /= d
+	WithL2Divisor(divisor)(&c)
 	return c
 }
 

@@ -1,11 +1,13 @@
 package resilience
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"coopabft/internal/abft"
+	"coopabft/internal/campaign"
 	"coopabft/internal/mat"
 )
 
@@ -72,14 +74,31 @@ func (p CapabilityPoint) RepairRate() float64 {
 	return float64(p.Repaired) / float64(p.Trials)
 }
 
-// CapabilityCurve sweeps simultaneous error counts for one kernel.
-func CapabilityCurve(kernel KernelName, size int, errorCounts []int, trials int, seed int64) []CapabilityPoint {
-	rng := rand.New(rand.NewSource(seed))
+// CapabilityCurveCtx sweeps simultaneous error counts for one kernel,
+// fanning the (error count, trial) grid across the engine (nil = serial).
+// Each trial runs on a generator derived from (seed, flat trial index), so
+// the curve is bit-identical for any worker count.
+func CapabilityCurveCtx(ctx context.Context, kernel KernelName, size int, errorCounts []int, trials int, seed int64, eng *campaign.Engine) ([]CapabilityPoint, error) {
+	if eng == nil {
+		eng = campaign.New(campaign.WithWorkers(1))
+	}
+	outcomes, _, err := campaign.Map(ctx, eng, len(errorCounts)*trials,
+		func(ctx context.Context, i int) (trialOutcome, error) {
+			if err := ctx.Err(); err != nil {
+				return trialDetected, err
+			}
+			k := errorCounts[i/trials]
+			rng := rand.New(rand.NewSource(int64(campaign.CellSeed(uint64(seed), uint64(i)))))
+			return runCapabilityTrial(kernel, size, k, rng), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]CapabilityPoint, 0, len(errorCounts))
-	for _, k := range errorCounts {
+	for ki, k := range errorCounts {
 		p := CapabilityPoint{Kernel: kernel, Errors: k, Trials: trials}
 		for t := 0; t < trials; t++ {
-			switch runCapabilityTrial(kernel, size, k, rng) {
+			switch outcomes[ki*trials+t] {
 			case trialRepaired:
 				p.Repaired++
 			case trialDetected:
@@ -89,6 +108,18 @@ func CapabilityCurve(kernel KernelName, size int, errorCounts []int, trials int,
 			}
 		}
 		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CapabilityCurve sweeps simultaneous error counts for one kernel,
+// serially.
+//
+// Deprecated: use CapabilityCurveCtx.
+func CapabilityCurve(kernel KernelName, size int, errorCounts []int, trials int, seed int64) []CapabilityPoint {
+	out, err := CapabilityCurveCtx(context.Background(), kernel, size, errorCounts, trials, seed, nil)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }

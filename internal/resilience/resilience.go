@@ -9,10 +9,12 @@
 package resilience
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
+	"coopabft/internal/campaign"
 	"coopabft/internal/ecc"
 )
 
@@ -107,35 +109,95 @@ func (o Outcome) Rate(n int) float64 {
 	return float64(n) / float64(o.Trials)
 }
 
-// RunCampaign injects `trials` random patterns of the family into encoded
-// zero lines (exact for linear codes) under the scheme's codec.
-func RunCampaign(scheme ecc.Scheme, family PatternFamily, trials int, seed int64) Outcome {
-	rng := rand.New(rand.NewSource(seed))
-	codec := ecc.LineCodec{Scheme: scheme}
-	out := Outcome{Trials: trials}
-	for t := 0; t < trials; t++ {
-		line := family.generate(rng)
-		if scheme == ecc.None {
-			out.Passthrough++
-			continue
-		}
-		var stored [ecc.LineSize]byte
-		check := codec.Encode(&stored) // clean redundancy for the zero line
-		stored = line                  // apply the error pattern
-		switch codec.Decode(&stored, check) {
-		case ecc.OK:
-			// Impossible for a nonzero pattern on a distance-≥3 code unless
-			// the pattern aliased to a codeword; count as miscorrection.
+// add accumulates another outcome (order-independent, so partial tallies
+// from parallel workers sum deterministically).
+func (o *Outcome) add(p Outcome) {
+	o.Trials += p.Trials
+	o.Corrected += p.Corrected
+	o.Detected += p.Detected
+	o.Miscorrected += p.Miscorrected
+	o.Passthrough += p.Passthrough
+}
+
+// runTrial injects one random pattern of the family into an encoded zero
+// line (exact for linear codes) under the scheme's codec. The trial's RNG
+// is derived from (seed, trial index) alone — never shared across trials —
+// so a campaign's tally is identical for any trial schedule.
+func runTrial(codec ecc.LineCodec, family PatternFamily, seed int64, trial int) Outcome {
+	rng := rand.New(rand.NewSource(int64(campaign.CellSeed(uint64(seed), uint64(trial)))))
+	line := family.generate(rng)
+	out := Outcome{Trials: 1}
+	if codec.Scheme == ecc.None {
+		out.Passthrough++
+		return out
+	}
+	var stored [ecc.LineSize]byte
+	check := codec.Encode(&stored) // clean redundancy for the zero line
+	stored = line                  // apply the error pattern
+	switch codec.Decode(&stored, check) {
+	case ecc.OK:
+		// Impossible for a nonzero pattern on a distance-≥3 code unless
+		// the pattern aliased to a codeword; count as miscorrection.
+		out.Miscorrected++
+	case ecc.Corrected:
+		if stored == [ecc.LineSize]byte{} {
+			out.Corrected++
+		} else {
 			out.Miscorrected++
-		case ecc.Corrected:
-			if stored == [ecc.LineSize]byte{} {
-				out.Corrected++
-			} else {
-				out.Miscorrected++
-			}
-		case ecc.Detected:
-			out.Detected++
 		}
+	case ecc.Detected:
+		out.Detected++
+	}
+	return out
+}
+
+// RunCampaignCtx injects `trials` per-trial-seeded patterns of the family
+// under the scheme's codec, fanning blocks of trials across the engine
+// (nil = serial). The tally is bit-identical for any worker count.
+func RunCampaignCtx(ctx context.Context, scheme ecc.Scheme, family PatternFamily, trials int, seed int64, eng *campaign.Engine) (Outcome, error) {
+	codec := ecc.LineCodec{Scheme: scheme}
+	if eng == nil {
+		eng = campaign.New(campaign.WithWorkers(1))
+	}
+	// Chunk the trial space so cells amortize scheduling overhead; the
+	// per-trial seeds make the partition irrelevant to the result.
+	chunks := eng.Workers() * 8
+	if chunks > trials {
+		chunks = trials
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	parts, _, err := campaign.Map(ctx, eng, chunks,
+		func(ctx context.Context, c int) (Outcome, error) {
+			if err := ctx.Err(); err != nil {
+				return Outcome{}, err
+			}
+			lo, hi := c*trials/chunks, (c+1)*trials/chunks
+			var part Outcome
+			for t := lo; t < hi; t++ {
+				part.add(runTrial(codec, family, seed, t))
+			}
+			return part, nil
+		})
+	if err != nil {
+		return Outcome{}, err
+	}
+	var out Outcome
+	for _, p := range parts {
+		out.add(p)
+	}
+	return out, nil
+}
+
+// RunCampaign injects `trials` random patterns of the family under the
+// scheme's codec, serially.
+//
+// Deprecated: use RunCampaignCtx, which threads a context and an engine.
+func RunCampaign(scheme ecc.Scheme, family PatternFamily, trials int, seed int64) Outcome {
+	out, err := RunCampaignCtx(context.Background(), scheme, family, trials, seed, nil)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
@@ -159,12 +221,16 @@ type CaseRow struct {
 	SilentSDC float64 // miscorrection rate: undetectable by either side alone
 }
 
-// ClassifyCases runs campaigns for every family against a strong scheme and
-// derives the §4 case frequencies.
-func ClassifyCases(strong ecc.Scheme, trials int, seed int64) []CaseRow {
+// ClassifyCasesCtx runs campaigns for every family against a strong
+// scheme and derives the §4 case frequencies, sharing one engine across
+// the families' trial fan-outs.
+func ClassifyCasesCtx(ctx context.Context, strong ecc.Scheme, trials int, seed int64, eng *campaign.Engine) ([]CaseRow, error) {
 	rows := make([]CaseRow, 0, len(Families))
 	for _, f := range Families {
-		o := RunCampaign(strong, f, trials, seed)
+		o, err := RunCampaignCtx(ctx, strong, f, trials, seed, eng)
+		if err != nil {
+			return nil, err
+		}
 		r := CaseRow{Family: f, Strong: strong, Outcome: o}
 		abft := ABFTCorrects(f)
 		if abft {
@@ -176,6 +242,18 @@ func ClassifyCases(strong ecc.Scheme, trials int, seed int64) []CaseRow {
 		}
 		r.SilentSDC = o.Rate(o.Miscorrected)
 		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// ClassifyCases runs campaigns for every family against a strong scheme
+// and derives the §4 case frequencies, serially.
+//
+// Deprecated: use ClassifyCasesCtx.
+func ClassifyCases(strong ecc.Scheme, trials int, seed int64) []CaseRow {
+	rows, err := ClassifyCasesCtx(context.Background(), strong, trials, seed, nil)
+	if err != nil {
+		panic(err)
 	}
 	return rows
 }

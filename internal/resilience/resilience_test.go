@@ -72,8 +72,12 @@ func TestNoECCPassthrough(t *testing.T) {
 }
 
 func TestBurstRatesSane(t *testing.T) {
-	sd := RunCampaign(ecc.SECDED, Burst64, 1000, 7)
-	ck := RunCampaign(ecc.Chipkill, Burst64, 1000, 7)
+	// 4000 trials: the rarest asserted event (a burst straddling the two
+	// codeword halves with one symbol in each, which chipkill corrects)
+	// occurs at ≈0.25%, so the expected count is ~10 and the checks are
+	// not seed-luck.
+	sd := RunCampaign(ecc.SECDED, Burst64, 4000, 7)
+	ck := RunCampaign(ecc.Chipkill, Burst64, 4000, 7)
 	for _, o := range []Outcome{sd, ck} {
 		if o.Corrected+o.Detected+o.Miscorrected+o.Passthrough != o.Trials {
 			t.Errorf("outcomes don't sum: %+v", o)

@@ -162,36 +162,44 @@ func WeakScaling(cfg Config, s core.Strategy, procs []int) []Point {
 	return out
 }
 
+// StrongPoint measures one Figure 9 sample: the mixed deployment at p
+// processes, per-process problem shrunk as 1/√(P/base) per dimension. It
+// is a pure function of (cfg, s, baseProcs, p) and shares no state with
+// other points, so the campaign engine can fan points out freely.
+func StrongPoint(cfg Config, s core.Strategy, baseProcs, p int) Point {
+	shrink := math.Sqrt(float64(baseProcs) / float64(p))
+	sub := cfg
+	sub.GridX = maxInt(8, int(float64(cfg.GridX)*shrink))
+	sub.GridY = maxInt(8, int(float64(cfg.GridY)*shrink))
+
+	perProc := MeasureCG(sub, s, false)
+	base := MeasureCG(sub, baselineFor(s), false)
+	recovery := RecoveryEnergy(sub, s)
+	deltaJ := base.SystemEnergyJ - perProc.SystemEnergyJ
+
+	fit := s.ABFTScheme().FITPerMbit()
+	eff := efficiency(cfg.StrongEffLogCoeff, p, baseProcs)
+	seconds := perProc.Seconds / eff
+	footprint := perProc.ABFTBytes * float64(p)
+	mttf := faultmodel.MTTF(fit, footprint*8/1e6, 1, 1)
+	ne := faultmodel.ExpectedErrors(seconds, 0, mttf)
+	return Point{
+		Processes:       p,
+		EnergyBenefitJ:  float64(p) * deltaJ / eff,
+		RecoveryCostJ:   ne * recovery,
+		ExpectedErrors:  ne,
+		PerProcSeconds:  seconds,
+		PerProcBenefitJ: deltaJ,
+	}
+}
+
 // StrongScaling reproduces Figure 9: the paper's mixed deployment — weak
 // scaling to baseProcs processes of GridX×GridY each, then strong scaling
-// beyond, shrinking the per-process problem as 1/√(P/base) per dimension.
+// beyond.
 func StrongScaling(cfg Config, s core.Strategy, baseProcs int, procs []int) []Point {
-	fit := s.ABFTScheme().FITPerMbit()
 	out := make([]Point, 0, len(procs))
 	for _, p := range procs {
-		shrink := math.Sqrt(float64(baseProcs) / float64(p))
-		sub := cfg
-		sub.GridX = maxInt(8, int(float64(cfg.GridX)*shrink))
-		sub.GridY = maxInt(8, int(float64(cfg.GridY)*shrink))
-
-		perProc := MeasureCG(sub, s, false)
-		base := MeasureCG(sub, baselineFor(s), false)
-		recovery := RecoveryEnergy(sub, s)
-		deltaJ := base.SystemEnergyJ - perProc.SystemEnergyJ
-
-		eff := efficiency(cfg.StrongEffLogCoeff, p, baseProcs)
-		seconds := perProc.Seconds / eff
-		footprint := perProc.ABFTBytes * float64(p)
-		mttf := faultmodel.MTTF(fit, footprint*8/1e6, 1, 1)
-		ne := faultmodel.ExpectedErrors(seconds, 0, mttf)
-		out = append(out, Point{
-			Processes:       p,
-			EnergyBenefitJ:  float64(p) * deltaJ / eff,
-			RecoveryCostJ:   ne * recovery,
-			ExpectedErrors:  ne,
-			PerProcSeconds:  seconds,
-			PerProcBenefitJ: deltaJ,
-		})
+		out = append(out, StrongPoint(cfg, s, baseProcs, p))
 	}
 	return out
 }
