@@ -10,3 +10,7 @@ cd "$(dirname "$0")"
 go vet ./...
 go build ./...
 go test -race -short ./...
+
+# Bench smoke: compile and run every benchmark once so the GFLOP/s suite
+# (kernel layer, tables/figures) can't silently rot.
+go test -bench=. -benchtime=1x -run='^$' ./...

@@ -142,7 +142,7 @@ func (c *Cholesky) Run() error {
 		if rest > 0 {
 			// 3. Panel solve A21 → L21.
 			a21 := c.A.View(k+b, k, rest, b)
-			solvePanelXLT(a21, a11)
+			mat.SolveXLT(a21, a11)
 			c.touchBlockFull(k+b, k, rest, b, true)
 			c.ops(&c.Ops.Compute, rest*b*b)
 
@@ -201,37 +201,15 @@ func (c *Cholesky) touchBlockFull(r0, c0, rows, cols int, write bool) {
 	}
 }
 
-// solvePanelXLT solves X·L11ᵀ = A21 in place.
-func solvePanelXLT(b, l *mat.Matrix) {
-	n := l.Rows
-	for i := 0; i < b.Rows; i++ {
-		row := b.Data[i*b.Stride : i*b.Stride+n]
-		for j := 0; j < n; j++ {
-			s := row[j]
-			lrow := l.Data[j*l.Stride : j*l.Stride+j]
-			for p, lv := range lrow {
-				s -= lv * row[p]
-			}
-			row[j] = s / l.At(j, j)
-		}
-	}
-}
-
-// trailingUpdate computes A[t:,t:] -= W·Wᵀ on the lower triangle, with
-// instrumentation.
+// trailingUpdate computes A[t:,t:] -= W·Wᵀ on the lower triangle through
+// the packed SYRK kernel, then reports the same per-row access pattern the
+// scalar loop produced so the simulated traffic is unchanged.
 func (c *Cholesky) trailingUpdate(t, rest, b int) {
+	a22 := c.A.View(t, t, rest, rest)
+	w := c.W.View(0, 0, rest, b)
+	mat.SyrkLowerSub(a22, w)
 	for i := 0; i < rest; i++ {
-		wi := c.W.Row(i)[:b]
-		arow := c.A.Row(t + i)
 		c.W.TouchRow(i, 0, b, false)
-		for j := 0; j <= i; j++ {
-			wj := c.W.Row(j)[:b]
-			s := 0.0
-			for p, v := range wi {
-				s += v * wj[p]
-			}
-			arow[t+j] -= s
-		}
 		// One workspace row read per j plus the updated row segment.
 		c.W.TouchRow(0, 0, b*min(i+1, 8), false) // sampled W row traffic
 		c.A.TouchRow(t+i, t, i+1, true)

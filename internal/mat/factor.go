@@ -72,11 +72,11 @@ func CholeskyBlocked(a *Matrix, block int, stepHook func(done int) error) error 
 			rest := n - j - b
 			a21 := a.View(j+b, j, rest, b)
 			// Solve L21·L11ᵀ = A21  (forward substitution on rows of A21).
-			solveXLT(a21, a11)
+			SolveXLT(a21, a11)
 			// Trailing update A22 -= L21·L21ᵀ (lower triangle only; the
 			// upper triangle is dead storage until zeroed at the end).
 			a22 := a.View(j+b, j+b, rest, rest)
-			syrkLower(a22, a21)
+			SyrkLowerSub(a22, a21)
 		}
 		if stepHook != nil {
 			if err := stepHook(j + b); err != nil {
@@ -92,48 +92,95 @@ func CholeskyBlocked(a *Matrix, block int, stepHook func(done int) error) error 
 	return nil
 }
 
-// solveXLT solves X·Lᵀ = B in place (B overwritten with X) where l is lower
-// triangular. Row i of B: x·Lᵀ = b  ⇔  L·xᵀ = bᵀ, forward substitution.
-func solveXLT(b, l *Matrix) {
-	n := l.Rows
-	for i := 0; i < b.Rows; i++ {
-		row := b.Data[i*b.Stride : i*b.Stride+n]
-		for j := 0; j < n; j++ {
-			s := row[j]
-			lrow := l.Data[j*l.Stride : j*l.Stride+j]
-			for k, lv := range lrow {
-				s -= lv * row[k]
-			}
-			row[j] = s / l.At(j, j)
-		}
-	}
-}
-
-// syrkLower computes c -= l·lᵀ on the lower triangle of c (including the
-// diagonal).
-func syrkLower(c, l *Matrix) {
-	for i := 0; i < c.Rows; i++ {
-		li := l.Data[i*l.Stride : i*l.Stride+l.Cols]
-		for j := 0; j <= i; j++ {
-			lj := l.Data[j*l.Stride : j*l.Stride+l.Cols]
-			s := 0.0
-			for k, v := range li {
-				s += v * lj[k]
-			}
-			c.Add(i, j, -s)
-		}
-	}
-}
+// luPanelBlock is the panel width of the blocked right-looking LU, and
+// luBlockMin the matrix size from which the blocked path pays off.
+const (
+	luPanelBlock = 48
+	luBlockMin   = 96
+)
 
 // LU factors a in place into P·a = L·U with partial pivoting. The unit lower
 // triangle of L is stored below the diagonal, U on and above. It returns the
 // pivot permutation (piv[k] = row swapped into position k at step k).
 // stepHook, if non-nil, runs after each elimination column; the ABFT layer
 // uses it for per-step checksum verification.
+//
+// Large hook-free factorizations take the blocked right-looking path (the
+// HPL schema: panel factorization, pivot swaps across the full rows, a
+// small triangular solve for U12, and a rank-k trailing update through the
+// packed GEMM kernel). With a stepHook the column-at-a-time reference runs
+// instead, preserving the exact per-column intermediate states hooks
+// observe.
 func LU(a *Matrix, stepHook func(col int) error) (piv []int, err error) {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("mat: LU of non-square %dx%d", a.Rows, a.Cols))
 	}
+	if stepHook == nil && a.Rows >= luBlockMin {
+		return luBlocked(a)
+	}
+	return luUnblocked(a, stepHook)
+}
+
+// luBlocked is the right-looking blocked LU behind hook-free calls.
+func luBlocked(a *Matrix) ([]int, error) {
+	n := a.Rows
+	piv := make([]int, n)
+	for k0 := 0; k0 < n; k0 += luPanelBlock {
+		bw := min(luPanelBlock, n-k0)
+		// Panel factorization over columns [k0, k0+bw): pivot search on the
+		// fully updated panel columns, swaps applied to the whole rows.
+		for j := k0; j < k0+bw; j++ {
+			p, maxv := j, math.Abs(a.At(j, j))
+			for i := j + 1; i < n; i++ {
+				if v := math.Abs(a.At(i, j)); v > maxv {
+					p, maxv = i, v
+				}
+			}
+			if maxv == 0 {
+				return piv, ErrSingular
+			}
+			piv[j] = p
+			if p != j {
+				SwapRows(a, j, p)
+			}
+			d := a.At(j, j)
+			for i := j + 1; i < n; i++ {
+				m := a.At(i, j) / d
+				a.Set(i, j, m)
+				urow := a.Data[j*a.Stride+j+1 : j*a.Stride+k0+bw]
+				irow := a.Data[i*a.Stride+j+1 : i*a.Stride+k0+bw]
+				for q, uv := range urow {
+					irow[q] -= m * uv
+				}
+			}
+		}
+		if k0+bw < n {
+			rest := n - k0 - bw
+			// U12 = L11⁻¹·A12: forward substitution with the unit lower
+			// panel triangle, row by row.
+			for r := 1; r < bw; r++ {
+				lrow := a.Data[(k0+r)*a.Stride+k0 : (k0+r)*a.Stride+k0+r]
+				rrow := a.Data[(k0+r)*a.Stride+k0+bw : (k0+r)*a.Stride+n]
+				for p, lv := range lrow {
+					prow := a.Data[(k0+p)*a.Stride+k0+bw : (k0+p)*a.Stride+n]
+					for q, pv := range prow {
+						rrow[q] -= lv * pv
+					}
+				}
+			}
+			// Trailing rank-bw update A22 -= L21·U12 through the packed
+			// parallel kernel — the dominant cost of the factorization.
+			a21 := a.View(k0+bw, k0, rest, bw)
+			u12 := a.View(k0, k0+bw, bw, rest)
+			a22 := a.View(k0+bw, k0+bw, rest, rest)
+			mulAdd(a22, a21, u12, -1, false)
+		}
+	}
+	return piv, nil
+}
+
+// luUnblocked is the column-at-a-time reference elimination.
+func luUnblocked(a *Matrix, stepHook func(col int) error) (piv []int, err error) {
 	n := a.Rows
 	piv = make([]int, n)
 	for k := 0; k < n; k++ {

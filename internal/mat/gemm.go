@@ -2,8 +2,9 @@ package mat
 
 import "fmt"
 
-// gemmBlock is the cache-blocking factor for MulInto. 64 float64 = one 4KB
-// tile per operand pair at 64×64, comfortably inside the modeled L1.
+// gemmBlock is the cache-blocking factor for the small-problem fallback
+// loop. 64 float64 = one 4KB tile per operand pair at 64×64, comfortably
+// inside the modeled L1.
 const gemmBlock = 64
 
 // Mul returns a×b as a new matrix.
@@ -23,32 +24,18 @@ func MulInto(c, a, b *Matrix) {
 	MulAddInto(c, a, b)
 }
 
-// MulAddInto computes c += a×b with i-k-j loop order blocked for locality.
+// MulAddInto computes c += a×b through the packed micro-kernel (kernel.go),
+// parallel over row bands for large problems and serial below the
+// threshold. Every element accumulates its k-products in ascending order,
+// so the result is bit-identical to a naive triple loop — including
+// NaN/Inf propagation: a zero in a times a NaN/Inf in b contributes NaN,
+// never a silent skip — at any blocking or parallelism.
 func MulAddInto(c, a, b *Matrix) {
-	n, k, m := a.Rows, a.Cols, b.Cols
-	for ii := 0; ii < n; ii += gemmBlock {
-		iMax := min(ii+gemmBlock, n)
-		for kk := 0; kk < k; kk += gemmBlock {
-			kMax := min(kk+gemmBlock, k)
-			for jj := 0; jj < m; jj += gemmBlock {
-				jMax := min(jj+gemmBlock, m)
-				for i := ii; i < iMax; i++ {
-					crow := c.Data[i*c.Stride : i*c.Stride+m]
-					arow := a.Data[i*a.Stride : i*a.Stride+k]
-					for p := kk; p < kMax; p++ {
-						av := arow[p]
-						if av == 0 {
-							continue
-						}
-						brow := b.Data[p*b.Stride : p*b.Stride+m]
-						for j := jj; j < jMax; j++ {
-							crow[j] += av * brow[j]
-						}
-					}
-				}
-			}
-		}
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulAddInto shape mismatch: c %dx%d += a %dx%d × b %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	mulAdd(c, a, b, 1, false)
 }
 
 // MulVec returns a·x for an a.Rows-length result.
@@ -58,25 +45,28 @@ func MulVec(a *Matrix, x []float64) []float64 {
 	return y
 }
 
-// MulVecInto computes y = a·x.
+// MulVecInto computes y = a·x, parallel over row bands when the problem is
+// large enough; each row's dot product is a single serial pass, so the
+// result is bit-identical at any worker count.
 func MulVecInto(y []float64, a *Matrix, x []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic(fmt.Sprintf("mat: MulVecInto shape mismatch: y[%d] = a %dx%d · x[%d]",
 			len(y), a.Rows, a.Cols, len(x)))
 	}
-	for i := 0; i < a.Rows; i++ {
-		row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			s := 0.0
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] = s
 		}
-		y[i] = s
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
+	workers := workersFor(a.Rows, 2*a.Rows*a.Cols)
+	if workers <= 1 {
+		rows(0, a.Rows)
+		return
 	}
-	return b
+	runBands(rowBands(a.Rows, workers), rows)
 }

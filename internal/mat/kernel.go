@@ -1,0 +1,359 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Packed GEMM micro-kernel layer.
+//
+// The classic fix for a stride-hopping triple loop: copy the A and B panels
+// the inner loops will consume into contiguous, cache-sized buffers laid out
+// exactly in kernel consumption order, then run an unrolled register
+// micro-kernel over them (Goto & van de Geijn; the same substrate FT-BLAS
+// and FT-GEMM build their fault-tolerant GEMMs on). Packing buffers are
+// recycled through a sync.Pool so steady-state GEMM does no allocation.
+//
+// Determinism contract: every output element is accumulated in ascending-k
+// order starting from its current value — the micro-kernel seeds its
+// register accumulators from C — so the result is bit-identical to the
+// scalar reference loop regardless of cache blocking, micro-tile shape, or
+// row-band parallelism. Tests assert exact bit equality.
+
+const (
+	// mr×nr is the register micro-tile: 8 accumulators plus 6 operand
+	// temporaries fit the 16-register amd64 FP file with room to spare.
+	// (A 4×4 tile measures ~2× slower here: its 16 accumulators spill
+	// every iteration.)
+	mr = 2
+	nr = 4
+
+	// kcBlock sizes the packed panels' shared k extent: an mr×kcBlock
+	// A micro-panel (8KB) plus an nr×kcBlock B micro-panel stay L1-warm.
+	kcBlock = 256
+	// mcBlock rows of packed A (mcBlock×kcBlock = 512KB ceiling) target L2.
+	mcBlock = 256
+	// ncBlock columns of packed B bound the B panel at kcBlock×ncBlock.
+	ncBlock = 512
+
+	// packMinFlops is the floor below which packing costs more than the
+	// plain blocked loop saves.
+	packMinFlops = 1 << 15
+)
+
+// bufPool recycles packing buffers across GEMM calls and goroutines.
+var bufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getBuf(n int) *[]float64 {
+	p := bufPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBuf(p *[]float64) { bufPool.Put(p) }
+
+// packA copies rows [i0, i0+m) × cols [k0, k0+kb) of a into buf as mr-row
+// micro-panels in k-major order (the kernel reads mr values per k step),
+// scaled by alpha (±1, so scaling is exact) and zero-padded to mr rows.
+func packA(buf []float64, a *Matrix, i0, m, k0, kb int, alpha float64) {
+	idx := 0
+	for r0 := 0; r0 < m; r0 += mr {
+		rows := min(mr, m-r0)
+		base := (i0+r0)*a.Stride + k0
+		for p := 0; p < kb; p++ {
+			for r := 0; r < rows; r++ {
+				buf[idx+r] = alpha * a.Data[base+r*a.Stride+p]
+			}
+			for r := rows; r < mr; r++ {
+				buf[idx+r] = 0
+			}
+			idx += mr
+		}
+	}
+}
+
+// packB copies rows [k0, k0+kb) × cols [j0, j0+nw) of b (of bᵀ when trans
+// is set, reading element (k, j) from b[j][k]) into buf as nr-column
+// micro-panels in k-major order, zero-padded to nr columns.
+func packB(buf []float64, b *Matrix, k0, kb, j0, nw int, trans bool) {
+	idx := 0
+	for c0 := 0; c0 < nw; c0 += nr {
+		cols := min(nr, nw-c0)
+		for p := 0; p < kb; p++ {
+			if trans {
+				base := (j0+c0)*b.Stride + k0 + p
+				for c := 0; c < cols; c++ {
+					buf[idx+c] = b.Data[base+c*b.Stride]
+				}
+			} else {
+				src := b.Data[(k0+p)*b.Stride+j0+c0:]
+				for c := 0; c < cols; c++ {
+					buf[idx+c] = src[c]
+				}
+			}
+			for c := cols; c < nr; c++ {
+				buf[idx+c] = 0
+			}
+			idx += nr
+		}
+	}
+}
+
+// kern2x4 runs the full-tile micro-kernel: a 2×4 block of C gains the
+// kb-step product of an A micro-panel and a B micro-panel, k unrolled by
+// two. Accumulators are seeded from C and updated in ascending-k order (see
+// the determinism contract above).
+func kern2x4(kb int, ap, bp []float64, cd []float64, ldc int) {
+	c0 := cd[0*ldc : 0*ldc+4]
+	c1 := cd[1*ldc : 1*ldc+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	ap = ap[:mr*kb]
+	bp = bp[:nr*kb]
+	pa, pb := 0, 0
+	for ; pa+4 <= len(ap); pa, pb = pa+4, pb+8 {
+		a := ap[pa : pa+4]
+		b := bp[pb : pb+8]
+		a0, a1 := a[0], a[1]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = a[2], a[3]
+		b0, b1, b2, b3 = b[4], b[5], b[6], b[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+	}
+	for ; pa+2 <= len(ap); pa, pb = pa+2, pb+4 {
+		a0, a1 := ap[pa], ap[pa+1]
+		b := bp[pb : pb+4]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+}
+
+// kernEdge handles partial tiles at the right/bottom fringe with the same
+// per-element ascending-k accumulation as the full-tile kernel.
+func kernEdge(kb, rows, cols int, ap, bp, cd []float64, ldc int) {
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			s := cd[r*ldc+c]
+			for p := 0; p < kb; p++ {
+				s += ap[p*mr+r] * bp[p*nr+c]
+			}
+			cd[r*ldc+c] = s
+		}
+	}
+}
+
+// gemmPacked computes c += alpha·a·op(b) (alpha ∈ {+1, −1}; op(b) = bᵀ when
+// transB) over all of c with the packed micro-kernel. Loop order is
+// jc→pc→ic (pack B per k-panel, pack A per row block), so k ascends for
+// every output element no matter how the blocks fall.
+func gemmPacked(c, a, b *Matrix, alpha float64, transB bool) {
+	m, kdim, n := a.Rows, a.Cols, c.Cols
+	bbuf := getBuf(kcBlock * ncBlock)
+	abuf := getBuf(mcBlock * kcBlock)
+	defer putBuf(bbuf)
+	defer putBuf(abuf)
+	for j0 := 0; j0 < n; j0 += ncBlock {
+		nw := min(ncBlock, n-j0)
+		for k0 := 0; k0 < kdim; k0 += kcBlock {
+			kb := min(kcBlock, kdim-k0)
+			packB(*bbuf, b, k0, kb, j0, nw, transB)
+			for i0 := 0; i0 < m; i0 += mcBlock {
+				mb := min(mcBlock, m-i0)
+				packA(*abuf, a, i0, mb, k0, kb, alpha)
+				for jr := 0; jr < nw; jr += nr {
+					cols := min(nr, nw-jr)
+					bp := (*bbuf)[(jr/nr)*kb*nr:]
+					for ir := 0; ir < mb; ir += mr {
+						rows := min(mr, mb-ir)
+						ap := (*abuf)[(ir/mr)*kb*mr:]
+						cd := c.Data[(i0+ir)*c.Stride+j0+jr:]
+						if rows == mr && cols == nr {
+							kern2x4(kb, ap, bp, cd, c.Stride)
+						} else {
+							kernEdge(kb, rows, cols, ap, bp, cd, c.Stride)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmSimple is the unpacked blocked loop for problems too small to
+// amortize panel copies. Same ascending-k-per-element order, same result
+// bits.
+func gemmSimple(c, a, b *Matrix, alpha float64, transB bool) {
+	n, kdim, m := a.Rows, a.Cols, c.Cols
+	for ii := 0; ii < n; ii += gemmBlock {
+		iMax := min(ii+gemmBlock, n)
+		for kk := 0; kk < kdim; kk += gemmBlock {
+			kMax := min(kk+gemmBlock, kdim)
+			for jj := 0; jj < m; jj += gemmBlock {
+				jMax := min(jj+gemmBlock, m)
+				for i := ii; i < iMax; i++ {
+					crow := c.Data[i*c.Stride : i*c.Stride+m]
+					arow := a.Data[i*a.Stride : i*a.Stride+kdim]
+					if transB {
+						for j := jj; j < jMax; j++ {
+							s := crow[j]
+							brow := b.Data[j*b.Stride : j*b.Stride+kdim]
+							for p := kk; p < kMax; p++ {
+								s += alpha * arow[p] * brow[p]
+							}
+							crow[j] = s
+						}
+						continue
+					}
+					for p := kk; p < kMax; p++ {
+						av := alpha * arow[p]
+						brow := b.Data[p*b.Stride : p*b.Stride+m]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmSerial dispatches one row band to the packed or simple path by size.
+// Both produce identical bits, so the choice is invisible to callers.
+func gemmSerial(c, a, b *Matrix, alpha float64, transB bool) {
+	if 2*a.Rows*a.Cols*c.Cols < packMinFlops {
+		gemmSimple(c, a, b, alpha, transB)
+		return
+	}
+	gemmPacked(c, a, b, alpha, transB)
+}
+
+// mulAdd is the shared entry: c += alpha·a·op(b), parallel over row bands
+// when the problem clears the threshold and the budget allows.
+func mulAdd(c, a, b *Matrix, alpha float64, transB bool) {
+	m, kdim, n := a.Rows, a.Cols, c.Cols
+	if m == 0 || n == 0 || kdim == 0 {
+		return
+	}
+	workers := workersFor(m, 2*m*n*kdim)
+	if workers <= 1 {
+		gemmSerial(c, a, b, alpha, transB)
+		return
+	}
+	runBands(rowBands(m, workers), func(lo, hi int) {
+		gemmSerial(c.View(lo, 0, hi-lo, n), a.View(lo, 0, hi-lo, kdim), b, alpha, transB)
+	})
+}
+
+// SyrkLowerSub computes c -= l·lᵀ on the lower triangle of c (including the
+// diagonal), the trailing update of the blocked Cholesky. Sub-diagonal
+// blocks go through the packed GEMM kernel; diagonal blocks use a scalar
+// triangle loop. Both accumulate each element in ascending-k order from its
+// stored value, so the result is bit-identical to the scalar reference at
+// any block size or parallelism.
+func SyrkLowerSub(c, l *Matrix) {
+	n, k := c.Rows, l.Cols
+	if c.Cols != n || l.Rows != n {
+		panic(fmt.Sprintf("mat: SyrkLowerSub shape mismatch: c %dx%d, l %dx%d",
+			c.Rows, c.Cols, l.Rows, l.Cols))
+	}
+	if n == 0 || k == 0 {
+		return
+	}
+	workers := workersFor(n, n*(n+1)*k)
+	if workers <= 1 {
+		syrkRows(c, l, 0, n)
+		return
+	}
+	runBands(triBands(n, workers), func(lo, hi int) {
+		syrkRows(c, l, lo, hi)
+	})
+}
+
+// syrkBlock is the SYRK column-block width. It is a fixed property of the
+// algorithm (not of the band split) so that which path computes an element
+// never depends on the worker count.
+const syrkBlock = 64
+
+// syrkRows updates rows [r0, r1) of the lower triangle of c.
+func syrkRows(c, l *Matrix, r0, r1 int) {
+	k := l.Cols
+	for j0 := 0; j0 < r1; j0 += syrkBlock {
+		jw := min(syrkBlock, c.Cols-j0)
+		// Diagonal-block rows: the ragged triangle, scalar dot products.
+		for i := max(r0, j0); i < min(r1, j0+jw); i++ {
+			li := l.Data[i*l.Stride : i*l.Stride+k]
+			crow := c.Data[i*c.Stride : i*c.Stride+i+1]
+			for j := j0; j <= i; j++ {
+				lj := l.Data[j*l.Stride : j*l.Stride+k]
+				s := crow[j]
+				for p, v := range li {
+					s -= v * lj[p]
+				}
+				crow[j] = s
+			}
+		}
+		// Sub-diagonal rectangle: a packed GEMM against lᵀ.
+		if lo := max(r0, j0+jw); lo < r1 {
+			gemmSerial(c.View(lo, j0, r1-lo, jw), l.View(lo, 0, r1-lo, k),
+				l.View(j0, 0, jw, k), -1, true)
+		}
+	}
+}
+
+// SolveXLT solves X·Lᵀ = B in place (B overwritten with X) for lower
+// triangular l — the panel solve of the blocked Cholesky. Rows are
+// independent forward substitutions, so row bands parallelize with
+// bit-identical results at any worker count.
+func SolveXLT(b, l *Matrix) {
+	n := l.Rows
+	if l.Cols != n || b.Cols != n {
+		panic(fmt.Sprintf("mat: SolveXLT shape mismatch: b %dx%d, l %dx%d",
+			b.Rows, b.Cols, l.Rows, l.Cols))
+	}
+	workers := workersFor(b.Rows, b.Rows*n*n)
+	solve := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := b.Data[i*b.Stride : i*b.Stride+n]
+			for j := 0; j < n; j++ {
+				s := row[j]
+				lrow := l.Data[j*l.Stride : j*l.Stride+j]
+				for p, lv := range lrow {
+					s -= lv * row[p]
+				}
+				row[j] = s / l.At(j, j)
+			}
+		}
+	}
+	if workers <= 1 {
+		solve(0, b.Rows)
+		return
+	}
+	runBands(rowBands(b.Rows, workers), solve)
+}
