@@ -17,7 +17,8 @@ import (
 )
 
 // cgUnder runs a fixed FT-CG workload on a machine configured by mutate.
-func cgUnder(s core.Strategy, seed uint64, mutate func(*machine.Config)) machine.Result {
+func cgUnder(tb testing.TB, s core.Strategy, seed uint64, mutate func(*machine.Config)) machine.Result {
+	tb.Helper()
 	cfg := machine.ScaledConfig(32)
 	if mutate != nil {
 		mutate(&cfg)
@@ -28,7 +29,7 @@ func cgUnder(s core.Strategy, seed uint64, mutate func(*machine.Config)) machine
 	cg.RelTol = 0
 	cg.CheckPeriod = 4
 	if _, err := cg.Run(); err != nil {
-		panic(err)
+		tb.Fatal(err)
 	}
 	return rt.Finish()
 }
@@ -40,10 +41,10 @@ func BenchmarkAblationChipkillTerms(b *testing.B) {
 	var full, noLock, noOver, neither machine.Result
 	for i := 0; i < b.N; i++ {
 		seed := uint64(100 + i)
-		full = cgUnder(core.WholeChipkill, seed, nil)
-		noLock = cgUnder(core.WholeChipkill, seed, func(c *machine.Config) { c.DRAM.DisableLockstep = true })
-		noOver = cgUnder(core.WholeChipkill, seed, func(c *machine.Config) { c.DRAM.DisableChipOverfetch = true })
-		neither = cgUnder(core.WholeChipkill, seed, func(c *machine.Config) {
+		full = cgUnder(b, core.WholeChipkill, seed, nil)
+		noLock = cgUnder(b, core.WholeChipkill, seed, func(c *machine.Config) { c.DRAM.DisableLockstep = true })
+		noOver = cgUnder(b, core.WholeChipkill, seed, func(c *machine.Config) { c.DRAM.DisableChipOverfetch = true })
+		neither = cgUnder(b, core.WholeChipkill, seed, func(c *machine.Config) {
 			c.DRAM.DisableLockstep = true
 			c.DRAM.DisableChipOverfetch = true
 		})
@@ -62,8 +63,8 @@ func BenchmarkAblationRowBufferPolicy(b *testing.B) {
 	var open, closed machine.Result
 	for i := 0; i < b.N; i++ {
 		seed := uint64(200 + i)
-		open = cgUnder(core.WholeChipkill, seed, nil)
-		closed = cgUnder(core.WholeChipkill, seed, func(c *machine.Config) { c.DRAM.ClosedPagePolicy = true })
+		open = cgUnder(b, core.WholeChipkill, seed, nil)
+		closed = cgUnder(b, core.WholeChipkill, seed, func(c *machine.Config) { c.DRAM.ClosedPagePolicy = true })
 	}
 	b.ReportMetric(closed.MemDynamicJ/open.MemDynamicJ, "closed/open-energy-x")
 	b.ReportMetric(open.RowHitRate, "open-rowhit-rate")
@@ -78,7 +79,7 @@ func BenchmarkAblationMSHRDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for d, depth := range depths {
 			depth := depth
-			results[d] = cgUnder(core.NoECC, uint64(300+i), func(c *machine.Config) { c.CPU.MSHRs = depth })
+			results[d] = cgUnder(b, core.NoECC, uint64(300+i), func(c *machine.Config) { c.CPU.MSHRs = depth })
 		}
 	}
 	for d, depth := range depths {
@@ -94,7 +95,10 @@ func BenchmarkAblationCheckPeriod(b *testing.B) {
 	ovh := make([]float64, len(periods))
 	for i := 0; i < b.N; i++ {
 		for p, period := range periods {
-			d := abft.NewDGEMM(abft.Standalone(), 96, uint64(400+i))
+			d, err := abft.NewDGEMM(abft.Standalone(), 96, uint64(400+i))
+			if err != nil {
+				b.Fatal(err)
+			}
 			d.CheckPeriod = period
 			if err := d.Run(); err != nil {
 				b.Fatal(err)
@@ -124,9 +128,9 @@ func itoa(n int) string {
 // --- Directional regression tests for the ablation terms ---
 
 func TestAblationChipkillTermsDirection(t *testing.T) {
-	full := cgUnder(core.WholeChipkill, 7, nil)
-	noLock := cgUnder(core.WholeChipkill, 7, func(c *machine.Config) { c.DRAM.DisableLockstep = true })
-	noOver := cgUnder(core.WholeChipkill, 7, func(c *machine.Config) { c.DRAM.DisableChipOverfetch = true })
+	full := cgUnder(t, core.WholeChipkill, 7, nil)
+	noLock := cgUnder(t, core.WholeChipkill, 7, func(c *machine.Config) { c.DRAM.DisableLockstep = true })
+	noOver := cgUnder(t, core.WholeChipkill, 7, func(c *machine.Config) { c.DRAM.DisableChipOverfetch = true })
 	// The two terms carry different costs: chip overfetch is the energy
 	// term, lock-step is the parallelism (performance) term. Removing
 	// lock-step barely moves energy (the lost companion prefetch even costs
@@ -144,8 +148,8 @@ func TestAblationChipkillTermsDirection(t *testing.T) {
 }
 
 func TestAblationClosedPageDirection(t *testing.T) {
-	open := cgUnder(core.WholeChipkill, 9, nil)
-	closed := cgUnder(core.WholeChipkill, 9, func(c *machine.Config) { c.DRAM.ClosedPagePolicy = true })
+	open := cgUnder(t, core.WholeChipkill, 9, nil)
+	closed := cgUnder(t, core.WholeChipkill, 9, func(c *machine.Config) { c.DRAM.ClosedPagePolicy = true })
 	if closed.MemDynamicJ <= open.MemDynamicJ {
 		t.Errorf("closed page did not raise energy: %g vs %g", closed.MemDynamicJ, open.MemDynamicJ)
 	}
@@ -158,20 +162,26 @@ func TestAblationClosedPageDirection(t *testing.T) {
 }
 
 func TestAblationMSHRDirection(t *testing.T) {
-	one := cgUnder(core.NoECC, 11, func(c *machine.Config) { c.CPU.MSHRs = 1 })
-	eight := cgUnder(core.NoECC, 11, func(c *machine.Config) { c.CPU.MSHRs = 8 })
+	one := cgUnder(t, core.NoECC, 11, func(c *machine.Config) { c.CPU.MSHRs = 1 })
+	eight := cgUnder(t, core.NoECC, 11, func(c *machine.Config) { c.CPU.MSHRs = 8 })
 	if one.IPC >= eight.IPC {
 		t.Errorf("more MSHRs did not help: IPC %v vs %v", one.IPC, eight.IPC)
 	}
 }
 
 func TestAblationCheckPeriodDirection(t *testing.T) {
-	frequent := abft.NewDGEMM(abft.Standalone(), 64, 5)
+	frequent, err := abft.NewDGEMM(abft.Standalone(), 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	frequent.CheckPeriod = 1
 	if err := frequent.Run(); err != nil {
 		t.Fatal(err)
 	}
-	rare := abft.NewDGEMM(abft.Standalone(), 64, 5)
+	rare, err := abft.NewDGEMM(abft.Standalone(), 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rare.CheckPeriod = 4
 	if err := rare.Run(); err != nil {
 		t.Fatal(err)

@@ -33,7 +33,11 @@ func benchOptions(base, i int) experiments.Options {
 func BenchmarkFig3OverheadBreakdown(b *testing.B) {
 	var last []experiments.OverheadBreakdown
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig3(benchOptions(1000, i))
+		var err error
+		last, err = experiments.Fig3Ctx(context.Background(), benchOptions(1000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range last {
 		b.ReportMetric(100*r.VerifyFraction, r.Kernel.String()+"-verify-%ovh")
@@ -45,7 +49,11 @@ func BenchmarkFig3OverheadBreakdown(b *testing.B) {
 func BenchmarkTable1SimplifiedVerification(b *testing.B) {
 	var last []experiments.Table1Row
 	for i := 0; i < b.N; i++ {
-		last = experiments.Table1(benchOptions(2000, i))
+		var err error
+		last, err = experiments.Table1Ctx(context.Background(), benchOptions(2000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range last {
 		b.ReportMetric(r.ImprovementPct, r.Kernel.String()+"-improv-%")
@@ -57,7 +65,11 @@ func BenchmarkTable1SimplifiedVerification(b *testing.B) {
 func BenchmarkTable4AccessClassification(b *testing.B) {
 	var last []experiments.Table4Row
 	for i := 0; i < b.N; i++ {
-		last = experiments.Table4(benchOptions(3000, i))
+		var err error
+		last, err = experiments.Table4Ctx(context.Background(), benchOptions(3000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range last {
 		b.ReportMetric(r.Ratio, r.Kernel.String()+"-ratio")
@@ -69,7 +81,11 @@ func BenchmarkTable4AccessClassification(b *testing.B) {
 func BenchmarkFig5MemoryEnergy(b *testing.B) {
 	var h experiments.Headline
 	for i := 0; i < b.N; i++ {
-		h = experiments.Headlines(benchOptions(4000, i))
+		var err error
+		h, err = experiments.HeadlinesCtx(context.Background(), benchOptions(4000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*h.CGWholeChipkillMemIncrease, "CG-WCK-mem-increase-%")
 	b.ReportMetric(100*h.PartialVsWholeChipkillSaving[experiments.KDGEMM], "DGEMM-partial-saving-%")
@@ -81,7 +97,11 @@ func BenchmarkFig5MemoryEnergy(b *testing.B) {
 func BenchmarkFig6SystemEnergy(b *testing.B) {
 	var h experiments.Headline
 	for i := 0; i < b.N; i++ {
-		h = experiments.Headlines(benchOptions(5000, i))
+		var err error
+		h, err = experiments.HeadlinesCtx(context.Background(), benchOptions(5000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, k := range experiments.AllKernels {
 		b.ReportMetric(100*h.SystemSavingPartialChipkill[k], k.String()+"-sys-saving-%")
@@ -93,7 +113,11 @@ func BenchmarkFig6SystemEnergy(b *testing.B) {
 func BenchmarkFig7Performance(b *testing.B) {
 	var rows []experiments.StrategyMetrics
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig567(benchOptions(6000, i))
+		var err error
+		rows, err = experiments.Fig567Ctx(context.Background(), benchOptions(6000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		if r.Kernel == experiments.KCG && r.Strategy == core.WholeChipkill {
@@ -111,7 +135,11 @@ func BenchmarkFig7Performance(b *testing.B) {
 func BenchmarkFig8WeakScaling(b *testing.B) {
 	var series []experiments.ScalingSeries
 	for i := 0; i < b.N; i++ {
-		series = experiments.Fig8(benchOptions(7000, i))
+		var err error
+		series, err = experiments.Fig8Ctx(context.Background(), benchOptions(7000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, s := range series {
 		last := s.Points[len(s.Points)-1]
@@ -128,7 +156,11 @@ func BenchmarkFig8WeakScaling(b *testing.B) {
 func BenchmarkFig9StrongScaling(b *testing.B) {
 	var series []experiments.ScalingSeries
 	for i := 0; i < b.N; i++ {
-		series = experiments.Fig9(benchOptions(8000, i))
+		var err error
+		series, err = experiments.Fig9Ctx(context.Background(), benchOptions(8000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, s := range series {
 		first, last := s.Points[0], s.Points[len(s.Points)-1]
@@ -144,7 +176,11 @@ func BenchmarkFig9StrongScaling(b *testing.B) {
 func BenchmarkFig10DGMS(b *testing.B) {
 	var rows []experiments.Fig10Row
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig10(benchOptions(9000, i))
+		var err error
+		rows, err = experiments.Fig10Ctx(context.Background(), benchOptions(9000, i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	get := func(k experiments.KernelID, mech string) experiments.Fig10Row {
 		for _, r := range rows {
@@ -168,7 +204,10 @@ func BenchmarkFig10DGMS(b *testing.B) {
 // BenchmarkKernelDGEMM times one uninstrumented FT-DGEMM run.
 func BenchmarkKernelDGEMM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		d := abft.NewDGEMM(abft.Standalone(), 96, uint64(i))
+		d, err := abft.NewDGEMM(abft.Standalone(), 96, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := d.Run(); err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +237,10 @@ func BenchmarkKernelCG(b *testing.B) {
 // BenchmarkKernelHPL times one uninstrumented FT-HPL factorization.
 func BenchmarkKernelHPL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := abft.NewHPL(abft.Standalone(), 64, 4, uint64(i))
+		h, err := abft.NewHPL(abft.Standalone(), 64, 4, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := h.Run(); err != nil {
 			b.Fatal(err)
 		}
@@ -213,7 +255,9 @@ func BenchmarkSimulatedNodeCG(b *testing.B) {
 	cfg.Iterations = 8
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		scaling.MeasureCG(cfg, core.PartialChipkillSECDED, false)
+		if _, err := scaling.MeasureCG(cfg, core.PartialChipkillSECDED, false); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

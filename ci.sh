@@ -11,6 +11,11 @@ go vet ./...
 go build ./...
 go test -race -short ./...
 
+# Chaos soak gate: the seeded short grid (24 fault-injected runs through
+# the §4 recovery ladder, deterministic outcome table) under the race
+# detector, time-boxed so a hung run fails fast instead of stalling CI.
+go test -race -timeout 5m -run 'TestSoakShortDeterministic' ./internal/recovery/soak/
+
 # Bench smoke: compile and run every benchmark once so the GFLOP/s suite
 # (kernel layer, tables/figures) can't silently rot.
 go test -bench=. -benchtime=1x -run='^$' ./...

@@ -68,7 +68,10 @@ func runKernel(kernel string, s core.Strategy, mode abft.VerifyMode, n, grid, it
 	var p post
 	switch strings.ToLower(kernel) {
 	case "dgemm":
-		d := rt.NewDGEMM(n, seed)
+		d, err := rt.NewDGEMM(n, seed)
+		if err != nil {
+			return nil, post{}, err
+		}
 		d.Mode = mode
 		if err := d.Run(); err != nil {
 			return nil, post{}, err
@@ -92,7 +95,10 @@ func runKernel(kernel string, s core.Strategy, mode abft.VerifyMode, n, grid, it
 		v, _ := c.VecFor("x")
 		p = post{bifit.Target{Data: v.Data, Reg: v.Reg}, &c.Corrections, func() error { _, err := c.VerifyInvariants(); return err }}
 	case "hpl":
-		h := rt.NewHPL(n-n%16, 8, seed)
+		h, err := rt.NewHPL(n-n%16, 8, seed)
+		if err != nil {
+			return nil, post{}, err
+		}
 		if err := h.Run(); err != nil {
 			return nil, post{}, err
 		}

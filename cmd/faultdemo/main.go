@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"coopabft/internal/bifit"
 	"coopabft/internal/core"
@@ -12,12 +13,15 @@ import (
 	"coopabft/internal/machine"
 )
 
-func scenario(title string, kind bifit.Kind, strategy core.Strategy) {
+func scenario(title string, kind bifit.Kind, strategy core.Strategy) error {
 	fmt.Printf("\n── %s ──\n", title)
 	rt := core.NewRuntime(machine.ScaledConfig(32), strategy, 7)
-	d := rt.NewDGEMM(48, 3)
+	d, err := rt.NewDGEMM(48, 3)
+	if err != nil {
+		return err
+	}
 	if err := d.Run(); err != nil {
-		panic(err)
+		return err
 	}
 	rt.M.FlushCaches()
 
@@ -26,10 +30,10 @@ func scenario(title string, kind bifit.Kind, strategy core.Strategy) {
 	if kind == bifit.SingleBit {
 		// Flip a high mantissa bit so the numerical damage is visible.
 		if err := rt.Injector.FlipBits(tgt, idx, []int{51}); err != nil {
-			panic(err)
+			return err
 		}
 	} else if err := rt.Injector.InjectKind(tgt, idx, kind); err != nil {
-		panic(err)
+		return err
 	}
 	fmt.Printf("strategy %s: injected a %v pattern into Cf[10][10]\n", strategy, kind)
 
@@ -55,21 +59,47 @@ func scenario(title string, kind bifit.Kind, strategy core.Strategy) {
 			fmt.Printf("→ ABFT located and fixed it (%d correction(s)); result verified\n", len(d.Corrections))
 		}
 	}
+	return nil
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "soak" {
+		if err := soakMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "faultdemo soak:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := demo(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func demo() error {
 	fmt.Println("Error-handling scenarios of §4, on real SECDED/chipkill codecs")
 
-	scenario("Case 1 under ASE: single-bit error, strong ECC corrects cheaply",
-		bifit.SingleBit, core.WholeChipkill)
-	scenario("Case 1 under ARE: same error, no ECC on ABFT data — ABFT corrects (expensive)",
-		bifit.SingleBit, core.PartialChipkillNoECC)
-	scenario("Chip failure under chipkill: the defining correction",
-		bifit.ChipFailure, core.WholeChipkill)
-	scenario("Chip failure under relaxed SECDED: exposed to ABFT via interrupt",
-		bifit.ChipFailure, core.PartialChipkillSECDED)
-	scenario("Scattered multi-symbol error (Case 2/4 territory) under chipkill",
-		bifit.Scattered, core.WholeChipkill)
+	scenarios := []struct {
+		title    string
+		kind     bifit.Kind
+		strategy core.Strategy
+	}{
+		{"Case 1 under ASE: single-bit error, strong ECC corrects cheaply",
+			bifit.SingleBit, core.WholeChipkill},
+		{"Case 1 under ARE: same error, no ECC on ABFT data — ABFT corrects (expensive)",
+			bifit.SingleBit, core.PartialChipkillNoECC},
+		{"Chip failure under chipkill: the defining correction",
+			bifit.ChipFailure, core.WholeChipkill},
+		{"Chip failure under relaxed SECDED: exposed to ABFT via interrupt",
+			bifit.ChipFailure, core.PartialChipkillSECDED},
+		{"Scattered multi-symbol error (Case 2/4 territory) under chipkill",
+			bifit.Scattered, core.WholeChipkill},
+	}
+	for _, s := range scenarios {
+		if err := scenario(s.title, s.kind, s.strategy); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("\n── §4 thresholds ──\n")
 	tc := 0.5     // one ABFT recovery, seconds
@@ -87,4 +117,5 @@ func main() {
 		o := faultmodel.CompareCase(c, 0.5, 1e-9, 600, false)
 		fmt.Printf("%-22s ARE pays %8.3gs, ASE pays %8.3gs per error\n", c, o.ARECost, o.ASECost)
 	}
+	return nil
 }

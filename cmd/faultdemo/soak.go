@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"coopabft/internal/recovery"
+	"coopabft/internal/recovery/soak"
+)
+
+// soakMain runs the chaos soak campaign: seed-deterministic multi-error
+// injection across kernels, ECC strategies, error kinds and counts, under
+// parallel mat workers, with every run classified corrected/restarted/
+// aborted. Exits nonzero (via the caller) on any panic, hang, or run left
+// unclassified.
+func soakMain(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "campaign seed (same seed → identical table)")
+	workers := fs.Int("workers", 1, "concurrent runs")
+	deadline := fs.Duration("deadline", 30*time.Second, "per-run wall-clock bound")
+	short := fs.Bool("short", false, "run the trimmed 24-run grid instead of the full 216-run sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := soak.Default()
+	if *short {
+		cfg = soak.Short()
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Deadline = *deadline
+
+	res, err := soak.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+
+	if res.Panics > 0 || res.Hangs > 0 {
+		return fmt.Errorf("%d panic(s), %d hang(s) — soak failed", res.Panics, res.Hangs)
+	}
+	classified := res.Counts[recovery.Corrected] + res.Counts[recovery.Restarted] + res.Counts[recovery.Aborted]
+	if classified != len(res.Runs) {
+		return fmt.Errorf("%d of %d runs unclassified", len(res.Runs)-classified, len(res.Runs))
+	}
+	return nil
+}

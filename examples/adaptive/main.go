@@ -23,7 +23,10 @@ import (
 
 func main() {
 	rt := core.NewRuntime(machine.ScaledConfig(32), core.PartialChipkillSECDED, 21)
-	d := rt.NewDGEMM(48, 8)
+	d, err := rt.NewDGEMM(48, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := d.Run(); err != nil {
 		log.Fatal(err)
 	}

@@ -17,7 +17,10 @@ import (
 func main() {
 	// Standalone environment: pure algorithm, no hardware simulation.
 	env := abft.Standalone()
-	d := abft.NewDGEMM(env, 64, 42)
+	d, err := abft.NewDGEMM(env, 64, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if err := d.Run(); err != nil {
 		log.Fatal(err)

@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"coopabft/internal/core"
 	"coopabft/internal/faultmodel"
@@ -26,7 +27,11 @@ func main() {
 	fmt.Printf("%-14s%-12s%18s%16s%12s\n", "strategy", "processes", "energy benefit(J)", "recovery(J)", "errors")
 	procs := []int{100, 12800, 819200}
 	for _, s := range scaling.PartialStrategies {
-		for _, p := range scaling.WeakScaling(cfg, s, procs) {
+		pts, err := scaling.WeakScaling(cfg, s, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pts {
 			fmt.Printf("%-14s%-12d%18.4g%16.4g%12.3g\n",
 				s, p.Processes, p.EnergyBenefitJ, p.RecoveryCostJ, p.ExpectedErrors)
 		}
@@ -36,18 +41,32 @@ func main() {
 	fmt.Printf("%-14s%-12s%18s%16s\n", "strategy", "processes", "energy benefit(J)", "recovery(J)")
 	sprocs := []int{100, 400, 1600}
 	for _, s := range scaling.PartialStrategies {
-		for _, p := range scaling.StrongScaling(cfg, s, 100, sprocs) {
+		pts, err := scaling.StrongScaling(cfg, s, 100, sprocs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pts {
 			fmt.Printf("%-14s%-12d%18.4g%16.4g\n", s, p.Processes, p.EnergyBenefitJ, p.RecoveryCostJ)
 		}
 	}
 
 	// The §4 decision rule: at what MTTF does ARE stop paying off?
 	fmt.Println("\nEquation 7/8 thresholds (example parameters):")
-	m := scaling.MeasureCG(cfg, core.PartialChipkillNoECC, false)
-	base := scaling.MeasureCG(cfg, core.WholeChipkill, false)
+	m, err := scaling.MeasureCG(cfg, core.PartialChipkillNoECC, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := scaling.MeasureCG(cfg, core.WholeChipkill, false)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tauARE := 0.0
 	tauASE := base.Seconds/m.Seconds - 1
-	tc := scaling.RecoveryEnergy(cfg, core.PartialChipkillNoECC) / 100 // J→s proxy at 100 W
+	rj, err := scaling.RecoveryEnergy(cfg, core.PartialChipkillNoECC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := rj / 100 // J→s proxy at 100 W
 	thr := faultmodel.MTTFThresholdPerf(tc, tauASE, tauARE)
 	fmt.Printf("τ_ase=%.3f (measured), t_c≈%.3gs → MTTF threshold %.3g s\n", tauASE, tc, thr)
 	nodeMTTF := faultmodel.MTTF(5000, m.ABFTBytes*8/1e6, 1, 1)

@@ -24,6 +24,10 @@ import (
 // redundancy cannot repair (Case 3 of §4 from the algorithm's side).
 var ErrUncorrectable = errors.New("abft: detected errors exceed ABFT correction capability")
 
+// ErrBadSize is returned by kernel constructors when the problem dimensions
+// cannot carry the checksum encoding (wrap it with the specifics).
+var ErrBadSize = errors.New("abft: invalid problem size")
+
 // VerifyMode selects how a kernel detects errors.
 type VerifyMode int
 

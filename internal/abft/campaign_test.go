@@ -15,7 +15,7 @@ import (
 func TestDGEMMRandomInjectionProperty(t *testing.T) {
 	f := func(seed uint64, iSel, jSel uint16, mag uint8) bool {
 		n := 16 + int(seed%17)
-		d := NewDGEMM(Standalone(), n, seed)
+		d := mustDGEMM(t, Standalone(), n, seed)
 		if err := d.Run(); err != nil {
 			return false
 		}
@@ -101,7 +101,7 @@ func TestCGRandomInjectionProperty(t *testing.T) {
 // yields a correct factorization.
 func TestHPLRandomFailStopProperty(t *testing.T) {
 	f := func(seed uint64, stepSel, prSel, pcSel uint8) bool {
-		h := NewHPL(Standalone(), 32, 4, seed)
+		h := mustHPL(t, Standalone(), 32, 4, seed)
 		orig := h.A.Matrix.Clone()
 		h.FailAt = int(stepSel) % 32
 		h.FailPr = int(prSel) % 2
@@ -120,7 +120,7 @@ func TestHPLRandomFailStopProperty(t *testing.T) {
 // corruption (below the detection threshold) must not break the result
 // check — the tolerance design holds.
 func TestDGEMMTinyErrorsBelowToleranceAreBenign(t *testing.T) {
-	d := NewDGEMM(Standalone(), 32, 77)
+	d := mustDGEMM(t, Standalone(), 32, 77)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,11 @@ type Cholesky struct {
 	Mode        VerifyMode
 	Tol         float64
 
+	// OnPanel, if set, runs at the top of every block step — the hook
+	// fault-injection campaigns and checkpoint coordinators use. The step
+	// index counts from 0 to Steps()-1.
+	OnPanel func(step int)
+
 	Ops         OpCounters
 	Corrections []Correction
 
@@ -64,6 +69,13 @@ func NewCholesky(env Env, n int, seed uint64) *Cholesky {
 	c.A.Matrix.CopyFrom(spd)
 	c.initChecksums()
 	return c
+}
+
+// Checksums exposes the four checksum vectors — the trailing pair (cs, cs2)
+// and the factored-L pair (lcs, lcs2) — for checkpoint sets and
+// fault-injection campaigns; they are part of the ABFT-protected state.
+func (c *Cholesky) Checksums() (cs, cs2, lcs, lcs2 Vec) {
+	return c.cs, c.cs2, c.lcs, c.lcs2
 }
 
 // at reads the logical symmetric element (i, j) from the lower triangle.
@@ -108,12 +120,23 @@ func (c *Cholesky) L() *mat.Matrix {
 	return out
 }
 
+// Steps returns the number of block steps a full run executes.
+func (c *Cholesky) Steps() int { return (c.N + c.Block - 1) / c.Block }
+
 // Run factors A in place with per-step verification.
-func (c *Cholesky) Run() error {
+func (c *Cholesky) Run() error { return c.RunFrom(0) }
+
+// RunFrom resumes the factorization at block step startStep — the
+// checkpoint/restart entry point: restore A and the four checksum vectors
+// to a step boundary, then RunFrom that step replays the remaining panels.
+func (c *Cholesky) RunFrom(startStep int) error {
 	n := c.N
-	iter := 0
-	for k := 0; k < n; k += c.Block {
+	iter := startStep
+	for k := startStep * c.Block; k < n; k += c.Block {
 		c.k = k
+		if c.OnPanel != nil {
+			c.OnPanel(iter)
+		}
 		b := min(c.Block, n-k)
 		rest := n - k - b
 

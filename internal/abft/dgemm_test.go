@@ -7,7 +7,7 @@ import (
 )
 
 func TestDGEMMCleanRun(t *testing.T) {
-	d := NewDGEMM(Standalone(), 48, 1)
+	d := mustDGEMM(t, Standalone(), 48, 1)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestDGEMMCleanRun(t *testing.T) {
 }
 
 func TestDGEMMChecksumInvariantHolds(t *testing.T) {
-	d := NewDGEMM(Standalone(), 33, 2)
+	d := mustDGEMM(t, Standalone(), 33, 2)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestDGEMMChecksumInvariantHolds(t *testing.T) {
 }
 
 func TestDGEMMCorrectsSingleError(t *testing.T) {
-	d := NewDGEMM(Standalone(), 40, 3)
+	d := mustDGEMM(t, Standalone(), 40, 3)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestDGEMMCorrectsSingleError(t *testing.T) {
 }
 
 func TestDGEMMCorrectsChecksumRowAndColumnErrors(t *testing.T) {
-	d := NewDGEMM(Standalone(), 24, 4)
+	d := mustDGEMM(t, Standalone(), 24, 4)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestDGEMMCorrectsChecksumRowAndColumnErrors(t *testing.T) {
 }
 
 func TestDGEMMCorrectsMultipleErrorsDistinctRowsCols(t *testing.T) {
-	d := NewDGEMM(Standalone(), 32, 5)
+	d := mustDGEMM(t, Standalone(), 32, 5)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestDGEMMCorrectsMultipleErrorsDistinctRowsCols(t *testing.T) {
 func TestDGEMMCorrectsRowBurst(t *testing.T) {
 	// Several corruptions within ONE row (e.g. a whole cacheline) are
 	// rebuilt from columns.
-	d := NewDGEMM(Standalone(), 32, 6)
+	d := mustDGEMM(t, Standalone(), 32, 6)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestDGEMMCorrectsRowBurst(t *testing.T) {
 func TestDGEMMUncorrectablePattern(t *testing.T) {
 	// A 2×2 block of equal-magnitude corruptions is ambiguous for
 	// single-checksum ABFT when deltas cannot be matched.
-	d := NewDGEMM(Standalone(), 24, 7)
+	d := mustDGEMM(t, Standalone(), 24, 7)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestDGEMMUncorrectablePattern(t *testing.T) {
 }
 
 func TestDGEMMSinglePanelRun(t *testing.T) {
-	d := NewDGEMM(Standalone(), 40, 8)
+	d := mustDGEMM(t, Standalone(), 40, 8)
 	d.Block = 40 // single panel: verification happens once, at the end
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
@@ -176,7 +176,7 @@ func TestDGEMMNotifiedMode(t *testing.T) {
 	var cleared []uint64
 	env.OnCorrected = func(addr uint64) { cleared = append(cleared, addr) }
 
-	d := NewDGEMM(env, 32, 9)
+	d := mustDGEMM(t, env, 32, 9)
 	d.Mode = NotifiedVerify
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
@@ -198,13 +198,13 @@ func TestDGEMMNotifiedMode(t *testing.T) {
 }
 
 func TestDGEMMNotifiedCheaperThanFull(t *testing.T) {
-	full := NewDGEMM(Standalone(), 48, 10)
+	full := mustDGEMM(t, Standalone(), 48, 10)
 	if err := full.Run(); err != nil {
 		t.Fatal(err)
 	}
 	env := Standalone()
 	env.Notify = func() []Notification { return nil }
-	noti := NewDGEMM(env, 48, 10)
+	noti := mustDGEMM(t, env, 48, 10)
 	noti.Mode = NotifiedVerify
 	if err := noti.Run(); err != nil {
 		t.Fatal(err)
@@ -218,7 +218,7 @@ func TestDGEMMNotifiedCheaperThanFull(t *testing.T) {
 }
 
 func TestDGEMMOverheadAccounting(t *testing.T) {
-	d := NewDGEMM(Standalone(), 40, 11)
+	d := mustDGEMM(t, Standalone(), 40, 11)
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -227,5 +227,19 @@ func TestDGEMMOverheadAccounting(t *testing.T) {
 	}
 	if s := d.Ops.VerifyShareOfOverhead(); s <= 0 || s >= 1 {
 		t.Errorf("verify share = %v", s)
+	}
+}
+
+func TestDGEMMSizeValidation(t *testing.T) {
+	// Sizes that cannot carry the checksum encoding must come back as
+	// typed errors, not crashes.
+	for _, n := range []int{-1, 0, 1} {
+		d, err := NewDGEMM(Standalone(), n, 1)
+		if !errors.Is(err, ErrBadSize) {
+			t.Errorf("NewDGEMM(n=%d) error = %v, want ErrBadSize", n, err)
+		}
+		if d != nil {
+			t.Errorf("NewDGEMM(n=%d) returned a kernel alongside the error", n)
+		}
 	}
 }

@@ -8,7 +8,7 @@ import (
 
 // The smallest possible ABFT workflow: multiply, corrupt, verify, repair.
 func ExampleDGEMM() {
-	d := abft.NewDGEMM(abft.Standalone(), 32, 1)
+	d, _ := abft.NewDGEMM(abft.Standalone(), 32, 1)
 	if err := d.Run(); err != nil {
 		panic(err)
 	}
@@ -50,7 +50,7 @@ func ExampleCG() {
 
 // FT-HPL survives a process dying in the middle of the factorization.
 func ExampleHPL() {
-	h := abft.NewHPL(abft.Standalone(), 32, 4, 3)
+	h, _ := abft.NewHPL(abft.Standalone(), 32, 4, 3)
 	h.FailAt, h.FailPr, h.FailPc = 10, 1, 0 // kill process (1,0) at step 10
 	if err := h.Run(); err != nil {
 		panic(err)

@@ -1,0 +1,23 @@
+package abft
+
+import "testing"
+
+// mustDGEMM builds a DGEMM for tests where the size is known-valid.
+func mustDGEMM(t testing.TB, env Env, n int, seed uint64) *DGEMM {
+	t.Helper()
+	d, err := NewDGEMM(env, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// mustHPL builds an HPL for tests where the size is known-valid.
+func mustHPL(t testing.TB, env Env, n, nb int, seed uint64) *HPL {
+	t.Helper()
+	h, err := NewHPL(env, n, nb, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}

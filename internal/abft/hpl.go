@@ -47,9 +47,10 @@ type HPL struct {
 
 // NewHPL builds a random diagonally dominant system of size n; n must be a
 // multiple of 2·nb so every row has a sibling.
-func NewHPL(env Env, n, nb int, seed uint64) *HPL {
-	if n%(2*nb) != 0 {
-		panic(fmt.Sprintf("abft: HPL size %d must be a multiple of 2·nb = %d", n, 2*nb))
+func NewHPL(env Env, n, nb int, seed uint64) (*HPL, error) {
+	if nb < 1 || n < 2*nb || n%(2*nb) != 0 {
+		return nil, fmt.Errorf("%w: HPL size %d must be a positive multiple of 2·nb = %d",
+			ErrBadSize, n, 2*nb)
 	}
 	h := &HPL{N: n, NB: nb, FailAt: -1, env: env}
 	h.A = env.NewMat("hpl.A", n, n, true)
@@ -62,7 +63,7 @@ func NewHPL(env Env, n, nb int, seed uint64) *HPL {
 	xTrue := mat.RandomVec(n, seed+7)
 	copy(h.b.Data, mat.MulVec(src, xTrue))
 	h.encode()
-	return h
+	return h, nil
 }
 
 // sibling returns the partner row sharing i's checksum slot, and the slot.

@@ -1,13 +1,17 @@
 package abft
 
 import (
+	"errors"
 	"testing"
 
 	"coopabft/internal/mat"
 )
 
 func hplProblem(n, nb int, seed uint64) (*HPL, *mat.Matrix) {
-	h := NewHPL(Standalone(), n, nb, seed)
+	h, err := NewHPL(Standalone(), n, nb, seed)
+	if err != nil {
+		panic(err)
+	}
 	return h, h.A.Matrix.Clone()
 }
 
@@ -38,12 +42,16 @@ func TestHPLSiblingMapping(t *testing.T) {
 }
 
 func TestHPLSizeValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("n not divisible by 2nb did not panic")
+	// Malformed sizes must come back as typed errors, not crashes.
+	for _, c := range []struct{ n, nb int }{{30, 4}, {32, 0}, {0, 4}} {
+		h, err := NewHPL(Standalone(), c.n, c.nb, 1)
+		if !errors.Is(err, ErrBadSize) {
+			t.Errorf("NewHPL(n=%d, nb=%d) error = %v, want ErrBadSize", c.n, c.nb, err)
 		}
-	}()
-	NewHPL(Standalone(), 30, 4, 1)
+		if h != nil {
+			t.Errorf("NewHPL(n=%d, nb=%d) returned a kernel alongside the error", c.n, c.nb)
+		}
+	}
 }
 
 func TestHPLEncodingInvariantAfterConstruction(t *testing.T) {

@@ -17,6 +17,11 @@ import (
 // ErrNoCheckpoint is returned by Restore when nothing has been saved.
 var ErrNoCheckpoint = errors.New("checkpoint: no checkpoint taken yet")
 
+// ErrRestartBudget is returned by Restore when MaxRestarts is exhausted —
+// the signal that escalation must terminate in an Aborted outcome instead
+// of looping forever on a persistent fault.
+var ErrRestartBudget = errors.New("checkpoint: restart budget exhausted")
+
 // Alloc reserves n float64s of tagged storage (the kernel Env allocator
 // signature).
 type Alloc func(name string, n int, abft bool) trace.Region
@@ -40,6 +45,11 @@ type Stats struct {
 
 // Checkpointer snapshots registered state at step boundaries.
 type Checkpointer struct {
+	// MaxRestarts caps how many times Restore may roll back (0 = unlimited).
+	// The cap bounds the recovery ladder: a fault that keeps recurring after
+	// MaxRestarts replays is treated as unsurvivable.
+	MaxRestarts int
+
 	mem     *trace.Memory
 	alloc   Alloc
 	storage trace.Region
@@ -109,6 +119,9 @@ func (c *Checkpointer) Checkpoint(step int) {
 func (c *Checkpointer) Restore(currentStep int) (int, error) {
 	if !c.have {
 		return 0, ErrNoCheckpoint
+	}
+	if c.MaxRestarts > 0 && c.stats.Restarts >= c.MaxRestarts {
+		return 0, fmt.Errorf("%w: %d restart(s) used", ErrRestartBudget, c.stats.Restarts)
 	}
 	off := 0
 	for i, t := range c.targets {

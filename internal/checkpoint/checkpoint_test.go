@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"testing"
 
 	"coopabft/internal/abft"
@@ -136,5 +137,41 @@ func TestCheckpointWithCGKernel(t *testing.T) {
 	}
 	if c.Stats().Restarts != 1 {
 		t.Errorf("restarts = %d", c.Stats().Restarts)
+	}
+}
+
+func TestRestartBudgetExhaustion(t *testing.T) {
+	c, _ := newStandalone()
+	c.MaxRestarts = 2
+	x := []float64{1, 2, 3}
+	c.Register("x", x, trace.Region{})
+	c.Checkpoint(0)
+
+	for i := 0; i < 2; i++ {
+		x[0] = -1
+		if _, err := c.Restore(i + 1); err != nil {
+			t.Fatalf("restore %d within budget failed: %v", i+1, err)
+		}
+		if x[0] != 1 {
+			t.Fatalf("restore %d did not roll back", i+1)
+		}
+	}
+	if _, err := c.Restore(5); !errors.Is(err, ErrRestartBudget) {
+		t.Errorf("restore beyond budget: err = %v, want ErrRestartBudget", err)
+	}
+	if got := c.Stats().Restarts; got != 2 {
+		t.Errorf("Restarts = %d, want 2 (budget-refused restore must not count)", got)
+	}
+}
+
+func TestUnlimitedRestartsByDefault(t *testing.T) {
+	c, _ := newStandalone()
+	x := []float64{1}
+	c.Register("x", x, trace.Region{})
+	c.Checkpoint(0)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Restore(i); err != nil {
+			t.Fatalf("restore %d with MaxRestarts=0 failed: %v", i, err)
+		}
 	}
 }

@@ -85,7 +85,10 @@ func TestAdaptiveEndToEndWithInjection(t *testing.T) {
 	// Drive the policy from real interrupts: inject uncorrectable errors,
 	// read through them, observe, and confirm the protection escalates.
 	rt := NewRuntime(machine.ScaledConfig(32), PartialChipkillSECDED, 9)
-	d := rt.NewDGEMM(32, 4)
+	d, err := rt.NewDGEMM(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -160,12 +160,15 @@ func (rt *Runtime) RegisterTarget(data []float64, reg trace.Region) {
 }
 
 // NewDGEMM builds an FT-DGEMM wired to this runtime (targets registered).
-func (rt *Runtime) NewDGEMM(n int, seed uint64) *abft.DGEMM {
-	d := abft.NewDGEMM(rt.Env(), n, seed)
+func (rt *Runtime) NewDGEMM(n int, seed uint64) (*abft.DGEMM, error) {
+	d, err := abft.NewDGEMM(rt.Env(), n, seed)
+	if err != nil {
+		return nil, err
+	}
 	rt.RegisterTarget(d.Ac.Data, d.Ac.Reg)
 	rt.RegisterTarget(d.Br.Data, d.Br.Reg)
 	rt.RegisterTarget(d.Cf.Data, d.Cf.Reg)
-	return d
+	return d, nil
 }
 
 // NewCholesky builds an FT-Cholesky wired to this runtime.
@@ -202,11 +205,14 @@ func (rt *Runtime) NewQR(n int, seed uint64) *abft.QR {
 }
 
 // NewHPL builds an FT-HPL wired to this runtime.
-func (rt *Runtime) NewHPL(n, nb int, seed uint64) *abft.HPL {
-	h := abft.NewHPL(rt.Env(), n, nb, seed)
+func (rt *Runtime) NewHPL(n, nb int, seed uint64) (*abft.HPL, error) {
+	h, err := abft.NewHPL(rt.Env(), n, nb, seed)
+	if err != nil {
+		return nil, err
+	}
 	rt.RegisterTarget(h.A.Data, h.A.Reg)
 	rt.RegisterTarget(h.T.Data, h.T.Reg)
-	return h
+	return h, nil
 }
 
 // Finish closes out the run and returns platform metrics.

@@ -94,7 +94,10 @@ func TestEndToEndCoordinationDGEMM(t *testing.T) {
 	// interrupt, the OS exposing the address, and notified verification
 	// repairing the element.
 	rt := NewRuntime(machine.ScaledConfig(32), PartialChipkillSECDED, 4)
-	d := rt.NewDGEMM(40, 5)
+	d, err := rt.NewDGEMM(40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d.Mode = abft.NotifiedVerify
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
@@ -135,7 +138,10 @@ func TestSingleBitFixedByHardwareNotABFT(t *testing.T) {
 	// Under SECDED, a single-bit error is repaired by the MC; ABFT never
 	// hears about it and application data is restored.
 	rt := NewRuntime(machine.ScaledConfig(32), WholeSECDED, 6)
-	d := rt.NewDGEMM(32, 7)
+	d, err := rt.NewDGEMM(32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}

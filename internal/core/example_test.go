@@ -12,7 +12,7 @@ import (
 func ExampleRuntime() {
 	rt := core.NewRuntime(machine.ScaledConfig(32), core.PartialChipkillSECDED, 1)
 
-	d := rt.NewDGEMM(48, 7) // Ac, Br, Cf allocated via malloc_ecc (SECDED)
+	d, _ := rt.NewDGEMM(48, 7) // Ac, Br, Cf allocated via malloc_ecc (SECDED)
 	if err := d.Run(); err != nil {
 		panic(err)
 	}

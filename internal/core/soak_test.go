@@ -26,7 +26,10 @@ type soakKernel struct {
 func soakKernels() []soakKernel {
 	return []soakKernel{
 		{"dgemm", func(rt *Runtime) (bifit.Target, func() error) {
-			d := rt.NewDGEMM(32, 1)
+			d, err := rt.NewDGEMM(32, 1)
+			if err != nil {
+				panic(err)
+			}
 			if err := d.Run(); err != nil {
 				panic(err)
 			}
@@ -51,7 +54,10 @@ func soakKernels() []soakKernel {
 				func() error { _, err := c.VerifyInvariants(); return err }
 		}},
 		{"hpl", func(rt *Runtime) (bifit.Target, func() error) {
-			h := rt.NewHPL(32, 4, 4)
+			h, err := rt.NewHPL(32, 4, 4)
+			if err != nil {
+				panic(err)
+			}
 			if err := h.Run(); err != nil {
 				panic(err)
 			}

@@ -290,7 +290,10 @@ func RunKernelCtx(ctx context.Context, o Options, k KernelID, s core.Strategy, m
 	rt := core.NewRuntime(o.machineConfig(), s, int64(o.Seed))
 	switch k {
 	case KDGEMM:
-		d := rt.NewDGEMM(o.DGEMMN, o.Seed)
+		d, err := rt.NewDGEMM(o.DGEMMN, o.Seed)
+		if err != nil {
+			return machine.Result{}, fmt.Errorf("experiments: DGEMM: %w", err)
+		}
 		d.Mode = mode
 		if err := d.Run(); err != nil {
 			return machine.Result{}, fmt.Errorf("experiments: DGEMM: %w", err)
@@ -311,7 +314,10 @@ func RunKernelCtx(ctx context.Context, o Options, k KernelID, s core.Strategy, m
 			return machine.Result{}, fmt.Errorf("experiments: CG: %w", err)
 		}
 	case KHPL:
-		h := rt.NewHPL(o.HPLN, o.HPLNB, o.Seed)
+		h, err := rt.NewHPL(o.HPLN, o.HPLNB, o.Seed)
+		if err != nil {
+			return machine.Result{}, fmt.Errorf("experiments: HPL: %w", err)
+		}
 		if err := h.Run(); err != nil {
 			return machine.Result{}, fmt.Errorf("experiments: HPL: %w", err)
 		}
@@ -319,18 +325,6 @@ func RunKernelCtx(ctx context.Context, o Options, k KernelID, s core.Strategy, m
 		return machine.Result{}, fmt.Errorf("%w: KernelID(%d)", ErrUnknownKernel, int(k))
 	}
 	return rt.Finish(), nil
-}
-
-// RunKernel executes one workload under one ECC strategy.
-//
-// Deprecated: use RunKernelCtx, which threads a context and returns
-// errors instead of panicking.
-func RunKernel(o Options, k KernelID, s core.Strategy, mode abft.VerifyMode) machine.Result {
-	r, err := RunKernelCtx(context.Background(), o, k, s, mode)
-	if err != nil {
-		panic(err)
-	}
-	return r
 }
 
 // BasicResults holds the §5.1 sweep: every kernel under every strategy.
@@ -399,17 +393,6 @@ func basicCached(ctx context.Context, rc runConfig) (BasicResults, error) {
 // the campaign engine.
 func BasicCtx(ctx context.Context, o Options) (BasicResults, error) {
 	return basicCached(ctx, runConfig{o: o})
-}
-
-// Basic runs (once per Options, cached) the full §5.1 sweep.
-//
-// Deprecated: use BasicCtx or the "fig5"/"fig6"/"fig7" Experiments.
-func Basic(o Options) BasicResults {
-	r, err := BasicCtx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return r
 }
 
 // header writes a row of column labels.

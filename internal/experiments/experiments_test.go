@@ -22,8 +22,8 @@ func TestKernelIDStrings(t *testing.T) {
 
 func TestBasicSweepCachedAndComplete(t *testing.T) {
 	o := Small()
-	r1 := Basic(o)
-	r2 := Basic(o)
+	r1 := mustBasic(t, o)
+	r2 := mustBasic(t, o)
 	if len(r1) != len(AllKernels) {
 		t.Fatalf("kernels = %d", len(r1))
 	}
@@ -47,7 +47,7 @@ func TestBasicSweepCachedAndComplete(t *testing.T) {
 // chipkill is the most expensive protection, partial schemes cost no more
 // than their whole-ECC baselines, and nothing beats No_ECC.
 func TestFig5Orderings(t *testing.T) {
-	res := Basic(Small())
+	res := mustBasic(t, Small())
 	for _, k := range AllKernels {
 		r := res[k]
 		dyn := func(s core.Strategy) float64 { return r[s].MemDynamicJ }
@@ -79,7 +79,7 @@ func TestFig5Orderings(t *testing.T) {
 // TestFig6CGMostSensitive: FT-CG, the memory-intensive kernel, shows the
 // largest whole-chipkill system-energy increase.
 func TestFig6CGMostSensitive(t *testing.T) {
-	res := Basic(Small())
+	res := mustBasic(t, Small())
 	inc := func(k KernelID) float64 {
 		return res[k][core.WholeChipkill].SystemEnergyJ / res[k][core.NoECC].SystemEnergyJ
 	}
@@ -95,7 +95,7 @@ func TestFig6CGMostSensitive(t *testing.T) {
 // partial schemes recover performance; perf variance is smaller than
 // energy variance (§5.1).
 func TestFig7PerformanceOrdering(t *testing.T) {
-	res := Basic(Small())
+	res := mustBasic(t, Small())
 	for _, k := range AllKernels {
 		r := res[k]
 		if r[core.WholeChipkill].IPC > r[core.NoECC].IPC {
@@ -120,7 +120,7 @@ func TestTable4Ordering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("default-scale sweep skipped in -short mode")
 	}
-	rows := Table4(Default())
+	rows := mustTable4(t, Default())
 	byK := map[KernelID]Table4Row{}
 	for _, r := range rows {
 		byK[r.Kernel] = r
@@ -141,7 +141,7 @@ func TestTable4Ordering(t *testing.T) {
 
 // TestFig3VerificationDominates: Figure 3's observation.
 func TestFig3VerificationDominates(t *testing.T) {
-	rows := Fig3(Small())
+	rows := mustFig3(t, Small())
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -164,7 +164,7 @@ func TestFig3VerificationDominates(t *testing.T) {
 // TestTable1ImprovementPositive: notified verification is faster for all
 // three fail-continue kernels.
 func TestTable1ImprovementPositive(t *testing.T) {
-	rows := Table1(Small())
+	rows := mustTable1(t, Small())
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -181,7 +181,7 @@ func TestTable1ImprovementPositive(t *testing.T) {
 // TestFig10Claims: DGMS behaves like whole chipkill on high-locality
 // workloads while the cooperative approach relaxes ABFT data.
 func TestFig10Claims(t *testing.T) {
-	rows := Fig10(Small())
+	rows := mustFig10(t, Small())
 	get := func(k KernelID, mech string) Fig10Row {
 		for _, r := range rows {
 			if r.Kernel == k && r.Mechanism == mech {
@@ -212,7 +212,7 @@ func TestFig10Claims(t *testing.T) {
 }
 
 func TestHeadlinesComputable(t *testing.T) {
-	h := Headlines(Small())
+	h := mustHeadlines(t, Small())
 	if h.CGWholeChipkillMemIncrease <= 0 {
 		t.Errorf("CG chipkill increase = %v", h.CGWholeChipkillMemIncrease)
 	}
@@ -229,16 +229,16 @@ func TestHeadlinesComputable(t *testing.T) {
 func TestRenderersProduceOutput(t *testing.T) {
 	o := Small()
 	var b bytes.Buffer
-	RenderFig3(&b, Fig3(o))
-	RenderTable1(&b, Table1(o))
+	RenderFig3(&b, mustFig3(t, o))
+	RenderTable1(&b, mustTable1(t, o))
 	RenderTable3(&b, o)
-	RenderTable4(&b, Table4(o))
-	rows := Fig567(o)
+	RenderTable4(&b, mustTable4(t, o))
+	rows := mustFig567(t, o)
 	RenderFig5(&b, rows)
 	RenderFig6(&b, rows)
 	RenderFig7(&b, rows)
 	RenderTable5(&b)
-	RenderFig10(&b, Fig10(o))
+	RenderFig10(&b, mustFig10(t, o))
 	out := b.String()
 	for _, want := range []string{"Figure 3", "Table 1", "Table 3", "Table 4",
 		"Figure 5", "Figure 6", "Figure 7", "Table 5", "Figure 10",
@@ -251,7 +251,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 
 func TestFig8SmokeSmall(t *testing.T) {
 	o := Small()
-	series := Fig8(o)
+	series := mustFig8(t, o)
 	if len(series) != 3 {
 		t.Fatalf("series = %d", len(series))
 	}
@@ -274,7 +274,7 @@ func TestFig8SmokeSmall(t *testing.T) {
 
 func TestFig9SmokeSmall(t *testing.T) {
 	o := Small()
-	series := Fig9(o)
+	series := mustFig9(t, o)
 	for _, s := range series {
 		if len(s.Points) != len(StrongScalingProcs) {
 			t.Fatalf("%v: points = %d", s.Strategy, len(s.Points))
@@ -295,7 +295,7 @@ func TestFig9SweetPoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("default-scale strong-scaling study skipped in -short mode")
 	}
-	series := Fig9(Default())
+	series := mustFig9(t, Default())
 	for _, s := range series {
 		if s.Strategy.String() == "P_SD+No_ECC" {
 			continue // the SECDED-relative benefit is small and flat
@@ -318,7 +318,7 @@ func TestFig9SweetPoint(t *testing.T) {
 // errors relaxed ECC wins; ARE's cost grows with the error rate while ASE's
 // stays flat.
 func TestThresholdStudy(t *testing.T) {
-	pts := ThresholdStudy(Small(), []int{0, 4, 16})
+	pts := mustThreshold(t, Small(), []int{0, 4, 16})
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}

@@ -50,17 +50,6 @@ func Fig3Ctx(ctx context.Context, o Options) ([]OverheadBreakdown, error) {
 	return fig3Run(ctx, runConfig{o: o})
 }
 
-// Fig3 computes the Figure 3 overhead breakdown.
-//
-// Deprecated: use Fig3Ctx or the "fig3" Experiment.
-func Fig3(o Options) []OverheadBreakdown {
-	rows, err := Fig3Ctx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return rows
-}
-
 // kernelOps runs a kernel standalone (no machine) and returns its buckets.
 func kernelOps(ctx context.Context, o Options, k KernelID) (abft.OpCounters, error) {
 	if err := ctx.Err(); err != nil {
@@ -69,7 +58,10 @@ func kernelOps(ctx context.Context, o Options, k KernelID) (abft.OpCounters, err
 	env := abft.Standalone()
 	switch k {
 	case KDGEMM:
-		d := abft.NewDGEMM(env, o.DGEMMN, o.Seed)
+		d, err := abft.NewDGEMM(env, o.DGEMMN, o.Seed)
+		if err != nil {
+			return abft.OpCounters{}, err
+		}
 		if err := d.Run(); err != nil {
 			return abft.OpCounters{}, err
 		}
@@ -145,17 +137,6 @@ func table1Run(ctx context.Context, rc runConfig) ([]Table1Row, error) {
 // Table1Ctx computes the Table 1 verification comparison.
 func Table1Ctx(ctx context.Context, o Options) ([]Table1Row, error) {
 	return table1Run(ctx, runConfig{o: o})
-}
-
-// Table1 computes the Table 1 verification comparison.
-//
-// Deprecated: use Table1Ctx or the "table1" Experiment.
-func Table1(o Options) []Table1Row {
-	rows, err := Table1Ctx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return rows
 }
 
 // RenderTable1 writes Table 1 as text.

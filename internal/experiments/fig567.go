@@ -67,17 +67,6 @@ func Fig567Ctx(ctx context.Context, o Options) ([]StrategyMetrics, error) {
 	return fig567Run(ctx, runConfig{o: o})
 }
 
-// Fig567 computes the normalized §5.1 sweep rows.
-//
-// Deprecated: use Fig567Ctx or the "fig5"/"fig6"/"fig7" Experiments.
-func Fig567(o Options) []StrategyMetrics {
-	rows, err := Fig567Ctx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return rows
-}
-
 // RenderFig5 writes the memory-energy figure.
 func RenderFig5(w io.Writer, rows []StrategyMetrics) {
 	header(w, "Figure 5: memory energy normalized to No_ECC", []string{"strategy", "dynamic", "standby", "total"})
@@ -146,17 +135,6 @@ func headlinesRun(ctx context.Context, rc runConfig) (Headline, error) {
 // HeadlinesCtx computes the quoted §5.1 percentages from the sweep.
 func HeadlinesCtx(ctx context.Context, o Options) (Headline, error) {
 	return headlinesRun(ctx, runConfig{o: o})
-}
-
-// Headlines computes the quoted percentages from the sweep.
-//
-// Deprecated: use HeadlinesCtx or the "headlines" Experiment.
-func Headlines(o Options) Headline {
-	h, err := HeadlinesCtx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return h
 }
 
 // RenderHeadlines writes the §5.1 headline comparisons.

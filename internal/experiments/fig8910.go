@@ -35,10 +35,11 @@ func fig8Run(ctx context.Context, rc runConfig) ([]ScalingSeries, error) {
 				return ScalingSeries{}, err
 			}
 			s := scaling.PartialStrategies[i]
-			return ScalingSeries{
-				Strategy: s,
-				Points:   scaling.WeakScaling(rc.o.ScalingCfg, s, WeakScalingProcs),
-			}, nil
+			pts, err := scaling.WeakScaling(rc.o.ScalingCfg, s, WeakScalingProcs)
+			if err != nil {
+				return ScalingSeries{}, err
+			}
+			return ScalingSeries{Strategy: s, Points: pts}, nil
 		})
 	return out, err
 }
@@ -46,17 +47,6 @@ func fig8Run(ctx context.Context, rc runConfig) ([]ScalingSeries, error) {
 // Fig8Ctx runs the Figure 8 weak-scaling study.
 func Fig8Ctx(ctx context.Context, o Options) ([]ScalingSeries, error) {
 	return fig8Run(ctx, runConfig{o: o})
-}
-
-// Fig8 runs the Figure 8 weak-scaling study.
-//
-// Deprecated: use Fig8Ctx or the "fig8" Experiment.
-func Fig8(o Options) []ScalingSeries {
-	out, err := Fig8Ctx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return out
 }
 
 // fig9Run runs the mixed strong-scaling study. The paper's base deployment
@@ -76,7 +66,7 @@ func fig9Run(ctx context.Context, rc runConfig) ([]ScalingSeries, error) {
 				return scaling.Point{}, err
 			}
 			s := scaling.PartialStrategies[i/nPts]
-			return scaling.StrongPoint(cfg, s, 100, StrongScalingProcs[i%nPts]), nil
+			return scaling.StrongPoint(cfg, s, 100, StrongScalingProcs[i%nPts])
 		})
 	if err != nil {
 		return nil, err
@@ -91,17 +81,6 @@ func fig9Run(ctx context.Context, rc runConfig) ([]ScalingSeries, error) {
 // Fig9Ctx runs the Figure 9 mixed strong-scaling study.
 func Fig9Ctx(ctx context.Context, o Options) ([]ScalingSeries, error) {
 	return fig9Run(ctx, runConfig{o: o})
-}
-
-// Fig9 runs the mixed strong-scaling study.
-//
-// Deprecated: use Fig9Ctx or the "fig9" Experiment.
-func Fig9(o Options) []ScalingSeries {
-	out, err := Fig9Ctx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return out
 }
 
 // RenderScaling writes a Figure 8/9-style table.
@@ -185,17 +164,6 @@ func Fig10Ctx(ctx context.Context, o Options) ([]Fig10Row, error) {
 	return fig10Run(ctx, runConfig{o: o})
 }
 
-// Fig10 runs the Figure 10 DGMS comparison.
-//
-// Deprecated: use Fig10Ctx or the "fig10" Experiment.
-func Fig10(o Options) []Fig10Row {
-	out, err := Fig10Ctx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return out
-}
-
 // runDGMS executes a kernel on a DGMS-equipped machine.
 func runDGMS(ctx context.Context, o Options, k KernelID) (machine.Result, float64, error) {
 	if err := ctx.Err(); err != nil {
@@ -205,7 +173,10 @@ func runDGMS(ctx context.Context, o Options, k KernelID) (machine.Result, float6
 	pred := dgms.Attach(rt.M)
 	switch k {
 	case KDGEMM:
-		d := rt.NewDGEMM(o.DGEMMN, o.Seed)
+		d, err := rt.NewDGEMM(o.DGEMMN, o.Seed)
+		if err != nil {
+			return machine.Result{}, 0, err
+		}
 		if err := d.Run(); err != nil {
 			return machine.Result{}, 0, err
 		}

@@ -269,19 +269,6 @@ func machineResultsSame(a, b BasicResults) bool {
 	return true
 }
 
-// TestDeprecatedWrappersAgree checks the kept compatibility wrappers
-// produce the same rows as the context-aware paths.
-func TestDeprecatedWrappersAgree(t *testing.T) {
-	o := Small()
-	viaCtx, err := Fig567Ctx(context.Background(), o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if via := Fig567(o); !reflect.DeepEqual(via, viaCtx) {
-		t.Error("Fig567 wrapper disagrees with Fig567Ctx")
-	}
-}
-
 func TestMachineConfigOptions(t *testing.T) {
 	if _, err := machine.NewConfig(machine.WithClockHz(-1)); !errors.Is(err, machine.ErrBadConfig) {
 		t.Errorf("negative clock: err = %v, want machine.ErrBadConfig", err)

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"context"
+	"io"
+
+	"coopabft/internal/recovery/soak"
+)
+
+func init() {
+	rowsExperiment("soak", soakRun, RenderSoak)
+}
+
+// soakRun executes the trimmed chaos-soak grid (see internal/recovery/soak):
+// seed-deterministic fault campaigns through the §4 recovery ladder, with
+// every run classified corrected/restarted/aborted.
+func soakRun(ctx context.Context, rc runConfig) (*soak.Result, error) {
+	cfg := soak.Short()
+	cfg.Seed = rc.o.Seed
+	cfg.Workers = rc.o.Workers
+	return soak.Run(ctx, cfg)
+}
+
+// RenderSoak writes the deterministic outcome table.
+func RenderSoak(w io.Writer, r *soak.Result) {
+	io.WriteString(w, r.Table())
+}

@@ -42,17 +42,6 @@ func Table4Ctx(ctx context.Context, o Options) ([]Table4Row, error) {
 	return table4Run(ctx, runConfig{o: o})
 }
 
-// Table4 computes the Table 4 LLC-miss classification.
-//
-// Deprecated: use Table4Ctx or the "table4" Experiment.
-func Table4(o Options) []Table4Row {
-	rows, err := Table4Ctx(context.Background(), o)
-	if err != nil {
-		panic(err)
-	}
-	return rows
-}
-
 // RenderTable4 writes Table 4 as text.
 func RenderTable4(w io.Writer, rows []Table4Row) {
 	header(w, "Table 4: LLC misses by ABFT protection", []string{"w/ ABFT", "w/o ABFT", "ratio"})

@@ -75,17 +75,6 @@ func ThresholdStudyCtx(ctx context.Context, o Options, errorCounts []int) ([]Thr
 	return thresholdStudyRun(ctx, runConfig{o: o}, errorCounts)
 }
 
-// ThresholdStudy runs the ARE-vs-ASE sweep.
-//
-// Deprecated: use ThresholdStudyCtx or the "threshold" Experiment.
-func ThresholdStudy(o Options, errorCounts []int) []ThresholdPoint {
-	out, err := ThresholdStudyCtx(context.Background(), o, errorCounts)
-	if err != nil {
-		panic(err)
-	}
-	return out
-}
-
 // thresholdRun executes FT-CG with n injected errors under a strategy.
 func thresholdRun(o Options, s core.Strategy, n int) (res machine.Result, recoveries int, err error) {
 	rt := core.NewRuntime(o.machineConfig(), s, int64(o.Seed))

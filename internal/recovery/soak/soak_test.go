@@ -1,0 +1,108 @@
+package soak_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"coopabft/internal/bifit"
+	"coopabft/internal/core"
+	"coopabft/internal/recovery"
+	"coopabft/internal/recovery/soak"
+)
+
+// checkInvariants asserts the harness's hard guarantees on a campaign
+// result: no panics, no hangs, and every single run classified.
+func checkInvariants(t *testing.T, res *soak.Result) {
+	t.Helper()
+	if res.Panics != 0 {
+		for _, r := range res.Runs {
+			if r.Panicked {
+				t.Errorf("cell %d (%v/%v/%v) panicked: %s", r.Cell, r.Kernel, r.Strategy, r.Kind, r.PanicMsg)
+			}
+		}
+	}
+	if res.Hangs != 0 {
+		t.Errorf("%d run(s) hung past the deadline", res.Hangs)
+	}
+	classified := res.Counts[recovery.Corrected] + res.Counts[recovery.Restarted] + res.Counts[recovery.Aborted]
+	if classified != len(res.Runs)-res.Panics-res.Hangs {
+		t.Errorf("%d of %d runs unclassified", len(res.Runs)-classified, len(res.Runs))
+	}
+}
+
+// TestSoakShortDeterministic: the CI-sized grid completes with zero
+// panics/hangs, and the same seed reproduces the identical outcome table —
+// across different worker counts.
+func TestSoakShortDeterministic(t *testing.T) {
+	cfg := soak.Short()
+	cfg.Seed = 7
+	cfg.Deadline = 2 * time.Minute
+	r1, err := soak.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, r1)
+	if got := len(r1.Runs); got != cfg.Cells() {
+		t.Fatalf("runs = %d, want %d", got, cfg.Cells())
+	}
+
+	cfg2 := cfg
+	cfg2.Workers = 2
+	r2, err := soak.Run(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Table() != r2.Table() {
+		t.Errorf("same seed produced different outcome tables:\n--- run 1 ---\n%s--- run 2 ---\n%s", r1.Table(), r2.Table())
+	}
+}
+
+// TestSoakAcceptance is the issue's acceptance sweep: >= 200 injected-fault
+// runs across all four error kinds, all six ECC schemes, and >= 2 kernels
+// whose updates run on parallel mat workers — zero wrong answers (success
+// is oracle-gated inside the coordinator), zero panics, zero hangs, every
+// run classified.
+func TestSoakAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 216-run sweep skipped in -short (TestSoakShortDeterministic covers the CI grid)")
+	}
+	cfg := soak.Default()
+	cfg.Seed = 1
+	cfg.Deadline = 2 * time.Minute
+	res, err := soak.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, res)
+	if len(res.Runs) < 200 {
+		t.Fatalf("only %d runs; acceptance requires >= 200", len(res.Runs))
+	}
+
+	kinds := map[bifit.Kind]bool{}
+	strats := map[core.Strategy]bool{}
+	kernels := map[soak.Kernel]bool{}
+	injected := 0
+	for _, r := range res.Runs {
+		kinds[r.Kind] = true
+		strats[r.Strategy] = true
+		kernels[r.Kernel] = true
+		injected += r.Report.Injected
+	}
+	if len(kinds) != 4 {
+		t.Errorf("kinds covered = %d, want 4", len(kinds))
+	}
+	if len(strats) != len(core.Strategies) {
+		t.Errorf("strategies covered = %d, want %d", len(strats), len(core.Strategies))
+	}
+	// DGEMM (n=80, rank-16 panels) and Cholesky (n=96 trailing updates)
+	// both exceed the mat parallel threshold, so faults land while row-band
+	// workers are active.
+	if !kernels[soak.KDGEMM] || !kernels[soak.KCholesky] {
+		t.Errorf("parallel kernels missing from sweep: %v", kernels)
+	}
+	if injected == 0 {
+		t.Error("no faults were injected")
+	}
+	t.Logf("\n%s", res.Table())
+}

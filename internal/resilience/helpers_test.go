@@ -1,0 +1,38 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+
+	"coopabft/internal/ecc"
+)
+
+// The must* helpers run the Ctx entry points serially and fail the test on
+// error, keeping assertions free of error plumbing.
+
+func mustCampaign(t testing.TB, scheme ecc.Scheme, family PatternFamily, trials int, seed int64) Outcome {
+	t.Helper()
+	o, err := RunCampaignCtx(context.Background(), scheme, family, trials, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func mustClassify(t testing.TB, strong ecc.Scheme, trials int, seed int64) []CaseRow {
+	t.Helper()
+	rows, err := ClassifyCasesCtx(context.Background(), strong, trials, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func mustCapability(t testing.TB, kernel KernelName, size int, errorCounts []int, trials int, seed int64) []CapabilityPoint {
+	t.Helper()
+	pts, err := CapabilityCurveCtx(context.Background(), kernel, size, errorCounts, trials, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}

@@ -112,18 +112,6 @@ func CapabilityCurveCtx(ctx context.Context, kernel KernelName, size int, errorC
 	return out, nil
 }
 
-// CapabilityCurve sweeps simultaneous error counts for one kernel,
-// serially.
-//
-// Deprecated: use CapabilityCurveCtx.
-func CapabilityCurve(kernel KernelName, size int, errorCounts []int, trials int, seed int64) []CapabilityPoint {
-	out, err := CapabilityCurveCtx(context.Background(), kernel, size, errorCounts, trials, seed, nil)
-	if err != nil {
-		panic(err)
-	}
-	return out
-}
-
 type trialOutcome int
 
 const (
@@ -138,7 +126,10 @@ func runCapabilityTrial(kernel KernelName, n, k int, rng *rand.Rand) trialOutcom
 	mag := func() float64 { return 1 + 10*rng.Float64() }
 	switch kernel {
 	case KernelDGEMM:
-		d := abft.NewDGEMM(abft.Standalone(), n, seed)
+		d, err := abft.NewDGEMM(abft.Standalone(), n, seed)
+		if err != nil {
+			return trialDetected
+		}
 		if err := d.Run(); err != nil {
 			return trialDetected
 		}

@@ -190,18 +190,6 @@ func RunCampaignCtx(ctx context.Context, scheme ecc.Scheme, family PatternFamily
 	return out, nil
 }
 
-// RunCampaign injects `trials` random patterns of the family under the
-// scheme's codec, serially.
-//
-// Deprecated: use RunCampaignCtx, which threads a context and an engine.
-func RunCampaign(scheme ecc.Scheme, family PatternFamily, trials int, seed int64) Outcome {
-	out, err := RunCampaignCtx(context.Background(), scheme, family, trials, seed, nil)
-	if err != nil {
-		panic(err)
-	}
-	return out
-}
-
 // ABFTCorrects models the checksum kernels' capability for single-line
 // corruption: any number of corrupted elements within one cacheline is
 // repairable (they share a row; each element is rebuilt from its column
@@ -244,18 +232,6 @@ func ClassifyCasesCtx(ctx context.Context, strong ecc.Scheme, trials int, seed i
 		rows = append(rows, r)
 	}
 	return rows, nil
-}
-
-// ClassifyCases runs campaigns for every family against a strong scheme
-// and derives the §4 case frequencies, serially.
-//
-// Deprecated: use ClassifyCasesCtx.
-func ClassifyCases(strong ecc.Scheme, trials int, seed int64) []CaseRow {
-	rows, err := ClassifyCasesCtx(context.Background(), strong, trials, seed, nil)
-	if err != nil {
-		panic(err)
-	}
-	return rows
 }
 
 // Render writes the classification as a table.

@@ -10,7 +10,7 @@ import (
 
 func TestSingleBitAlwaysCorrected(t *testing.T) {
 	for _, s := range []ecc.Scheme{ecc.SECDED, ecc.Chipkill} {
-		o := RunCampaign(s, SingleBit, 500, 1)
+		o := mustCampaign(t, s, SingleBit, 500, 1)
 		if o.Corrected != o.Trials {
 			t.Errorf("%v: single-bit corrected %d/%d", s, o.Corrected, o.Trials)
 		}
@@ -19,13 +19,13 @@ func TestSingleBitAlwaysCorrected(t *testing.T) {
 
 func TestDoubleBitSplit(t *testing.T) {
 	// SECDED: all double-bit-per-word errors detected, never miscorrected.
-	o := RunCampaign(ecc.SECDED, DoubleBitWord, 500, 2)
+	o := mustCampaign(t, ecc.SECDED, DoubleBitWord, 500, 2)
 	if o.Detected != o.Trials {
 		t.Errorf("SECDED double-bit: %+v", o)
 	}
 	// Chipkill: two bits within one symbol are corrected, across symbols
 	// (same codeword) detected — never silent.
-	o = RunCampaign(ecc.Chipkill, DoubleBitWord, 500, 3)
+	o = mustCampaign(t, ecc.Chipkill, DoubleBitWord, 500, 3)
 	if o.Miscorrected != 0 {
 		t.Errorf("chipkill double-bit miscorrects: %+v", o)
 	}
@@ -38,11 +38,11 @@ func TestDoubleBitSplit(t *testing.T) {
 }
 
 func TestChipSymbolShowsChipkillAdvantage(t *testing.T) {
-	ck := RunCampaign(ecc.Chipkill, ChipSymbol, 500, 4)
+	ck := mustCampaign(t, ecc.Chipkill, ChipSymbol, 500, 4)
 	if ck.Corrected != ck.Trials {
 		t.Errorf("chipkill should correct every chip failure: %+v", ck)
 	}
-	sd := RunCampaign(ecc.SECDED, ChipSymbol, 500, 4)
+	sd := mustCampaign(t, ecc.SECDED, ChipSymbol, 500, 4)
 	if sd.Corrected == sd.Trials {
 		t.Error("SECDED should not correct every chip failure")
 	}
@@ -55,7 +55,7 @@ func TestChipSymbolShowsChipkillAdvantage(t *testing.T) {
 }
 
 func TestTwoSymbolsBeyondBoth(t *testing.T) {
-	ck := RunCampaign(ecc.Chipkill, TwoSymbols, 500, 5)
+	ck := mustCampaign(t, ecc.Chipkill, TwoSymbols, 500, 5)
 	if ck.Corrected != 0 {
 		t.Errorf("chipkill corrected a two-symbol error: %+v", ck)
 	}
@@ -65,7 +65,7 @@ func TestTwoSymbolsBeyondBoth(t *testing.T) {
 }
 
 func TestNoECCPassthrough(t *testing.T) {
-	o := RunCampaign(ecc.None, Burst64, 100, 6)
+	o := mustCampaign(t, ecc.None, Burst64, 100, 6)
 	if o.Passthrough != o.Trials {
 		t.Errorf("no-ECC should pass everything through: %+v", o)
 	}
@@ -76,8 +76,8 @@ func TestBurstRatesSane(t *testing.T) {
 	// codeword halves with one symbol in each, which chipkill corrects)
 	// occurs at ≈0.25%, so the expected count is ~10 and the checks are
 	// not seed-luck.
-	sd := RunCampaign(ecc.SECDED, Burst64, 4000, 7)
-	ck := RunCampaign(ecc.Chipkill, Burst64, 4000, 7)
+	sd := mustCampaign(t, ecc.SECDED, Burst64, 4000, 7)
+	ck := mustCampaign(t, ecc.Chipkill, Burst64, 4000, 7)
 	for _, o := range []Outcome{sd, ck} {
 		if o.Corrected+o.Detected+o.Miscorrected+o.Passthrough != o.Trials {
 			t.Errorf("outcomes don't sum: %+v", o)
@@ -103,7 +103,7 @@ func TestBurstRatesSane(t *testing.T) {
 }
 
 func TestClassifyCasesStructure(t *testing.T) {
-	rows := ClassifyCases(ecc.Chipkill, 300, 8)
+	rows := mustClassify(t, ecc.Chipkill, 300, 8)
 	if len(rows) != len(Families) {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -128,7 +128,7 @@ func TestClassifyCasesStructure(t *testing.T) {
 
 func TestRenderOutput(t *testing.T) {
 	var b bytes.Buffer
-	Render(&b, ClassifyCases(ecc.SECDED, 100, 9))
+	Render(&b, mustClassify(t, ecc.SECDED, 100, 9))
 	out := b.String()
 	for _, want := range []string{"case1", "silent SDC", "single-bit", "byte-burst"} {
 		if !strings.Contains(out, want) {
@@ -138,8 +138,8 @@ func TestRenderOutput(t *testing.T) {
 }
 
 func TestDeterministicCampaigns(t *testing.T) {
-	a := RunCampaign(ecc.SECDED, Burst64, 200, 11)
-	b := RunCampaign(ecc.SECDED, Burst64, 200, 11)
+	a := mustCampaign(t, ecc.SECDED, Burst64, 200, 11)
+	b := mustCampaign(t, ecc.SECDED, Burst64, 200, 11)
 	if a != b {
 		t.Error("campaign not deterministic for equal seeds")
 	}
@@ -157,7 +157,7 @@ func TestFamilyStrings(t *testing.T) {
 }
 
 func TestCapabilityCurveDGEMM(t *testing.T) {
-	pts := CapabilityCurve(KernelDGEMM, 20, []int{1, 2, 8}, 12, 1)
+	pts := mustCapability(t, KernelDGEMM, 20, []int{1, 2, 8}, 12, 1)
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -184,7 +184,7 @@ func TestCapabilityCurveDGEMM(t *testing.T) {
 
 func TestCapabilitySingleErrorAllKernels(t *testing.T) {
 	for _, k := range CapabilityKernels {
-		pts := CapabilityCurve(k, 16, []int{1}, 8, 2)
+		pts := mustCapability(t, k, 16, []int{1}, 8, 2)
 		if pts[0].RepairRate() != 1 {
 			t.Errorf("%v: single-error repair rate = %v (detected %d, wrong %d)",
 				k, pts[0].RepairRate(), pts[0].Detected, pts[0].SilentWrong)
@@ -195,7 +195,7 @@ func TestCapabilitySingleErrorAllKernels(t *testing.T) {
 func TestCapabilityCGMultiError(t *testing.T) {
 	// CG's invariant recovery rebuilds the whole state: even several
 	// simultaneous errors are healed by one restart.
-	pts := CapabilityCurve(KernelCG, 0, []int{4}, 6, 3)
+	pts := mustCapability(t, KernelCG, 0, []int{4}, 6, 3)
 	if pts[0].RepairRate() != 1 {
 		t.Errorf("CG 4-error repair rate = %v", pts[0].RepairRate())
 	}
@@ -204,7 +204,7 @@ func TestCapabilityCGMultiError(t *testing.T) {
 func TestRenderCapability(t *testing.T) {
 	var b bytes.Buffer
 	RenderCapability(&b, [][]CapabilityPoint{
-		CapabilityCurve(KernelDGEMM, 16, []int{1, 2}, 4, 4),
+		mustCapability(t, KernelDGEMM, 16, []int{1, 2}, 4, 4),
 	})
 	if !strings.Contains(b.String(), "FT-DGEMM") {
 		t.Error("render missing kernel name")
@@ -215,7 +215,7 @@ func TestNoSilentWrongAcrossAllKernels(t *testing.T) {
 	// The post-repair re-verification guarantee: ABFT either repairs or
 	// honestly refuses — it never silently produces a wrong result.
 	for _, k := range CapabilityKernels {
-		for _, p := range CapabilityCurve(k, 20, []int{2, 4, 8}, 10, 9) {
+		for _, p := range mustCapability(t, k, 20, []int{2, 4, 8}, 10, 9) {
 			if p.SilentWrong != 0 {
 				t.Errorf("%v k=%d: %d silent wrong results", k, p.Errors, p.SilentWrong)
 			}

@@ -1,0 +1,43 @@
+package scaling
+
+import (
+	"testing"
+
+	"coopabft/internal/core"
+)
+
+func mustMeasure(t testing.TB, cfg Config, s core.Strategy, withRecovery bool) Measurement {
+	t.Helper()
+	m, err := MeasureCG(cfg, s, withRecovery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustRecovery(t testing.TB, cfg Config, s core.Strategy) float64 {
+	t.Helper()
+	r, err := RecoveryEnergy(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustWeak(t testing.TB, cfg Config, s core.Strategy, procs []int) []Point {
+	t.Helper()
+	pts, err := WeakScaling(cfg, s, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func mustStrong(t testing.TB, cfg Config, s core.Strategy, baseProcs int, procs []int) []Point {
+	t.Helper()
+	pts, err := StrongScaling(cfg, s, baseProcs, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}

@@ -80,7 +80,7 @@ func baselineFor(s core.Strategy) core.Strategy {
 
 // MeasureCG runs FT-CG for the configured iterations under a strategy and
 // returns per-process metrics.
-func MeasureCG(cfg Config, s core.Strategy, withRecovery bool) Measurement {
+func MeasureCG(cfg Config, s core.Strategy, withRecovery bool) (Measurement, error) {
 	rt := core.NewRuntime(cfg.Machine, s, int64(cfg.Seed))
 	cg := rt.NewCG(cfg.GridX, cfg.GridY, cfg.Seed)
 	cg.MaxIter = cfg.Iterations
@@ -94,7 +94,7 @@ func MeasureCG(cfg Config, s core.Strategy, withRecovery bool) Measurement {
 		}
 	}
 	if _, err := cg.Run(); err != nil {
-		panic(fmt.Sprintf("scaling: CG run failed: %v", err))
+		return Measurement{}, fmt.Errorf("scaling: CG run failed: %w", err)
 	}
 	res := rt.Finish()
 
@@ -108,19 +108,25 @@ func MeasureCG(cfg Config, s core.Strategy, withRecovery bool) Measurement {
 		SystemEnergyJ: res.SystemEnergyJ,
 		Seconds:       res.Seconds,
 		ABFTBytes:     abftBytes,
-	}
+	}, nil
 }
 
 // RecoveryEnergy measures the energy of a single FT-CG recovery by
 // differencing two otherwise identical runs.
-func RecoveryEnergy(cfg Config, s core.Strategy) float64 {
-	with := MeasureCG(cfg, s, true)
-	without := MeasureCG(cfg, s, false)
+func RecoveryEnergy(cfg Config, s core.Strategy) (float64, error) {
+	with, err := MeasureCG(cfg, s, true)
+	if err != nil {
+		return 0, err
+	}
+	without, err := MeasureCG(cfg, s, false)
+	if err != nil {
+		return 0, err
+	}
 	d := with.SystemEnergyJ - without.SystemEnergyJ
 	if d < 0 {
 		d = 0
 	}
-	return d
+	return d, nil
 }
 
 // efficiency returns the modeled parallel efficiency at P processes
@@ -136,10 +142,19 @@ func efficiency(coeff float64, p, base int) float64 {
 // process count. Injected errors are Case-1 (correctable by both ABFT and
 // strong ECC), occurring at the Table 5 rate of the scheme protecting the
 // ABFT data.
-func WeakScaling(cfg Config, s core.Strategy, procs []int) []Point {
-	perProc := MeasureCG(cfg, s, false)
-	base := MeasureCG(cfg, baselineFor(s), false)
-	recovery := RecoveryEnergy(cfg, s)
+func WeakScaling(cfg Config, s core.Strategy, procs []int) ([]Point, error) {
+	perProc, err := MeasureCG(cfg, s, false)
+	if err != nil {
+		return nil, err
+	}
+	base, err := MeasureCG(cfg, baselineFor(s), false)
+	if err != nil {
+		return nil, err
+	}
+	recovery, err := RecoveryEnergy(cfg, s)
+	if err != nil {
+		return nil, err
+	}
 	deltaJ := base.SystemEnergyJ - perProc.SystemEnergyJ
 
 	fit := s.ABFTScheme().FITPerMbit()
@@ -159,22 +174,31 @@ func WeakScaling(cfg Config, s core.Strategy, procs []int) []Point {
 			PerProcBenefitJ: deltaJ,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // StrongPoint measures one Figure 9 sample: the mixed deployment at p
 // processes, per-process problem shrunk as 1/√(P/base) per dimension. It
 // is a pure function of (cfg, s, baseProcs, p) and shares no state with
 // other points, so the campaign engine can fan points out freely.
-func StrongPoint(cfg Config, s core.Strategy, baseProcs, p int) Point {
+func StrongPoint(cfg Config, s core.Strategy, baseProcs, p int) (Point, error) {
 	shrink := math.Sqrt(float64(baseProcs) / float64(p))
 	sub := cfg
 	sub.GridX = maxInt(8, int(float64(cfg.GridX)*shrink))
 	sub.GridY = maxInt(8, int(float64(cfg.GridY)*shrink))
 
-	perProc := MeasureCG(sub, s, false)
-	base := MeasureCG(sub, baselineFor(s), false)
-	recovery := RecoveryEnergy(sub, s)
+	perProc, err := MeasureCG(sub, s, false)
+	if err != nil {
+		return Point{}, err
+	}
+	base, err := MeasureCG(sub, baselineFor(s), false)
+	if err != nil {
+		return Point{}, err
+	}
+	recovery, err := RecoveryEnergy(sub, s)
+	if err != nil {
+		return Point{}, err
+	}
 	deltaJ := base.SystemEnergyJ - perProc.SystemEnergyJ
 
 	fit := s.ABFTScheme().FITPerMbit()
@@ -190,18 +214,22 @@ func StrongPoint(cfg Config, s core.Strategy, baseProcs, p int) Point {
 		ExpectedErrors:  ne,
 		PerProcSeconds:  seconds,
 		PerProcBenefitJ: deltaJ,
-	}
+	}, nil
 }
 
 // StrongScaling reproduces Figure 9: the paper's mixed deployment — weak
 // scaling to baseProcs processes of GridX×GridY each, then strong scaling
 // beyond.
-func StrongScaling(cfg Config, s core.Strategy, baseProcs int, procs []int) []Point {
+func StrongScaling(cfg Config, s core.Strategy, baseProcs int, procs []int) ([]Point, error) {
 	out := make([]Point, 0, len(procs))
 	for _, p := range procs {
-		out = append(out, StrongPoint(cfg, s, baseProcs, p))
+		pt, err := StrongPoint(cfg, s, baseProcs, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
 	}
-	return out
+	return out, nil
 }
 
 // PartialStrategies are the three relaxed schemes Figures 8–9 sweep.

@@ -16,7 +16,7 @@ func tinyConfig() Config {
 
 func TestMeasureCGBasics(t *testing.T) {
 	cfg := tinyConfig()
-	m := MeasureCG(cfg, core.PartialChipkillNoECC, false)
+	m := mustMeasure(t, cfg, core.PartialChipkillNoECC, false)
 	if m.SystemEnergyJ <= 0 || m.Seconds <= 0 {
 		t.Fatalf("measurement = %+v", m)
 	}
@@ -24,7 +24,7 @@ func TestMeasureCGBasics(t *testing.T) {
 		t.Errorf("ABFT footprint %v too small for 5+ vectors", m.ABFTBytes)
 	}
 	// The whole-chipkill baseline must cost more energy.
-	b := MeasureCG(cfg, core.WholeChipkill, false)
+	b := mustMeasure(t, cfg, core.WholeChipkill, false)
 	if b.SystemEnergyJ <= m.SystemEnergyJ {
 		t.Errorf("W_CK %g <= P_CK+No_ECC %g", b.SystemEnergyJ, m.SystemEnergyJ)
 	}
@@ -32,12 +32,12 @@ func TestMeasureCGBasics(t *testing.T) {
 
 func TestRecoveryEnergyPositive(t *testing.T) {
 	cfg := tinyConfig()
-	r := RecoveryEnergy(cfg, core.PartialChipkillNoECC)
+	r := mustRecovery(t, cfg, core.PartialChipkillNoECC)
 	if r <= 0 {
 		t.Errorf("recovery energy = %v", r)
 	}
 	// Recovery is a single matvec+rebuild: far below the full run energy.
-	m := MeasureCG(cfg, core.PartialChipkillNoECC, false)
+	m := mustMeasure(t, cfg, core.PartialChipkillNoECC, false)
 	if r >= m.SystemEnergyJ/2 {
 		t.Errorf("recovery %g not small vs run %g", r, m.SystemEnergyJ)
 	}
@@ -46,7 +46,7 @@ func TestRecoveryEnergyPositive(t *testing.T) {
 func TestWeakScalingShape(t *testing.T) {
 	cfg := tinyConfig()
 	procs := []int{100, 800, 6400}
-	pts := WeakScaling(cfg, core.PartialChipkillNoECC, procs)
+	pts := mustWeak(t, cfg, core.PartialChipkillNoECC, procs)
 	if len(pts) != len(procs) {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -70,8 +70,8 @@ func TestWeakScalingShape(t *testing.T) {
 func TestWeakScalingPCKPSDRecoveryLower(t *testing.T) {
 	cfg := tinyConfig()
 	procs := []int{6400}
-	noECC := WeakScaling(cfg, core.PartialChipkillNoECC, procs)[0]
-	psd := WeakScaling(cfg, core.PartialChipkillSECDED, procs)[0]
+	noECC := mustWeak(t, cfg, core.PartialChipkillNoECC, procs)[0]
+	psd := mustWeak(t, cfg, core.PartialChipkillSECDED, procs)[0]
 	// SECDED on ABFT data means far fewer errors escape to ABFT.
 	if psd.RecoveryCostJ >= noECC.RecoveryCostJ {
 		t.Errorf("P_CK+P_SD recovery %g >= P_CK+No_ECC %g",
@@ -87,7 +87,7 @@ func TestStrongScalingRecoveryFalls(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.GridX, cfg.GridY = 48, 48
 	procs := []int{100, 400, 1600}
-	pts := StrongScaling(cfg, core.PartialChipkillNoECC, 100, procs)
+	pts := mustStrong(t, cfg, core.PartialChipkillNoECC, 100, procs)
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
