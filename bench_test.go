@@ -8,7 +8,9 @@ package coopabft
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"coopabft/internal/abft"
 	"coopabft/internal/campaign"
@@ -17,6 +19,7 @@ import (
 	"coopabft/internal/experiments"
 	"coopabft/internal/resilience"
 	"coopabft/internal/scaling"
+	"coopabft/internal/serve"
 )
 
 // benchOptions returns small-scale options with a per-benchmark,
@@ -296,4 +299,56 @@ func BenchmarkResilienceCampaignParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Serving subsystem: request path through the recovery ladder ---
+
+// benchServe drives b.N requests through an in-process service at the
+// given client width, reporting end-to-end request latency (queue +
+// ladder execution). Seeds vary per request so the problem data is
+// regenerated every iteration.
+func benchServe(b *testing.B, cfg serve.Config, clients int, req serve.Request) {
+	b.Helper()
+	svc := serve.New(cfg)
+	defer svc.Close()
+	var seed atomic.Uint64
+	seed.Store(uint64(b.N) << 20)
+	b.ResetTimer()
+	b.SetParallelism(clients)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := req
+			r.Seed = seed.Add(1)
+			resp, err := svc.Do(context.Background(), r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Outcome == "" {
+				b.Fatal("unclassified response")
+			}
+		}
+	})
+}
+
+// BenchmarkServeGEMM measures the quiet-path serving rate: concurrent
+// fault-free small GEMMs, no batching.
+func BenchmarkServeGEMM(b *testing.B) {
+	benchServe(b, serve.Config{MaxConcurrency: 4, QueueDepth: 256, QueueTimeout: time.Minute},
+		4, serve.Request{Kernel: "gemm", N: 48})
+}
+
+// BenchmarkServeGEMMBatched holds a small batching window open; the
+// delta against BenchmarkServeGEMM prices the coalescing stage.
+func BenchmarkServeGEMMBatched(b *testing.B) {
+	benchServe(b, serve.Config{MaxConcurrency: 4, QueueDepth: 256, QueueTimeout: time.Minute,
+		BatchWindow: time.Millisecond, MaxBatch: 8},
+		4, serve.Request{Kernel: "gemm", N: 48})
+}
+
+// BenchmarkServeGEMMFaulted measures the ladder-exercising path: every
+// request injects a chip failure that ABFT or ECC must absorb.
+func BenchmarkServeGEMMFaulted(b *testing.B) {
+	benchServe(b, serve.Config{MaxConcurrency: 4, QueueDepth: 256, QueueTimeout: time.Minute},
+		4, serve.Request{Kernel: "gemm", N: 48, Strategy: "P_CK+P_SD",
+			Faults: 1, FaultKind: "chip-failure"})
 }

@@ -7,6 +7,9 @@ set -eux
 
 cd "$(dirname "$0")"
 
+gofmt_dirty=$(gofmt -l .)
+test -z "$gofmt_dirty"
+
 go vet ./...
 go build ./...
 go test -race -short ./...
@@ -19,3 +22,22 @@ go test -race -timeout 5m -run 'TestSoakShortDeterministic' ./internal/recovery/
 # Bench smoke: compile and run every benchmark once so the GFLOP/s suite
 # (kernel layer, tables/figures) can't silently rot.
 go test -bench=. -benchtime=1x -run='^$' ./...
+
+# Serving smoke gate: build abftd + abftload under the race detector,
+# start the daemon on loopback, drive a seeded fault-injected burst
+# through it, and assert zero wrong answers (abftload exits nonzero on
+# any outcome outside corrected/restarted/aborted), typed rejections
+# only, BENCH_serve.json emission, and a clean SIGINT drain.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -race -o "$tmp/abftd" ./cmd/abftd
+go build -race -o "$tmp/abftload" ./cmd/abftload
+"$tmp/abftd" -addr 127.0.0.1:18321 &
+abftd_pid=$!
+"$tmp/abftload" -addr http://127.0.0.1:18321 -wait 10s \
+	-rates 40 -kernels gemm,cholesky -strategies "w_ck,p_ck+p_sd" \
+	-duration 2s -n 48 -fault-fraction 0.25 -fault-kind chip-failure \
+	-seed 7 -bench-out "$tmp/BENCH_serve.json"
+test -s "$tmp/BENCH_serve.json"
+kill -INT "$abftd_pid"
+wait "$abftd_pid"

@@ -1,0 +1,159 @@
+// Command abftload is the open-loop load generator for abftd: it sweeps
+// request rate × kernel × ECC strategy against a live daemon, injects
+// faults on a seeded fraction of requests, and reports p50/p95/p99 latency
+// plus the full outcome taxonomy per cell. Because the loop is open,
+// overload surfaces as typed 429/503 counts instead of silently slowing
+// the client down.
+//
+// The sweep fails (exit 1) if any completed request reports an outcome
+// outside the ladder's corrected/restarted/aborted taxonomy — the
+// zero-wrong-answers acceptance gate — or if transport errors occurred.
+// With -bench-out, the per-cell aggregates are written as a
+// machine-readable JSON baseline (BENCH_serve.json).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"coopabft/internal/bifit"
+	"coopabft/internal/core"
+	"coopabft/internal/serve"
+	"coopabft/internal/serve/benchjson"
+	"coopabft/internal/serve/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abftload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8321", "abftd base URL")
+		wait       = flag.Duration("wait", 0, "poll /healthz up to this long before starting (readiness gate)")
+		rates      = flag.String("rates", "25", "comma-separated request rates (req/s)")
+		kernels    = flag.String("kernels", "gemm", "comma-separated kernels (gemm,cholesky,cg)")
+		strategies = flag.String("strategies", serve.DefaultStrategy.String(), "comma-separated ECC strategies (paper labels)")
+		duration   = flag.Duration("duration", 2*time.Second, "send window per cell")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-request budget")
+		n          = flag.Int("n", 48, "gemm/cholesky dimension")
+		nx         = flag.Int("nx", 8, "CG grid x")
+		ny         = flag.Int("ny", 8, "CG grid y")
+		fraction   = flag.Float64("fault-fraction", 0, "seeded fraction of requests that inject faults")
+		faults     = flag.Int("faults", 1, "faults per injected request")
+		kindName   = flag.String("fault-kind", "single-bit", "fault kind (single-bit,double-bit,chip-failure,scattered)")
+		seed       = flag.Uint64("seed", 1, "sweep seed (same seed → same request stream)")
+		benchOut   = flag.String("bench-out", "", "write machine-readable results (e.g. BENCH_serve.json)")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Seed:          *seed,
+		Duration:      *duration,
+		Timeout:       *timeout,
+		N:             *n,
+		NX:            *nx,
+		NY:            *ny,
+		FaultFraction: *fraction,
+		Faults:        *faults,
+	}
+	var err error
+	if cfg.Rates, err = parseRates(*rates); err != nil {
+		return err
+	}
+	for _, name := range splitList(*kernels) {
+		k, err := serve.ParseKernel(name)
+		if err != nil {
+			return err
+		}
+		cfg.Kernels = append(cfg.Kernels, k)
+	}
+	for _, name := range splitList(*strategies) {
+		s, err := core.ParseStrategy(name)
+		if err != nil {
+			return err
+		}
+		cfg.Strategies = append(cfg.Strategies, s)
+	}
+	if cfg.FaultKind, err = parseKind(*kindName); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := &loadgen.HTTPClient{Base: strings.TrimRight(*addr, "/")}
+	if *wait > 0 {
+		if err := client.WaitReady(ctx, *wait); err != nil {
+			return err
+		}
+	}
+	res, err := loadgen.Run(ctx, client, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+
+	if *benchOut != "" {
+		if err := benchjson.Write(*benchOut, benchjson.FromResult(res)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", *benchOut, len(res.Cells))
+	}
+
+	totals := res.Totals()
+	if totals.Unclassified > 0 {
+		return fmt.Errorf("%d wrong-answer outcomes (outside corrected/restarted/aborted)", totals.Unclassified)
+	}
+	if totals.Errors > 0 {
+		return fmt.Errorf("%d transport/internal errors", totals.Errors)
+	}
+	if totals.Corrected+totals.Restarted+totals.Aborted == 0 {
+		return fmt.Errorf("no request completed — server unreachable or fully shedding")
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rates given")
+	}
+	return out, nil
+}
+
+func parseKind(name string) (bifit.Kind, error) {
+	for _, k := range []bifit.Kind{bifit.SingleBit, bifit.DoubleBitSameWord, bifit.ChipFailure, bifit.Scattered} {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault kind %q", name)
+}

@@ -36,15 +36,6 @@ import (
 	"coopabft/internal/machine"
 )
 
-func strategyByName(name string) (core.Strategy, error) {
-	for _, s := range core.Strategies {
-		if strings.EqualFold(s.String(), name) {
-			return s, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown strategy %q (want one of %v)", name, core.Strategies)
-}
-
 func kindByName(name string) (bifit.Kind, error) {
 	for _, k := range []bifit.Kind{bifit.SingleBit, bifit.DoubleBitSameWord, bifit.ChipFailure, bifit.Scattered} {
 		if strings.EqualFold(k.String(), name) {
@@ -138,7 +129,7 @@ func main() {
 	progress := flag.Bool("progress", false, "live replica progress on stderr")
 	flag.Parse()
 
-	s, err := strategyByName(*strategy)
+	s, err := core.ParseStrategy(*strategy)
 	if err != nil {
 		log.Fatal(err)
 	}

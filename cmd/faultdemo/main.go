@@ -4,8 +4,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"coopabft/internal/bifit"
 	"coopabft/internal/core"
@@ -63,8 +66,13 @@ func scenario(title string, kind bifit.Kind, strategy core.Strategy) error {
 }
 
 func main() {
+	// Ctrl-C cancels soak campaigns cleanly (the campaign engine stops at
+	// the next cell boundary) instead of killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if len(os.Args) > 1 && os.Args[1] == "soak" {
-		if err := soakMain(os.Args[2:]); err != nil {
+		if err := soakMain(ctx, os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "faultdemo soak:", err)
 			os.Exit(1)
 		}

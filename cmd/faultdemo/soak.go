@@ -15,7 +15,7 @@ import (
 // parallel mat workers, with every run classified corrected/restarted/
 // aborted. Exits nonzero (via the caller) on any panic, hang, or run left
 // unclassified.
-func soakMain(args []string) error {
+func soakMain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "campaign seed (same seed → identical table)")
 	workers := fs.Int("workers", 1, "concurrent runs")
@@ -33,7 +33,7 @@ func soakMain(args []string) error {
 	cfg.Workers = *workers
 	cfg.Deadline = *deadline
 
-	res, err := soak.Run(context.Background(), cfg)
+	res, err := soak.Run(ctx, cfg)
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,10 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+	"strings"
+
 	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
 	"coopabft/internal/ecc"
@@ -68,6 +72,21 @@ func (s Strategy) String() string {
 	default:
 		return "Strategy(?)"
 	}
+}
+
+// ErrUnknownStrategy reports a strategy label ParseStrategy cannot map.
+var ErrUnknownStrategy = errors.New("core: unknown ECC strategy")
+
+// ParseStrategy maps a paper label (case-insensitively) back to its
+// Strategy — the inverse of String. Command-line flags and per-request
+// strategy selection in the serving path both go through here.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range Strategies {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownStrategy, name, Strategies)
 }
 
 // DefaultScheme returns the protection for data outside ABFT coverage.

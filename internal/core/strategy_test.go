@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"coopabft/internal/ecc"
+)
+
+// TestStrategyTable pins the §5.1 strategy table: label, default scheme,
+// ABFT-data scheme and partial-relaxation flag for all six configurations,
+// plus the out-of-range fallback paths.
+func TestStrategyTable(t *testing.T) {
+	cases := []struct {
+		s       Strategy
+		label   string
+		def     ecc.Scheme
+		abft    ecc.Scheme
+		partial bool
+	}{
+		{NoECC, "No_ECC", ecc.None, ecc.None, false},
+		{WholeChipkill, "W_CK", ecc.Chipkill, ecc.Chipkill, false},
+		{PartialChipkillNoECC, "P_CK+No_ECC", ecc.Chipkill, ecc.None, true},
+		{WholeSECDED, "W_SD", ecc.SECDED, ecc.SECDED, false},
+		{PartialSECDEDNoECC, "P_SD+No_ECC", ecc.SECDED, ecc.None, true},
+		{PartialChipkillSECDED, "P_CK+P_SD", ecc.Chipkill, ecc.SECDED, true},
+	}
+	for _, c := range cases {
+		t.Run(c.label, func(t *testing.T) {
+			if got := c.s.String(); got != c.label {
+				t.Errorf("String() = %q, want %q", got, c.label)
+			}
+			if got := c.s.DefaultScheme(); got != c.def {
+				t.Errorf("DefaultScheme() = %v, want %v", got, c.def)
+			}
+			if got := c.s.ABFTScheme(); got != c.abft {
+				t.Errorf("ABFTScheme() = %v, want %v", got, c.abft)
+			}
+			if got := c.s.Partial(); got != c.partial {
+				t.Errorf("Partial() = %v, want %v", got, c.partial)
+			}
+		})
+	}
+	if len(Strategies) != len(cases) {
+		t.Errorf("Strategies has %d entries, want %d", len(Strategies), len(cases))
+	}
+}
+
+// TestStrategyInvalid covers the out-of-range Strategy value: every method
+// must degrade to a safe answer instead of panicking.
+func TestStrategyInvalid(t *testing.T) {
+	bad := Strategy(99)
+	if got := bad.String(); got != "Strategy(?)" {
+		t.Errorf("String() = %q, want Strategy(?)", got)
+	}
+	// An unknown strategy must not silently weaken non-ABFT data: the
+	// default-scheme fallback is SECDED, and ABFT data gets no relaxation
+	// benefit (ecc.None is the conservative "algorithmic protection only").
+	if got := bad.DefaultScheme(); got != ecc.SECDED {
+		t.Errorf("DefaultScheme() = %v, want %v", got, ecc.SECDED)
+	}
+	if got := bad.ABFTScheme(); got != ecc.None {
+		t.Errorf("ABFTScheme() = %v, want %v", got, ecc.None)
+	}
+	if bad.Partial() {
+		t.Error("Partial() = true for invalid strategy, want false")
+	}
+}
+
+// TestParseStrategy round-trips every label through ParseStrategy, checks
+// case-insensitivity, and pins the typed unknown-strategy error.
+func TestParseStrategy(t *testing.T) {
+	for _, s := range Strategies {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if got, err := ParseStrategy("w_ck"); err != nil || got != WholeChipkill {
+		t.Errorf("ParseStrategy(w_ck) = %v, %v; want WholeChipkill", got, err)
+	}
+	if _, err := ParseStrategy("quantum"); !errors.Is(err, ErrUnknownStrategy) {
+		t.Errorf("ParseStrategy(quantum) err = %v, want ErrUnknownStrategy", err)
+	}
+}

@@ -10,6 +10,7 @@
 package recovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -82,6 +83,15 @@ type Report struct {
 // errStillWrong marks an oracle failure that survived degraded verification.
 var errStillWrong = errors.New("recovery: result fails verification after full sweep")
 
+// ErrCancelled marks a run cut short by its context (deadline or
+// cancellation). The run ends Aborted with this error wrapped around the
+// context's cause, never with a partial result reported as success.
+var ErrCancelled = errors.New("recovery: run cancelled by context")
+
+// ctxAbort is the panic payload used to unwind out of a kernel's step loop
+// when the coordinator's context expires; it never escapes runStep.
+type ctxAbort struct{ cause error }
+
 // errOSPanic marks a Case-4 panic observed after the kernel returned.
 var errOSPanic = errors.New("recovery: OS entered panic mode (uncorrectable error outside ABFT data)")
 
@@ -96,6 +106,11 @@ type Coordinator struct {
 	CheckpointEvery int
 	// MaxRestarts bounds Case-3/4 rollbacks before Aborted (default 3).
 	MaxRestarts int
+	// Ctx, when non-nil, bounds the run: once it is cancelled or past its
+	// deadline the ladder aborts at the next step boundary instead of
+	// computing (or escalating) further. Deadline-bound serving uses this
+	// to propagate request deadlines into kernel execution.
+	Ctx context.Context
 
 	ck          *checkpoint.Checkpointer
 	tick        int
@@ -124,7 +139,13 @@ func (c *Coordinator) Run() Report {
 
 	step := 0
 	for {
-		runErr := c.W.RunFrom(step)
+		runErr := c.runStep(step)
+		if errors.Is(runErr, ErrCancelled) {
+			c.rep.Outcome = Aborted
+			c.rep.Err = runErr
+			c.finalize()
+			return c.rep
+		}
 		if c.RT.M.OS.Panicked() {
 			runErr = errOSPanic
 		}
@@ -160,9 +181,33 @@ func (c *Coordinator) Run() Report {
 	}
 }
 
+// runStep executes one RunFrom leg under the context guard: when the
+// coordinator's context expires, onStep unwinds the kernel's step loop with
+// a ctxAbort panic that is converted here into ErrCancelled. Any other
+// panic is not ours and keeps propagating.
+func (c *Coordinator) runStep(step int) (err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		ca, ok := p.(ctxAbort)
+		if !ok {
+			panic(p)
+		}
+		err = fmt.Errorf("%w: %w", ErrCancelled, ca.cause)
+	}()
+	return c.W.RunFrom(step)
+}
+
 // onStep is the per-step hook: checkpoint first (so snapshots are clean of
 // this tick's faults), then deliver any injections scheduled for this tick.
 func (c *Coordinator) onStep(step int) {
+	if c.Ctx != nil {
+		if err := c.Ctx.Err(); err != nil {
+			panic(ctxAbort{cause: err})
+		}
+	}
 	c.lastStep = step
 	if c.tick%c.CheckpointEvery == 0 {
 		c.ck.Checkpoint(step)

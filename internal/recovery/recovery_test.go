@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -219,4 +220,74 @@ func TestOutcomeStrings(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", int(o), o, want)
 		}
 	}
+}
+
+// TestCtxCancelAborts: a coordinator whose context is already cancelled
+// aborts at the first step boundary with the typed ErrCancelled, before
+// computing anything — the deadline-propagation contract the serving path
+// relies on.
+func TestCtxCancelAborts(t *testing.T) {
+	rt := newRT(t, core.WholeChipkill)
+	w, err := NewDGEMMWorkload(rt, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	co := &Coordinator{RT: rt, W: w, Ctx: ctx}
+	rep := co.Run()
+	if rep.Outcome != Aborted {
+		t.Fatalf("outcome = %v, want Aborted", rep.Outcome)
+	}
+	if !errors.Is(rep.Err, ErrCancelled) || !errors.Is(rep.Err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", rep.Err)
+	}
+	if rep.Restarts != 0 || rep.Case3 != 0 || rep.Case4 != 0 {
+		t.Errorf("cancelled run escalated: %+v", rep)
+	}
+}
+
+// TestCtxCancelMidRun cancels the context from inside the step stream —
+// deterministically, at the third hook tick — and asserts the run is cut
+// at a step boundary instead of completing or looping in restarts.
+func TestCtxCancelMidRun(t *testing.T) {
+	rt := newRT(t, core.WholeChipkill)
+	w, err := NewDGEMMWorkload(rt, 96, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	wrapped := &hookCountingWorkload{Workload: w, onTick: func(n int) {
+		if n == 3 {
+			cancel()
+		}
+	}}
+	co := &Coordinator{RT: rt, W: wrapped, Ctx: ctx}
+	rep := co.Run()
+	if rep.Outcome != Aborted {
+		t.Fatalf("outcome = %v (err %v), want Aborted", rep.Outcome, rep.Err)
+	}
+	if !errors.Is(rep.Err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", rep.Err)
+	}
+	if rep.Restarts != 0 {
+		t.Errorf("cancelled run rolled back %d times", rep.Restarts)
+	}
+}
+
+// hookCountingWorkload chains a tick observer in front of whatever hook
+// the coordinator installs, so tests can react to step progress.
+type hookCountingWorkload struct {
+	Workload
+	onTick func(n int)
+	n      int
+}
+
+func (h *hookCountingWorkload) SetHook(fn func(step int)) {
+	h.Workload.SetHook(func(step int) {
+		h.n++
+		h.onTick(h.n)
+		fn(step)
+	})
 }

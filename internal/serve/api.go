@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; compute requests are tiny JSON.
+const maxBodyBytes = 1 << 16
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	// Kind is a stable machine-readable discriminator:
+	// bad_request|overloaded|queue_timeout|closed|internal.
+	Kind string `json:"kind"`
+}
+
+// NewHandler exposes the service's request path:
+//
+//	POST /v1/gemm      run FT-DGEMM
+//	POST /v1/cholesky  run FT-Cholesky
+//	POST /v1/cg        run FT-CG
+//	GET  /healthz      liveness + queue snapshot
+//
+// Debug endpoints (/debug/vars, /debug/pprof) are the daemon's business —
+// it decides what to expose on which listener.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	for _, k := range Kernels {
+		mux.HandleFunc("POST /v1/"+k.String(), s.handleKernel(k.String()))
+	}
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// handleKernel decodes the JSON body, forces the kernel from the route,
+// and maps the service's typed errors onto HTTP status codes.
+func (s *Service) handleKernel(kernel string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+			return
+		}
+		req.Kernel = kernel
+
+		resp, err := s.Do(r.Context(), req)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, resp)
+		case errors.Is(err, ErrBadRequest):
+			writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())
+		case errors.Is(err, ErrQueueTimeout):
+			writeErr(w, http.StatusServiceUnavailable, "queue_timeout", err.Error())
+		case errors.Is(err, ErrClosed):
+			w.Header().Set("Connection", "close")
+			writeErr(w, http.StatusServiceUnavailable, "closed", err.Error())
+		default:
+			writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+		}
+	}
+}
+
+// handleHealthz reports liveness with a small load snapshot, so probes and
+// the load generator's readiness wait share one endpoint.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.m.QueueDepth.Value(),
+		"running":     s.m.Running.Value(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, kind, msg string) {
+	writeJSON(w, code, errorBody{Error: msg, Kind: kind})
+}

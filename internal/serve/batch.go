@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// compatible reports whether two requests may share an execution batch:
+// same kernel shape, same problem size, same ECC strategy — the serving
+// analogue of GEMM batching, where a worker runs the coalesced group
+// back-to-back on one concurrency slot with warm packing buffers.
+func compatible(a, b parsed) bool {
+	return a.kernel == KernelGEMM && b.kernel == KernelGEMM &&
+		a.n == b.n && a.strategy == b.strategy
+}
+
+// dispatch is the scheduling loop: pull the next job, optionally hold a
+// small-GEMM batch open for BatchWindow, then acquire a concurrency slot
+// and hand the batch to an executor goroutine. Exactly one dispatcher runs
+// per service, so batch formation never races with itself.
+func (s *Service) dispatch() {
+	defer s.dispatchWG.Done()
+	var pending *job
+	for {
+		var first *job
+		if pending != nil {
+			first, pending = pending, nil
+		} else {
+			select {
+			case first = <-s.queue:
+			case <-s.quit:
+				s.drain()
+				return
+			}
+		}
+		batch := []*job{first}
+		if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 && first.req.kernel == KernelGEMM {
+			batch, pending = s.collect(first)
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.quit:
+			s.fail(batch)
+			if pending != nil {
+				s.fail([]*job{pending})
+			}
+			s.drain()
+			return
+		}
+		s.execWG.Add(1)
+		go s.runBatch(batch)
+	}
+}
+
+// collect holds first's batch open for BatchWindow, coalescing compatible
+// followers up to MaxBatch. The first incompatible job ends the window and
+// is returned as the next batch's head.
+func (s *Service) collect(first *job) (batch []*job, pending *job) {
+	batch = []*job{first}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case j := <-s.queue:
+			if compatible(first.req, j.req) {
+				batch = append(batch, j)
+			} else {
+				return batch, j
+			}
+		case <-timer.C:
+			return batch, nil
+		case <-s.quit:
+			return batch, nil
+		}
+	}
+	return batch, nil
+}
+
+// runBatch executes a batch on one concurrency slot.
+func (s *Service) runBatch(batch []*job) {
+	defer s.execWG.Done()
+	defer func() { <-s.sem }()
+	s.m.Batches.Add(1)
+	if len(batch) > 1 {
+		s.m.BatchedRequests.Add(int64(len(batch)))
+	}
+	for _, j := range batch {
+		s.runJob(j, len(batch))
+	}
+}
+
+// runJob transitions one job to running (skipping abandoned waiters),
+// enforces the queue-wait budget, and executes the ladder.
+func (s *Service) runJob(j *job, batchSize int) {
+	if !j.state.CompareAndSwap(stateQueued, stateRunning) {
+		return // waiter gave up while queued; nothing to deliver
+	}
+	s.m.QueueDepth.Add(-1)
+	wait := time.Since(j.enq)
+	if qt := s.cfg.QueueTimeout; qt > 0 && wait > qt {
+		s.m.QueueTimeouts.Add(1)
+		j.deliver(Response{}, fmt.Errorf("%w: waited %s (budget %s)",
+			ErrQueueTimeout, wait.Round(time.Millisecond), qt))
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		s.m.QueueTimeouts.Add(1)
+		j.deliver(Response{}, fmt.Errorf("%w: %w", ErrQueueTimeout, err))
+		return
+	}
+	j.deliver(s.execute(j, batchSize, wait), nil)
+}
+
+// fail delivers ErrClosed to every job in the slice that has not started.
+func (s *Service) fail(jobs []*job) {
+	for _, j := range jobs {
+		if j.state.CompareAndSwap(stateQueued, stateRunning) {
+			s.m.QueueDepth.Add(-1)
+			j.deliver(Response{}, ErrClosed)
+		}
+	}
+}
+
+// drain flushes the queue at shutdown, failing everything still parked.
+func (s *Service) drain() {
+	for {
+		select {
+		case j := <-s.queue:
+			s.fail([]*job{j})
+		default:
+			return
+		}
+	}
+}

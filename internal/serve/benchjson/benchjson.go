@@ -1,0 +1,142 @@
+// Package benchjson renders serving-sweep results as a machine-readable
+// benchmark artifact (BENCH_serve.json), the perf baseline future changes
+// compare against: per-cell throughput, latency percentiles, and the full
+// outcome taxonomy, written atomically so a crashed run never leaves a
+// truncated baseline.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"coopabft/internal/serve/loadgen"
+)
+
+// Cell is one sweep coordinate's aggregate, flattened for JSON diffing.
+type Cell struct {
+	Kernel   string  `json:"kernel"`
+	Strategy string  `json:"strategy"`
+	RateRPS  float64 `json:"rate_rps"`
+
+	Sent         int `json:"sent"`
+	Completed    int `json:"completed"`
+	Corrected    int `json:"corrected"`
+	Restarted    int `json:"restarted"`
+	Aborted      int `json:"aborted"`
+	Overloaded   int `json:"overloaded"`
+	QueueTimeout int `json:"queue_timeout"`
+	Errors       int `json:"errors"`
+	Unclassified int `json:"unclassified"`
+
+	InjectedReqs int `json:"injected_reqs"`
+	FaultsLanded int `json:"faults_landed"`
+	Corrections  int `json:"abft_corrections"`
+	Restarts     int `json:"restarts"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+}
+
+// File is the whole artifact.
+type File struct {
+	Bench     string `json:"bench"` // always "serve"
+	Seed      uint64 `json:"seed"`
+	When      string `json:"when"` // RFC3339
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	DurationPerCellMS float64 `json:"duration_per_cell_ms"`
+	FaultFraction     float64 `json:"fault_fraction"`
+
+	Cells []Cell `json:"cells"`
+}
+
+// FromResult flattens a sweep into the artifact schema.
+func FromResult(res *loadgen.Result) File {
+	f := File{
+		Bench:             "serve",
+		Seed:              res.Cfg.Seed,
+		When:              time.Now().UTC().Format(time.RFC3339),
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		NumCPU:            runtime.NumCPU(),
+		DurationPerCellMS: float64(res.Cfg.Duration) / float64(time.Millisecond),
+		FaultFraction:     res.Cfg.FaultFraction,
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, c := range res.Cells {
+		f.Cells = append(f.Cells, Cell{
+			Kernel:        c.Kernel.String(),
+			Strategy:      c.Strategy.String(),
+			RateRPS:       c.Rate,
+			Sent:          c.Sent,
+			Completed:     c.Completed,
+			Corrected:     c.Corrected,
+			Restarted:     c.Restarted,
+			Aborted:       c.Aborted,
+			Overloaded:    c.Overloaded,
+			QueueTimeout:  c.QueueTimeout,
+			Errors:        c.Errors,
+			Unclassified:  c.Unclassified,
+			InjectedReqs:  c.InjectedReqs,
+			FaultsLanded:  c.FaultsLanded,
+			Corrections:   c.Corrections,
+			Restarts:      c.Restarts,
+			ThroughputRPS: c.ThroughputRPS,
+			P50MS:         ms(c.P50),
+			P95MS:         ms(c.P95),
+			P99MS:         ms(c.P99),
+			MaxMS:         ms(c.Max),
+		})
+	}
+	return f
+}
+
+// Write marshals the artifact and renames it into place atomically.
+func Write(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bench-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	return nil
+}
+
+// Read loads an artifact (for baseline comparisons in future PRs).
+func Read(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return f, nil
+}

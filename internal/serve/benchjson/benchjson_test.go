@@ -1,0 +1,84 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"coopabft/internal/core"
+	"coopabft/internal/serve"
+	"coopabft/internal/serve/loadgen"
+)
+
+func sampleResult() *loadgen.Result {
+	return &loadgen.Result{
+		Cfg: loadgen.Config{Seed: 7, Duration: time.Second, FaultFraction: 0.25},
+		Cells: []loadgen.CellResult{{
+			Cell: loadgen.Cell{
+				Rate: 40, Kernel: serve.KernelGEMM, Strategy: core.WholeChipkill,
+			},
+			Sent: 80, Completed: 78,
+			Outcomes: loadgen.Outcomes{Corrected: 70, Restarted: 8, Overloaded: 2},
+			P50:      3 * time.Millisecond, P95: 9 * time.Millisecond,
+			P99: 12 * time.Millisecond, Max: 15 * time.Millisecond,
+			ThroughputRPS: 39.2,
+		}},
+	}
+}
+
+// TestRoundTrip writes the artifact and reads it back field for field.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	f := FromResult(sampleResult())
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != "serve" || got.Seed != 7 || len(got.Cells) != 1 {
+		t.Fatalf("round trip mangled header: %+v", got)
+	}
+	c := got.Cells[0]
+	if c.Kernel != "gemm" || c.Strategy != "W_CK" || c.RateRPS != 40 {
+		t.Errorf("cell identity: %+v", c)
+	}
+	if c.Corrected != 70 || c.Restarted != 8 || c.Overloaded != 2 {
+		t.Errorf("taxonomy: %+v", c)
+	}
+	if c.P95MS != 9 || c.MaxMS != 15 {
+		t.Errorf("latency fields: %+v", c)
+	}
+	if got.GoVersion == "" || got.When == "" {
+		t.Errorf("environment header empty: %+v", got)
+	}
+}
+
+// TestWriteAtomic: a Write over an existing artifact either fully
+// replaces it or leaves it intact — no truncated JSON.
+func TestWriteAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	f := FromResult(sampleResult())
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Seed = 8
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 8 {
+		t.Errorf("seed = %d, want 8", got.Seed)
+	}
+}
+
+// TestReadMissing surfaces a useful error for an absent baseline.
+func TestReadMissing(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"coopabft/internal/campaign"
+	"coopabft/internal/core"
+	"coopabft/internal/machine"
+	"coopabft/internal/recovery"
+)
+
+// execute runs one admitted request through the recovery ladder and
+// classifies it. Every request gets a fresh simulated node configured for
+// its own ECC strategy — the per-request malloc_ecc decision — so
+// concurrent requests share no machine state.
+func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
+	s.m.Running.Add(1)
+	defer s.m.Running.Add(-1)
+
+	start := time.Now()
+	rep := s.runLadder(j)
+	run := time.Since(start)
+
+	resp := Response{
+		Kernel:       j.req.kernel.String(),
+		N:            j.req.size(),
+		Strategy:     j.req.strategy.String(),
+		Outcome:      rep.Outcome.String(),
+		Injected:     rep.Injected,
+		HWCorrected:  int(rep.HWCorrected),
+		Corrections:  rep.Corrections,
+		Degradations: rep.Degradations,
+		Restarts:     rep.Restarts,
+		BatchSize:    batchSize,
+		QueueMS:      float64(wait) / float64(time.Millisecond),
+		RunMS:        float64(run) / float64(time.Millisecond),
+	}
+	if rep.Err != nil {
+		resp.Error = rep.Err.Error()
+	}
+
+	switch rep.Outcome {
+	case recovery.Corrected:
+		s.m.Corrected.Add(1)
+	case recovery.Restarted:
+		s.m.Restarted.Add(1)
+	default:
+		s.m.Aborted.Add(1)
+	}
+	s.m.InjectedFaults.Add(int64(rep.Injected))
+	s.m.ABFTCorrections.Add(int64(rep.Corrections))
+	s.m.Restarts.Add(int64(rep.Restarts))
+	s.m.QueueMSSum.Add(resp.QueueMS)
+	s.m.RunMSSum.Add(resp.RunMS)
+	return resp
+}
+
+// runLadder builds runtime + workload + injection plan and drives the
+// coordinator under a panic guard: a kernel panic becomes an Aborted
+// classification, never a crashed worker.
+func (s *Service) runLadder(j *job) (rep recovery.Report) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep = recovery.Report{Outcome: recovery.Aborted,
+				Err: fmt.Errorf("serve: kernel panicked: %v", p)}
+		}
+	}()
+
+	p := j.req
+	rt := core.NewRuntime(machine.ScaledConfig(32), p.strategy, int64(p.seed))
+	var w recovery.Workload
+	var err error
+	switch p.kernel {
+	case KernelCholesky:
+		w, err = recovery.NewCholeskyWorkload(rt, p.n, p.seed)
+	case KernelCG:
+		w, err = recovery.NewCGWorkload(rt, p.nx, p.ny, p.seed)
+	default:
+		w, err = recovery.NewDGEMMWorkload(rt, p.n, p.seed)
+	}
+	if err != nil {
+		return recovery.Report{Outcome: recovery.Aborted, Err: err}
+	}
+
+	co := &recovery.Coordinator{
+		RT:          rt,
+		W:           w,
+		Plan:        injectionPlan(p, w),
+		MaxRestarts: s.cfg.MaxRestarts,
+		Ctx:         j.ctx,
+	}
+	return co.Run()
+}
+
+// injectionPlan derives the request's fault schedule from its seed — the
+// same splitmix stream discipline the soak harness uses, so a request
+// replayed with the same seed injects the same faults at the same ticks.
+func injectionPlan(p parsed, w recovery.Workload) []recovery.Injection {
+	if p.faults <= 0 {
+		return nil
+	}
+	targets := w.InjectTargets()
+	steps := w.Steps()
+	st := p.seed
+	next := func() uint64 { st++; return campaign.Splitmix64(st) }
+	plan := make([]recovery.Injection, 0, p.faults)
+	for e := 0; e < p.faults; e++ {
+		ti := int(next() % uint64(len(targets)))
+		plan = append(plan, recovery.Injection{
+			Tick:   int(next() % uint64(steps)),
+			Kind:   p.kind,
+			Target: ti,
+			Elem:   int(next() % uint64(len(targets[ti].T.Data))),
+		})
+	}
+	return plan
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"coopabft/internal/serve"
+)
+
+// HTTPClient drives a live abftd over the wire, mapping the daemon's
+// status codes back onto the service's typed errors so in-process and
+// over-the-wire sweeps tally identically.
+type HTTPClient struct {
+	// Base is the server root, e.g. http://127.0.0.1:8080.
+	Base string
+	// Client is the underlying transport (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (h *HTTPClient) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+// Do implements Doer over HTTP.
+func (h *HTTPClient) Do(ctx context.Context, req serve.Request) (serve.Response, error) {
+	kernel := req.Kernel
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.Response{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		h.Base+"/v1/"+kernel, bytes.NewReader(body))
+	if err != nil {
+		return serve.Response{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := h.client().Do(hreq)
+	if err != nil {
+		return serve.Response{}, err
+	}
+	defer hresp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	if err != nil {
+		return serve.Response{}, err
+	}
+
+	switch hresp.StatusCode {
+	case http.StatusOK:
+		var resp serve.Response
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			return serve.Response{}, fmt.Errorf("loadgen: bad response body: %w", err)
+		}
+		return resp, nil
+	case http.StatusTooManyRequests:
+		return serve.Response{}, fmt.Errorf("%w: %s", serve.ErrOverloaded, wireError(payload))
+	case http.StatusServiceUnavailable:
+		return serve.Response{}, fmt.Errorf("%w: %s", serve.ErrQueueTimeout, wireError(payload))
+	case http.StatusBadRequest:
+		return serve.Response{}, fmt.Errorf("%w: %s", serve.ErrBadRequest, wireError(payload))
+	default:
+		return serve.Response{}, fmt.Errorf("loadgen: HTTP %d: %s", hresp.StatusCode, wireError(payload))
+	}
+}
+
+// WaitReady polls /healthz until the daemon answers or the budget runs
+// out — the readiness gate the CI smoke uses instead of sleeping.
+func (h *HTTPClient) WaitReady(ctx context.Context, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.Base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := h.client().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("loadgen: server not ready after %s: %w", budget, lastErr)
+}
+
+// wireError extracts the error envelope's message for diagnostics.
+func wireError(payload []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(payload)
+}

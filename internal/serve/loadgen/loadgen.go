@@ -1,0 +1,297 @@
+// Package loadgen is the open-loop load generator for the serving
+// subsystem: it sweeps request rate × kernel × ECC strategy, fires
+// requests on a fixed schedule without waiting for responses (so overload
+// shows up as typed rejections, not as a self-throttling client), injects
+// faults on a seeded fraction of requests, and reports per-cell latency
+// percentiles plus the full outcome taxonomy. Request seeds derive from
+// (campaign seed, global request index), so a sweep is replayable.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"coopabft/internal/bifit"
+	"coopabft/internal/campaign"
+	"coopabft/internal/core"
+	"coopabft/internal/serve"
+)
+
+// Doer abstracts the target: the in-process *serve.Service, or HTTPClient
+// against a live abftd.
+type Doer interface {
+	Do(ctx context.Context, req serve.Request) (serve.Response, error)
+}
+
+// Config describes one sweep. Cells are the cross product
+// Rates × Kernels × Strategies, run sequentially; requests within a cell
+// are fired open-loop at the cell's rate for Duration.
+type Config struct {
+	Seed     uint64
+	Duration time.Duration // per-cell send window (default 2s)
+	Timeout  time.Duration // per-request budget (default 5s)
+
+	Rates      []float64 // requests/second (default {25})
+	Kernels    []serve.Kernel
+	Strategies []core.Strategy
+
+	// N sizes gemm/cholesky requests (default 48); NX, NY size CG.
+	N, NX, NY int
+
+	// FaultFraction of requests carry an injection plan of Faults errors
+	// of FaultKind; selection is seeded per request, not random.
+	FaultFraction float64
+	Faults        int // default 1
+	FaultKind     bifit.Kind
+}
+
+func (c *Config) defaults() {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{25}
+	}
+	if len(c.Kernels) == 0 {
+		c.Kernels = []serve.Kernel{serve.KernelGEMM}
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = []core.Strategy{serve.DefaultStrategy}
+	}
+	if c.N <= 0 {
+		c.N = 48
+	}
+	if c.NX <= 0 {
+		c.NX = 8
+	}
+	if c.NY <= 0 {
+		c.NY = 8
+	}
+	if c.Faults <= 0 {
+		c.Faults = 1
+	}
+}
+
+// Cell is one sweep coordinate.
+type Cell struct {
+	Rate     float64
+	Kernel   serve.Kernel
+	Strategy core.Strategy
+}
+
+// Outcomes tallies the terminal classification of every request sent.
+type Outcomes struct {
+	Corrected    int // ladder finished in place
+	Restarted    int // ladder rolled back, replay verified
+	Aborted      int // ladder gave up explicitly
+	Overloaded   int // typed admission rejection (429)
+	QueueTimeout int // admitted but expired in queue (503)
+	Errors       int // transport/internal failures
+	// Unclassified counts completed responses whose outcome is outside
+	// the ladder taxonomy — wrong answers. Must always be zero.
+	Unclassified int
+}
+
+// CellResult is one cell's aggregate.
+type CellResult struct {
+	Cell
+	Sent      int
+	Completed int // requests that returned a classified Response
+	Outcomes
+
+	InjectedReqs  int // requests that carried an injection plan
+	FaultsLanded  int // faults delivered by the service
+	Corrections   int // ABFT element repairs
+	Restarts      int // checkpoint rollbacks
+	BatchedShare  float64
+	ThroughputRPS float64 // Completed / wall
+
+	P50, P95, P99, Max time.Duration
+}
+
+// Result is a full sweep.
+type Result struct {
+	Cfg   Config
+	Cells []CellResult
+	Wall  time.Duration
+}
+
+// Run executes the sweep. Only context cancellation aborts it early;
+// per-request failures are data.
+func Run(ctx context.Context, d Doer, cfg Config) (*Result, error) {
+	cfg.defaults()
+	start := time.Now()
+	res := &Result{Cfg: cfg}
+	reqIndex := uint64(0)
+	for _, rate := range cfg.Rates {
+		for _, kernel := range cfg.Kernels {
+			for _, strat := range cfg.Strategies {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+				cell := Cell{Rate: rate, Kernel: kernel, Strategy: strat}
+				cr, sent := runCell(ctx, d, cfg, cell, reqIndex)
+				reqIndex += sent
+				res.Cells = append(res.Cells, cr)
+			}
+		}
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// runCell fires one cell's open-loop schedule and aggregates its results.
+func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (CellResult, uint64) {
+	interval := time.Duration(float64(time.Second) / cell.Rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	cellStart := time.Now()
+	deadline := cellStart.Add(cfg.Duration)
+
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		latencies []time.Duration
+		cr        = CellResult{Cell: cell}
+	)
+	record := func(lat time.Duration, resp serve.Response, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			cr.Completed++
+			latencies = append(latencies, lat)
+			cr.FaultsLanded += resp.Injected
+			cr.Corrections += resp.Corrections
+			cr.Restarts += resp.Restarts
+			if resp.BatchSize > 1 {
+				cr.BatchedShare++ // normalized after the cell drains
+			}
+			switch resp.Outcome {
+			case "corrected":
+				cr.Corrected++
+			case "restarted":
+				cr.Restarted++
+			case "aborted":
+				cr.Aborted++
+			default:
+				cr.Unclassified++
+			}
+		case errors.Is(err, serve.ErrOverloaded):
+			cr.Overloaded++
+		case errors.Is(err, serve.ErrQueueTimeout):
+			cr.QueueTimeout++
+		default:
+			cr.Errors++
+		}
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	sent := uint64(0)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		seed := campaign.CellSeed(cfg.Seed, base+sent)
+		req := serve.Request{
+			Kernel:   cell.Kernel.String(),
+			N:        cfg.N,
+			NX:       cfg.NX,
+			NY:       cfg.NY,
+			Strategy: cell.Strategy.String(),
+			Seed:     seed,
+		}
+		// Seeded fault lottery: the decision is a pure function of the
+		// request seed, so replays inject on the same requests.
+		if cfg.FaultFraction > 0 &&
+			float64(campaign.Splitmix64(seed))/float64(^uint64(0)) < cfg.FaultFraction {
+			req.Faults = cfg.Faults
+			req.FaultKind = cfg.FaultKind.String()
+			cr.InjectedReqs++
+		}
+		cr.Sent++
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			resp, err := d.Do(rctx, req)
+			record(time.Since(t0), resp, err)
+		}()
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+		}
+	}
+	wg.Wait()
+
+	wall := time.Since(cellStart)
+	if wall > 0 {
+		cr.ThroughputRPS = float64(cr.Completed) / wall.Seconds()
+	}
+	if cr.Completed > 0 {
+		cr.BatchedShare /= float64(cr.Completed)
+	}
+	cr.P50, cr.P95, cr.P99, cr.Max = percentiles(latencies)
+	return cr, sent
+}
+
+// percentiles reports p50/p95/p99/max over completed-request latencies.
+func percentiles(lat []time.Duration) (p50, p95, p99, max time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.95), at(0.99), sorted[len(sorted)-1]
+}
+
+// Totals sums the outcome taxonomy across cells.
+func (r *Result) Totals() Outcomes {
+	var t Outcomes
+	for _, c := range r.Cells {
+		t.Corrected += c.Corrected
+		t.Restarted += c.Restarted
+		t.Aborted += c.Aborted
+		t.Overloaded += c.Overloaded
+		t.QueueTimeout += c.QueueTimeout
+		t.Errors += c.Errors
+		t.Unclassified += c.Unclassified
+	}
+	return t
+}
+
+// Table renders the sweep as the report the load generator prints.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving sweep: %d cells, seed %d, %s/cell, fault fraction %.2f\n",
+		len(r.Cells), r.Cfg.Seed, r.Cfg.Duration, r.Cfg.FaultFraction)
+	fmt.Fprintf(&b, "%-9s %-12s %6s %6s %6s %5s %5s %5s %5s %5s %4s %8s %8s %8s %8s\n",
+		"kernel", "strategy", "rate", "sent", "done", "corr", "rst", "abrt", "429", "qto", "err",
+		"p50", "p95", "p99", "rps")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-9s %-12s %6.1f %6d %6d %5d %5d %5d %5d %5d %4d %8s %8s %8s %8.1f\n",
+			c.Kernel, c.Strategy, c.Rate, c.Sent, c.Completed,
+			c.Corrected, c.Restarted, c.Aborted, c.Overloaded, c.QueueTimeout, c.Errors,
+			round(c.P50), round(c.P95), round(c.P99), c.ThroughputRPS)
+	}
+	t := r.Totals()
+	fmt.Fprintf(&b, "totals: corrected %d, restarted %d, aborted %d, overloaded %d, queue-timeout %d, errors %d, unclassified %d\n",
+		t.Corrected, t.Restarted, t.Aborted, t.Overloaded, t.QueueTimeout, t.Errors, t.Unclassified)
+	return b.String()
+}
+
+func round(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"expvar"
+	"sync"
+)
+
+// Metrics is the service's observability surface: plain expvar counters,
+// usable unregistered (tests, benchmarks) and exported through /debug/vars
+// once Publish is called (the daemon). All fields are safe for concurrent
+// use.
+type Metrics struct {
+	// Admission.
+	Accepted      expvar.Int // requests admitted into the queue
+	Rejected      expvar.Int // typed ErrOverloaded rejections (429s)
+	QueueTimeouts expvar.Int // typed ErrQueueTimeout expiries
+	BadRequests   expvar.Int // normalization failures
+	QueueDepth    expvar.Int // requests currently queued
+	Running       expvar.Int // requests currently executing
+
+	// Batching.
+	Batches         expvar.Int // execution batches dispatched
+	BatchedRequests expvar.Int // requests that shared a batch of size > 1
+
+	// Outcome taxonomy (sums to Accepted minus queue timeouts, eventually).
+	Corrected expvar.Int
+	Restarted expvar.Int
+	Aborted   expvar.Int
+
+	// Ladder traffic.
+	InjectedFaults  expvar.Int // faults delivered by request plans
+	ABFTCorrections expvar.Int // elements ABFT repaired
+	Restarts        expvar.Int // checkpoint rollbacks replayed
+
+	// Latency sums (milliseconds), for coarse rate math over /debug/vars;
+	// percentile reporting lives in the load generator.
+	QueueMSSum expvar.Float
+	RunMSSum   expvar.Float
+}
+
+var publishOnce sync.Once
+
+// Publish registers the metrics under the "serve" expvar key. Safe to call
+// more than once; only the first caller's Metrics instance is exported.
+func (m *Metrics) Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("serve", expvar.Func(func() any { return m.Snapshot() }))
+	})
+}
+
+// Snapshot renders the counters as a flat map (the /debug/vars payload).
+func (m *Metrics) Snapshot() map[string]any {
+	return map[string]any{
+		"accepted":         m.Accepted.Value(),
+		"rejected":         m.Rejected.Value(),
+		"queue_timeouts":   m.QueueTimeouts.Value(),
+		"bad_requests":     m.BadRequests.Value(),
+		"queue_depth":      m.QueueDepth.Value(),
+		"running":          m.Running.Value(),
+		"batches":          m.Batches.Value(),
+		"batched_requests": m.BatchedRequests.Value(),
+		"corrected":        m.Corrected.Value(),
+		"restarted":        m.Restarted.Value(),
+		"aborted":          m.Aborted.Value(),
+		"injected_faults":  m.InjectedFaults.Value(),
+		"abft_corrections": m.ABFTCorrections.Value(),
+		"restarts":         m.Restarts.Value(),
+		"queue_ms_sum":     m.QueueMSSum.Value(),
+		"run_ms_sum":       m.RunMSSum.Value(),
+	}
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"coopabft/internal/bifit"
+	"coopabft/internal/core"
+)
+
+// ErrBadRequest reports a request the service refuses to admit: unknown
+// kernel or strategy, out-of-range problem size, or an unparseable fault
+// spec. The HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Kernel identifies which ABFT workload a request runs.
+type Kernel int
+
+const (
+	// KernelGEMM is FT-DGEMM — the only kernel the batching stage
+	// coalesces, since small GEMMs dominate serving traffic.
+	KernelGEMM Kernel = iota
+	// KernelCholesky is FT-Cholesky; its unprotected workspace makes it
+	// the Case-4-capable workload.
+	KernelCholesky
+	// KernelCG is FT-CG, the memory-bound iterative workload.
+	KernelCG
+)
+
+// String returns the wire name (the /v1/<kernel> path component).
+func (k Kernel) String() string {
+	switch k {
+	case KernelGEMM:
+		return "gemm"
+	case KernelCholesky:
+		return "cholesky"
+	case KernelCG:
+		return "cg"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Kernels lists the served kernels in wire order.
+var Kernels = []Kernel{KernelGEMM, KernelCholesky, KernelCG}
+
+// ParseKernel maps a wire name to its Kernel.
+func ParseKernel(name string) (Kernel, error) {
+	for _, k := range Kernels {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown kernel %q (want one of %v)", ErrBadRequest, name, Kernels)
+}
+
+// parseKind maps a wire fault-kind name to its bifit.Kind.
+func parseKind(name string) (bifit.Kind, error) {
+	for _, k := range []bifit.Kind{bifit.SingleBit, bifit.DoubleBitSameWord, bifit.ChipFailure, bifit.Scattered} {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown fault kind %q", ErrBadRequest, name)
+}
+
+// Request is one unit of work, in its wire (JSON) form. Kernel and
+// strategy arrive as strings and are resolved against core.Strategy during
+// admission — the serving analogue of the paper's malloc_ecc flag: each
+// request picks the ECC configuration its data runs under.
+type Request struct {
+	// Kernel is gemm|cholesky|cg. The HTTP layer sets it from the URL
+	// path; in-process callers set it directly.
+	Kernel string `json:"kernel,omitempty"`
+	// N is the matrix dimension for gemm/cholesky (default 64).
+	N int `json:"n,omitempty"`
+	// NX, NY give the CG grid (defaults 16×16).
+	NX int `json:"nx,omitempty"`
+	NY int `json:"ny,omitempty"`
+	// Strategy is the paper label (W_CK, P_CK+No_ECC, ...); empty selects
+	// DefaultStrategy.
+	Strategy string `json:"strategy,omitempty"`
+	// Seed makes the request deterministic: problem data and any injected
+	// faults derive from it.
+	Seed uint64 `json:"seed"`
+	// Faults asks the service to inject that many DRAM faults mid-run via
+	// the bifit coordinator (chaos-in-production testing; capped at
+	// MaxFaults).
+	Faults int `json:"faults,omitempty"`
+	// FaultKind is single-bit|double-bit|chip-failure|scattered (default
+	// single-bit; only meaningful with Faults > 0).
+	FaultKind string `json:"fault_kind,omitempty"`
+	// TimeoutMS bounds the request end to end (queue wait + execution);
+	// the deadline propagates into the kernel's step loop.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// DefaultStrategy is used when a request does not pick one: relax ABFT
+// data to SECDED, keep chipkill elsewhere — the paper's headline ARE
+// configuration.
+const DefaultStrategy = core.PartialChipkillSECDED
+
+// parsed is the admitted, typed form of a Request.
+type parsed struct {
+	kernel   Kernel
+	n        int // gemm/cholesky dimension
+	nx, ny   int // cg grid
+	strategy core.Strategy
+	seed     uint64
+	faults   int
+	kind     bifit.Kind
+}
+
+// size returns the user-facing problem size (n, or the CG grid area).
+func (p parsed) size() int {
+	if p.kernel == KernelCG {
+		return p.nx * p.ny
+	}
+	return p.n
+}
+
+// normalize validates a wire request against the service limits and
+// resolves its string fields, applying defaults.
+func (c Config) normalize(r Request) (parsed, error) {
+	var p parsed
+	var err error
+	if p.kernel, err = ParseKernel(r.Kernel); err != nil {
+		return p, err
+	}
+	if p.strategy = DefaultStrategy; r.Strategy != "" {
+		s, err := core.ParseStrategy(r.Strategy)
+		if err != nil {
+			return p, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		p.strategy = s
+	}
+	p.n = r.N
+	if p.n == 0 {
+		p.n = 64
+	}
+	switch p.kernel {
+	case KernelGEMM, KernelCholesky:
+		if p.n < 8 || p.n > c.MaxN {
+			return p, fmt.Errorf("%w: n=%d outside [8, %d]", ErrBadRequest, p.n, c.MaxN)
+		}
+	case KernelCG:
+		p.nx, p.ny = r.NX, r.NY
+		if p.nx == 0 {
+			p.nx = 16
+		}
+		if p.ny == 0 {
+			p.ny = 16
+		}
+		if p.nx < 4 || p.ny < 4 || p.nx*p.ny > c.MaxN*c.MaxN/16 {
+			return p, fmt.Errorf("%w: cg grid %dx%d outside [4x4, area %d]",
+				ErrBadRequest, p.nx, p.ny, c.MaxN*c.MaxN/16)
+		}
+	}
+	p.seed = r.Seed
+	p.faults = r.Faults
+	if p.faults < 0 || p.faults > c.MaxFaults {
+		return p, fmt.Errorf("%w: faults=%d outside [0, %d]", ErrBadRequest, p.faults, c.MaxFaults)
+	}
+	if p.kind = bifit.SingleBit; r.FaultKind != "" {
+		if p.kind, err = parseKind(r.FaultKind); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// Response reports one classified request. Outcome is always one of the
+// ladder's three terminal labels — the service never returns an unverified
+// result, so there is no "ok but unchecked" state.
+type Response struct {
+	Kernel   string `json:"kernel"`
+	N        int    `json:"n"`
+	Strategy string `json:"strategy"`
+	// Outcome is corrected|restarted|aborted (recovery.Outcome.String).
+	Outcome string `json:"outcome"`
+	// Error says why an aborted run gave up (empty otherwise).
+	Error string `json:"error,omitempty"`
+
+	Injected     int `json:"injected"`
+	HWCorrected  int `json:"hw_corrected"`
+	Corrections  int `json:"abft_corrections"`
+	Degradations int `json:"degradations"`
+	Restarts     int `json:"restarts"`
+
+	// BatchSize is how many requests shared this request's execution
+	// batch (1 when it ran alone).
+	BatchSize int     `json:"batch_size"`
+	QueueMS   float64 `json:"queue_ms"`
+	RunMS     float64 `json:"run_ms"`
+}

@@ -1,0 +1,229 @@
+// Package serve puts the §4 recovery ladder behind a request path: a
+// bounded admission queue with typed overload rejections, a small-GEMM
+// batching stage, semaphore-limited concurrent execution, and per-request
+// ECC strategy selection mapped through core.Strategy — the serving
+// analogue of the paper's malloc_ecc flag. Every admitted request executes
+// through recovery.Coordinator, so a fault-injected request degrades per
+// the Case 1–4 ladder (silent hardware correction → notified ABFT repair →
+// bounded checkpoint restart) instead of ever returning a wrong answer:
+// success is oracle-gated, and the only terminal states are the ladder's
+// Corrected/Restarted/Aborted taxonomy plus the admission layer's typed
+// rejections.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coopabft/internal/mat"
+)
+
+// Typed admission errors. The HTTP layer maps them onto status codes
+// (429/503); in-process callers branch with errors.Is.
+var (
+	// ErrOverloaded means the bounded queue was full at admission time:
+	// the request was rejected immediately (shed), not parked — the
+	// open-loop-safe failure mode.
+	ErrOverloaded = errors.New("serve: overloaded (admission queue full)")
+	// ErrQueueTimeout means the request was admitted but its budget
+	// (request deadline or the service's QueueTimeout) expired before a
+	// worker picked it up.
+	ErrQueueTimeout = errors.New("serve: timed out waiting in queue")
+	// ErrClosed means the service is shutting down.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// Config sizes the service. The zero value is usable: defaults are applied
+// by New.
+type Config struct {
+	// MaxConcurrency bounds simultaneously executing batches (default 2).
+	MaxConcurrency int
+	// QueueDepth bounds admitted-but-not-running requests; a full queue
+	// rejects with ErrOverloaded (default 4×MaxConcurrency).
+	QueueDepth int
+	// QueueTimeout bounds time spent queued regardless of the request
+	// deadline (default 2s; <0 disables).
+	QueueTimeout time.Duration
+	// BatchWindow is how long the dispatcher holds a batchable request
+	// open for compatible followers (default 0: batching off).
+	BatchWindow time.Duration
+	// MaxBatch caps requests coalesced into one batch (default 8).
+	MaxBatch int
+	// MaxN caps gemm/cholesky problem sizes (default 192); the CG grid
+	// area is capped at MaxN²/16.
+	MaxN int
+	// MaxFaults caps per-request fault injection (default 8).
+	MaxFaults int
+	// MaxRestarts is the per-request checkpoint-restart budget handed to
+	// the coordinator (default 3).
+	MaxRestarts int
+	// Parallelism, when > 0, sets the process-global mat worker count at
+	// New time. Serving throughput comes from request concurrency, so the
+	// daemon defaults this to 1.
+	Parallelism int
+	// Metrics receives counters; nil allocates a private set.
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxConcurrency
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 192
+	}
+	if c.MaxFaults <= 0 {
+		c.MaxFaults = 8
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 3
+	}
+	if c.Metrics == nil {
+		c.Metrics = &Metrics{}
+	}
+	return c
+}
+
+// job states: a job is delivered exactly once, either by the executor
+// (queued→running→done) or by the abandoning waiter (queued→abandoned).
+const (
+	stateQueued int32 = iota
+	stateRunning
+	stateAbandoned
+)
+
+type result struct {
+	resp Response
+	err  error
+}
+
+type job struct {
+	ctx   context.Context
+	req   parsed
+	enq   time.Time
+	state atomic.Int32
+	done  chan result // buffered(1); receives exactly one result unless abandoned
+}
+
+// deliver hands the job's result to its waiter (no-op if abandoned).
+func (j *job) deliver(r Response, err error) {
+	j.done <- result{resp: r, err: err}
+}
+
+// Service is the fault-tolerant compute service: admission control in Do,
+// a dispatcher goroutine that batches and schedules, and per-batch
+// executor goroutines that run the recovery ladder.
+type Service struct {
+	cfg Config
+	m   *Metrics
+
+	queue chan *job
+	sem   chan struct{}
+	quit  chan struct{}
+
+	dispatchWG sync.WaitGroup
+	execWG     sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+// New builds and starts a service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	if cfg.Parallelism > 0 {
+		mat.SetParallelism(cfg.Parallelism)
+	}
+	s := &Service{
+		cfg:   cfg,
+		m:     cfg.Metrics,
+		queue: make(chan *job, cfg.QueueDepth),
+		sem:   make(chan struct{}, cfg.MaxConcurrency),
+		quit:  make(chan struct{}),
+	}
+	s.dispatchWG.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// Metrics returns the service's counters.
+func (s *Service) Metrics() *Metrics { return s.m }
+
+// Close stops admission, fails queued-but-unstarted requests with
+// ErrClosed, and waits for running batches to finish. In-flight requests
+// complete normally, so callers draining an HTTP server should Shutdown
+// the server first, then Close the service.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.dispatchWG.Wait()
+	s.execWG.Wait()
+}
+
+// Do admits, queues, and executes one request, blocking until it is
+// classified or rejected. Rejections are typed: ErrBadRequest,
+// ErrOverloaded (queue full — the caller should back off), ErrQueueTimeout
+// (admitted but expired in queue), ErrClosed. A nil error means the
+// Response carries one of the ladder's three oracle-gated outcomes.
+func (s *Service) Do(ctx context.Context, req Request) (Response, error) {
+	p, err := s.cfg.normalize(req)
+	if err != nil {
+		s.m.BadRequests.Add(1)
+		return Response{}, err
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	j := &job{ctx: ctx, req: p, enq: time.Now(), done: make(chan result, 1)}
+	select {
+	case <-s.quit:
+		return Response{}, ErrClosed
+	default:
+	}
+	select {
+	case s.queue <- j:
+		s.m.Accepted.Add(1)
+		s.m.QueueDepth.Add(1)
+	default:
+		s.m.Rejected.Add(1)
+		return Response{}, fmt.Errorf("%w: depth %d", ErrOverloaded, s.cfg.QueueDepth)
+	}
+
+	select {
+	case r := <-j.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(stateQueued, stateAbandoned) {
+			// Never started: the executor will skip it when drained.
+			s.m.QueueDepth.Add(-1)
+			s.m.QueueTimeouts.Add(1)
+			return Response{}, fmt.Errorf("%w: %w", ErrQueueTimeout, context.Cause(ctx))
+		}
+		// Already running: the coordinator observes the same context and
+		// aborts at the next step boundary — wait for the classification.
+		r := <-j.done
+		return r.resp, r.err
+	case <-s.quit:
+		// Shutdown while queued: abandon (the drain may already have run
+		// past this job, so do not rely on it delivering).
+		if j.state.CompareAndSwap(stateQueued, stateAbandoned) {
+			s.m.QueueDepth.Add(-1)
+			return Response{}, ErrClosed
+		}
+		r := <-j.done
+		return r.resp, r.err
+	}
+}

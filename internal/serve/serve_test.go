@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// okOutcomes is the ladder's terminal taxonomy: every classified response
+// must carry one of these, or the service leaked an unverified result.
+var okOutcomes = map[string]bool{"corrected": true, "restarted": true, "aborted": true}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestOutcomeTaxonomyConcurrent is the headline contract under -race:
+// concurrent fault-injected requests across kernels and ECC strategies all
+// terminate in an oracle-gated outcome — zero wrong answers, zero panics —
+// and the expvar counters reconcile with the responses.
+func TestOutcomeTaxonomyConcurrent(t *testing.T) {
+	s := newTestService(t, Config{
+		MaxConcurrency: 4,
+		QueueDepth:     64,
+		QueueTimeout:   time.Minute,
+	})
+
+	reqs := []Request{
+		{Kernel: "gemm", N: 48, Strategy: "W_CK", Seed: 11, Faults: 1},
+		{Kernel: "gemm", N: 48, Strategy: "P_CK+No_ECC", Seed: 12, Faults: 2, FaultKind: "chip-failure"},
+		{Kernel: "gemm", N: 64, Strategy: "P_CK+P_SD", Seed: 13, Faults: 1, FaultKind: "double-bit"},
+		{Kernel: "gemm", N: 48, Seed: 14},
+		{Kernel: "cholesky", N: 32, Strategy: "W_SD", Seed: 15, Faults: 1},
+		{Kernel: "cholesky", N: 32, Strategy: "P_SD+No_ECC", Seed: 16, Faults: 2, FaultKind: "scattered"},
+		{Kernel: "cholesky", N: 48, Seed: 17},
+		{Kernel: "cg", NX: 8, NY: 8, Strategy: "No_ECC", Seed: 18, Faults: 1},
+		{Kernel: "cg", NX: 8, NY: 8, Strategy: "W_CK", Seed: 19},
+	}
+	const rounds = 3
+
+	var wg sync.WaitGroup
+	resps := make([]Response, len(reqs)*rounds)
+	errs := make([]error, len(reqs)*rounds)
+	for round := 0; round < rounds; round++ {
+		for i, req := range reqs {
+			wg.Add(1)
+			go func(slot int, req Request, seedBump uint64) {
+				defer wg.Done()
+				req.Seed += seedBump * 100
+				resps[slot], errs[slot] = s.Do(context.Background(), req)
+			}(round*len(reqs)+i, req, uint64(round))
+		}
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: unexpected error %v", i, err)
+		}
+		r := resps[i]
+		if !okOutcomes[r.Outcome] {
+			t.Fatalf("request %d: outcome %q outside the ladder taxonomy (resp %+v)", i, r.Outcome, r)
+		}
+		if r.Outcome == "aborted" && r.Error == "" {
+			t.Errorf("request %d: aborted without a reason", i)
+		}
+	}
+
+	m := s.m
+	total := int64(len(reqs) * rounds)
+	if got := m.Accepted.Value(); got != total {
+		t.Errorf("accepted = %d, want %d", got, total)
+	}
+	if got := m.Corrected.Value() + m.Restarted.Value() + m.Aborted.Value(); got != total {
+		t.Errorf("classified = %d, want %d", got, total)
+	}
+	if m.QueueDepth.Value() != 0 || m.Running.Value() != 0 {
+		t.Errorf("residual load: depth=%d running=%d", m.QueueDepth.Value(), m.Running.Value())
+	}
+}
+
+// TestFaultFreeIsCorrected pins the quiet path: no injected faults means
+// Corrected with zero ladder traffic, for every kernel.
+func TestFaultFreeIsCorrected(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 2, QueueDepth: 8})
+	for _, req := range []Request{
+		{Kernel: "gemm", N: 32, Seed: 5},
+		{Kernel: "cholesky", N: 32, Seed: 6},
+		{Kernel: "cg", NX: 8, NY: 8, Seed: 7},
+	} {
+		resp, err := s.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", req.Kernel, err)
+		}
+		if resp.Outcome != "corrected" || resp.Restarts != 0 || resp.Injected != 0 {
+			t.Errorf("%s: fault-free run got %+v", req.Kernel, resp)
+		}
+		if resp.BatchSize != 1 {
+			t.Errorf("%s: batch size %d without batching enabled", req.Kernel, resp.BatchSize)
+		}
+	}
+}
+
+// TestDeterministicReplay: same seed, same request → same classification
+// and same fault/correction counts, the serving analogue of the soak
+// determinism contract.
+func TestDeterministicReplay(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 1, QueueDepth: 4})
+	req := Request{Kernel: "gemm", N: 48, Strategy: "P_CK+No_ECC", Seed: 42, Faults: 2, FaultKind: "chip-failure"}
+	first, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := s.Do(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Outcome != first.Outcome || again.Injected != first.Injected ||
+			again.Corrections != first.Corrections || again.Restarts != first.Restarts {
+			t.Fatalf("replay %d diverged: first %+v, again %+v", i, first, again)
+		}
+	}
+}
+
+// TestOverloadRejection fills every concurrency slot by hand, stuffs the
+// queue, and asserts the next request is shed with ErrOverloaded — typed,
+// immediate, no queue collapse.
+func TestOverloadRejection(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 1, QueueDepth: 2, QueueTimeout: time.Minute})
+	// Occupy the only execution slot so nothing drains the queue.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			<-start
+			_, err := s.Do(ctx, Request{Kernel: "gemm", N: 16, Seed: seed})
+			results <- err
+		}(uint64(i))
+	}
+	close(start)
+
+	// Rejections are synchronous; the accepted requests stay parked in the
+	// queue (depth 2, plus the job the dispatcher holds at the semaphore),
+	// so collect until a lull.
+	overloaded := 0
+collect:
+	for overloaded < 8 {
+		select {
+		case err := <-results:
+			if !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("unexpected result while stalled: %v", err)
+			}
+			overloaded++
+		case <-time.After(500 * time.Millisecond):
+			break collect
+		}
+	}
+	if overloaded < 5 {
+		t.Fatalf("only %d of 8 requests were shed with queue depth 2", overloaded)
+	}
+	if got := s.m.Rejected.Value(); int(got) < overloaded {
+		t.Errorf("rejected counter %d, want >= %d", got, overloaded)
+	}
+	cancel() // release the parked waiters as queue timeouts
+	wg.Wait()
+}
+
+// TestQueueTimeout parks a request behind a blocked semaphore with a short
+// deadline and asserts the typed ErrQueueTimeout path.
+func TestQueueTimeout(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 1, QueueDepth: 4, QueueTimeout: time.Minute})
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := s.Do(ctx, Request{Kernel: "gemm", N: 16, Seed: 1})
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if got := s.m.QueueTimeouts.Value(); got != 1 {
+		t.Errorf("queue timeout counter = %d, want 1", got)
+	}
+}
+
+// TestBatchingCoalesces sends compatible small GEMMs inside one batch
+// window and asserts they shared an execution batch.
+func TestBatchingCoalesces(t *testing.T) {
+	s := newTestService(t, Config{
+		MaxConcurrency: 1,
+		QueueDepth:     16,
+		BatchWindow:    300 * time.Millisecond,
+		MaxBatch:       4,
+	})
+	const n = 4
+	var wg sync.WaitGroup
+	resps := make([]Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			resps[i], err = s.Do(context.Background(),
+				Request{Kernel: "gemm", N: 32, Seed: uint64(i)})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	batched := 0
+	for _, r := range resps {
+		if r.BatchSize > 1 {
+			batched++
+		}
+	}
+	if batched == 0 {
+		t.Fatalf("no request shared a batch: %+v", resps)
+	}
+	if got := s.m.BatchedRequests.Value(); got == 0 {
+		t.Error("BatchedRequests counter stayed zero")
+	}
+}
+
+// TestBatchingKeepsIncompatibleApart: different strategies must not share
+// a batch even inside one window.
+func TestBatchingKeepsIncompatibleApart(t *testing.T) {
+	a := parsed{kernel: KernelGEMM, n: 32, strategy: DefaultStrategy}
+	b := a
+	b.strategy = 0 // No_ECC
+	if compatible(a, b) {
+		t.Error("different strategies reported compatible")
+	}
+	c := a
+	c.n = 64
+	if compatible(a, c) {
+		t.Error("different sizes reported compatible")
+	}
+	d := a
+	d.kernel = KernelCholesky
+	if compatible(a, d) || compatible(d, d) {
+		t.Error("non-GEMM kernels must never batch")
+	}
+	if !compatible(a, a) {
+		t.Error("identical GEMM shapes must batch")
+	}
+}
+
+// TestBadRequests walks the validation surface.
+func TestBadRequests(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 1, QueueDepth: 2})
+	for _, req := range []Request{
+		{Kernel: "fft", N: 32},
+		{Kernel: "gemm", N: 4},
+		{Kernel: "gemm", N: 100000},
+		{Kernel: "gemm", N: 32, Strategy: "TripleModular"},
+		{Kernel: "gemm", N: 32, Faults: 99},
+		{Kernel: "gemm", N: 32, Faults: 1, FaultKind: "gamma-ray"},
+		{Kernel: "cg", NX: 1, NY: 1},
+	} {
+		if _, err := s.Do(context.Background(), req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%+v: err = %v, want ErrBadRequest", req, err)
+		}
+	}
+	if got := s.m.BadRequests.Value(); got != 7 {
+		t.Errorf("bad request counter = %d, want 7", got)
+	}
+}
+
+// TestCloseRejectsNewWork: after Close, Do fails fast with ErrClosed.
+func TestCloseRejectsNewWork(t *testing.T) {
+	s := New(Config{MaxConcurrency: 1, QueueDepth: 2})
+	s.Close()
+	if _, err := s.Do(context.Background(), Request{Kernel: "gemm", N: 16}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSnapshotCoversCounters keeps the /debug/vars payload in sync with
+// the Metrics struct.
+func TestSnapshotCoversCounters(t *testing.T) {
+	var m Metrics
+	m.Accepted.Add(3)
+	m.RunMSSum.Add(1.5)
+	snap := m.Snapshot()
+	if snap["accepted"] != int64(3) {
+		t.Errorf("snapshot accepted = %v", snap["accepted"])
+	}
+	if snap["run_ms_sum"] != 1.5 {
+		t.Errorf("snapshot run_ms_sum = %v", snap["run_ms_sum"])
+	}
+	for k, v := range snap {
+		switch v.(type) {
+		case int64, float64:
+		default:
+			t.Errorf("snapshot[%q] has non-numeric type %T", k, v)
+		}
+	}
+}
+
+// TestKernelParse pins the wire names.
+func TestKernelParse(t *testing.T) {
+	for _, k := range Kernels {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKernel(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKernel("fft"); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("ParseKernel(fft) err = %v, want ErrBadRequest", err)
+	}
+	if got := Kernel(9).String(); got != "Kernel(9)" {
+		t.Errorf("Kernel(9).String() = %q", got)
+	}
+}
