@@ -41,3 +41,35 @@ abftd_pid=$!
 test -s "$tmp/BENCH_serve.json"
 kill -INT "$abftd_pid"
 wait "$abftd_pid"
+
+# Cluster smoke gate: three abftd workers behind abftgate, a seeded
+# fault-injected sweep driven through the gateway, and one worker
+# SIGKILLed mid-sweep. The gate requires zero wrong answers (abftload's
+# taxonomy check), at least 95% of sent requests completed (the gateway's
+# failover absorbed the kill), and a clean SIGINT drain of the gateway
+# and the surviving workers.
+go build -race -o "$tmp/abftgate" ./cmd/abftgate
+"$tmp/abftd" -addr 127.0.0.1:18431 &
+n1=$!
+"$tmp/abftd" -addr 127.0.0.1:18432 &
+n2=$!
+"$tmp/abftd" -addr 127.0.0.1:18433 &
+n3=$!
+"$tmp/abftgate" -addr 127.0.0.1:18430 \
+	-nodes "http://127.0.0.1:18431,http://127.0.0.1:18432,http://127.0.0.1:18433" \
+	-probe-interval 150ms -breaker-cooldown 500ms -seed 11 &
+gate=$!
+"$tmp/abftload" -addr http://127.0.0.1:18430 -wait 10s \
+	-rates 30 -kernels gemm,cholesky -strategies "w_ck,p_ck+p_sd" \
+	-duration 4s -n 48 -fault-fraction 0.25 -fault-kind chip-failure \
+	-seed 11 -retry-429 2 -min-complete 0.95 &
+load=$!
+sleep 6
+kill -KILL "$n2"
+wait "$load"
+kill -INT "$gate"
+wait "$gate"
+kill -INT "$n1" "$n3"
+wait "$n1"
+wait "$n3"
+wait "$n2" || true

@@ -1,0 +1,164 @@
+// Command abftgate is the cluster gateway in front of a pool of abftd
+// workers: capability-aware rendezvous placement, bounded per-node
+// outstanding windows, health probes, circuit breakers, and failover
+// retries on connection failures and 503s — never on a delivered answer.
+// The wire surface is identical to a single abftd node, so abftload (and
+// any client) drives a cluster without changes.
+//
+// Endpoints:
+//
+//	POST /v1/gemm, /v1/cholesky, /v1/cg   forwarded compute requests
+//	GET  /healthz                         gateway liveness + per-node status
+//	POST /admin/drain?node=ID             take a node out of placement
+//	POST /admin/rejoin?node=ID            return a drained node to placement
+//	GET  /debug/vars                      expvar counters (cluster.*)
+//	GET  /debug/pprof/...                 profiling
+//
+// Nodes are given as a comma-separated list of base URLs, each optionally
+// restricted to an ECC-capability set:
+//
+//	abftgate -nodes "http://127.0.0.1:8321,http://127.0.0.1:8322=W_CK|P_CK+P_SD"
+//
+// A node without a capability suffix advertises all six strategies.
+// SIGINT/SIGTERM drain in-flight requests and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"coopabft/internal/cluster"
+	"coopabft/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abftgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr            = flag.String("addr", "127.0.0.1:8320", "listen address")
+		nodes           = flag.String("nodes", "", "comma-separated node base URLs, each optionally url=CAP|CAP (required)")
+		window          = flag.Int("window", 8, "outstanding-request window per node")
+		retries         = flag.Int("retries", 2, "failover attempts after a failed placement")
+		retryBackoff    = flag.Duration("retry-backoff", 5*time.Millisecond, "base jittered delay before a failover retry")
+		probeInterval   = flag.Duration("probe-interval", 250*time.Millisecond, "health-probe period (<0 disables)")
+		probeTimeout    = flag.Duration("probe-timeout", time.Second, "per-probe budget")
+		breakerFailures = flag.Int("breaker-failures", 3, "consecutive failures that open a node's breaker")
+		breakerCooldown = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before the next trial")
+		seed            = flag.Uint64("seed", 1, "retry-jitter seed")
+		drain           = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	nodeCfgs, err := parseNodes(*nodes)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m := &cluster.Metrics{}
+	m.Publish()
+	g, err := cluster.New(cluster.Config{
+		Nodes:           nodeCfgs,
+		Window:          *window,
+		Retries:         *retries,
+		RetryBackoff:    *retryBackoff,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		Seed:            *seed,
+		Metrics:         m,
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", cluster.NewHandler(g))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("abftgate: serving on http://%s (%d nodes, window %d, retries %d)",
+		ln.Addr(), len(nodeCfgs), *window, *retries)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight forwards classify,
+	// then stop the prober.
+	log.Printf("abftgate: signal received, draining (budget %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	g.Close()
+	log.Printf("abftgate: drained, exiting")
+	return nil
+}
+
+// parseNodes reads the -nodes spec: "url[=CAP|CAP...],url,...". The
+// capability suffix uses the paper's strategy labels; omitting it
+// advertises all six.
+func parseNodes(spec string) ([]cluster.NodeConfig, error) {
+	var out []cluster.NodeConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		url, caps, hasCaps := strings.Cut(part, "=")
+		nc := cluster.NodeConfig{BaseURL: url}
+		if hasCaps {
+			for _, label := range strings.Split(caps, "|") {
+				s, err := core.ParseStrategy(strings.TrimSpace(label))
+				if err != nil {
+					return nil, fmt.Errorf("node %s: %w", url, err)
+				}
+				nc.Strategies = append(nc.Strategies, s)
+			}
+		}
+		out = append(out, nc)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no nodes given (-nodes url,url,...)")
+	}
+	return out, nil
+}

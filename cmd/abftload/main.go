@@ -45,6 +45,7 @@ func run() error {
 		kernels    = flag.String("kernels", "gemm", "comma-separated kernels (gemm,cholesky,cg)")
 		strategies = flag.String("strategies", serve.DefaultStrategy.String(), "comma-separated ECC strategies (paper labels)")
 		duration   = flag.Duration("duration", 2*time.Second, "send window per cell")
+		requests   = flag.Int("requests", 0, "fixed request count per cell (replayable mode; 0 = send for -duration)")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-request budget")
 		n          = flag.Int("n", 48, "gemm/cholesky dimension")
 		nx         = flag.Int("nx", 8, "CG grid x")
@@ -53,6 +54,9 @@ func run() error {
 		faults     = flag.Int("faults", 1, "faults per injected request")
 		kindName   = flag.String("fault-kind", "single-bit", "fault kind (single-bit,double-bit,chip-failure,scattered)")
 		seed       = flag.Uint64("seed", 1, "sweep seed (same seed → same request stream)")
+		retry429   = flag.Int("retry-429", 0, "retries after a 429 shed, honoring Retry-After (0 = count 429s as data)")
+		retryCap   = flag.Duration("retry-after-cap", 2*time.Second, "upper bound on honored Retry-After waits")
+		minDone    = flag.Float64("min-complete", 0, "fail unless at least this fraction of sent requests completed")
 		benchOut   = flag.String("bench-out", "", "write machine-readable results (e.g. BENCH_serve.json)")
 	)
 	flag.Parse()
@@ -60,6 +64,7 @@ func run() error {
 	cfg := loadgen.Config{
 		Seed:          *seed,
 		Duration:      *duration,
+		Requests:      *requests,
 		Timeout:       *timeout,
 		N:             *n,
 		NX:            *nx,
@@ -92,7 +97,11 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	client := &loadgen.HTTPClient{Base: strings.TrimRight(*addr, "/")}
+	client := &loadgen.HTTPClient{
+		Base:          strings.TrimRight(*addr, "/"),
+		Retry429:      *retry429,
+		RetryAfterCap: *retryCap,
+	}
 	if *wait > 0 {
 		if err := client.WaitReady(ctx, *wait); err != nil {
 			return err
@@ -120,6 +129,13 @@ func run() error {
 	}
 	if totals.Corrected+totals.Restarted+totals.Aborted == 0 {
 		return fmt.Errorf("no request completed — server unreachable or fully shedding")
+	}
+	if *minDone > 0 {
+		frac := float64(res.Completed()) / float64(res.Sent())
+		if frac < *minDone {
+			return fmt.Errorf("only %.1f%% of %d requests completed (gate %.1f%%)",
+				100*frac, res.Sent(), 100**minDone)
+		}
 	}
 	return nil
 }

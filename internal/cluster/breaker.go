@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit: closed (traffic flows),
+// open (node parked), half-open (one trial in flight).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "breaker(?)"
+	}
+}
+
+// breaker is a per-node circuit breaker. It trips on consecutive
+// connection/503 failures or on an elevated aborted rate over a sliding
+// window of delivered outcomes (a node whose ladder keeps giving up is
+// sick even though its answers are typed), parks the node for a cooldown,
+// then admits a single trial — a successful health probe or one live
+// request — to close again. Delivered classifications are never failures:
+// an aborted answer feeds the rate window but does not count as a
+// connection fault.
+type breaker struct {
+	mu          sync.Mutex
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	trips       int64
+
+	// Sliding outcome window for the aborted-rate trip.
+	ring  []bool // true = aborted
+	ringN int    // filled entries
+	ringI int    // next write slot
+
+	failLimit int
+	cooldown  time.Duration
+	abortTrip float64
+}
+
+func newBreaker(failLimit int, cooldown time.Duration, abortWindow int, abortTrip float64) *breaker {
+	return &breaker{
+		failLimit: failLimit,
+		cooldown:  cooldown,
+		ring:      make([]bool, abortWindow),
+		abortTrip: abortTrip,
+	}
+}
+
+// allow reports whether a live request may be forwarded now. An open
+// breaker whose cooldown has elapsed grants exactly one half-open trial;
+// further requests wait for the trial's verdict.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the trial is already out
+		return false
+	}
+}
+
+// onDelivered records a classified answer. Any delivery closes a half-open
+// breaker and clears the consecutive-failure count; aborted outcomes feed
+// the sliding rate window, which trips once it is full and the aborted
+// fraction reaches abortTrip. Returns true when this delivery tripped the
+// breaker.
+func (b *breaker) onDelivered(now time.Time, aborted bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.resetRing()
+	}
+	b.ring[b.ringI] = aborted
+	b.ringI = (b.ringI + 1) % len(b.ring)
+	if b.ringN < len(b.ring) {
+		b.ringN++
+	}
+	if b.ringN == len(b.ring) {
+		abortedN := 0
+		for _, a := range b.ring {
+			if a {
+				abortedN++
+			}
+		}
+		if abortedN >= int(math.Ceil(b.abortTrip*float64(len(b.ring)))) {
+			b.trip(now)
+			return true
+		}
+	}
+	return false
+}
+
+// onFailure records a connection failure or 503. A failed half-open trial
+// re-opens immediately; otherwise the consecutive-failure threshold
+// applies. Returns true when this failure tripped the breaker.
+func (b *breaker) onFailure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecFails >= b.failLimit) {
+		b.trip(now)
+		return true
+	}
+	return false
+}
+
+// onProbe feeds health-probe results: a successful probe of an open node
+// past its cooldown closes the breaker (the probe is the trial, so a
+// restarted node rejoins without sacrificing a live request); a failed
+// probe of a half-open node re-opens it.
+func (b *breaker) onProbe(now time.Time, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case ok && b.state == breakerHalfOpen:
+		b.state = breakerClosed
+		b.consecFails = 0
+		b.resetRing()
+	case ok && b.state == breakerOpen && now.Sub(b.openedAt) >= b.cooldown:
+		b.state = breakerClosed
+		b.consecFails = 0
+		b.resetRing()
+	case !ok && b.state == breakerHalfOpen:
+		b.trip(now)
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.consecFails = 0
+	b.trips++
+	b.resetRing()
+}
+
+// resetRing clears the outcome window. Callers hold b.mu.
+func (b *breaker) resetRing() {
+	b.ringN, b.ringI = 0, 0
+}
+
+// snapshot returns the state and cumulative trip count.
+func (b *breaker) snapshot() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreaker() *breaker {
+	return newBreaker(3, time.Second, 4, 0.75)
+}
+
+// TestBreakerConsecutiveFailuresOpen: the failure threshold opens the
+// circuit; deliveries in between reset the count.
+func TestBreakerConsecutiveFailuresOpen(t *testing.T) {
+	b := testBreaker()
+	now := time.Unix(1000, 0)
+	b.onFailure(now)
+	b.onFailure(now)
+	b.onDelivered(now, false) // resets the streak
+	b.onFailure(now)
+	b.onFailure(now)
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("state %v after interleaved failures, want closed", st)
+	}
+	if !b.onFailure(now) {
+		t.Fatal("third consecutive failure did not trip")
+	}
+	if st, trips := b.snapshot(); st != breakerOpen || trips != 1 {
+		t.Fatalf("state %v trips %d, want open/1", st, trips)
+	}
+	if b.allow(now.Add(500 * time.Millisecond)) {
+		t.Error("open breaker allowed a request before cooldown")
+	}
+}
+
+// TestBreakerHalfOpenTrial: after the cooldown exactly one trial flows; a
+// delivery closes, a failure re-opens.
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	b := testBreaker()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		b.onFailure(now)
+	}
+	later := now.Add(2 * time.Second)
+	if !b.allow(later) {
+		t.Fatal("cooldown elapsed but no trial granted")
+	}
+	if b.allow(later) {
+		t.Fatal("second trial granted while half-open")
+	}
+	b.onDelivered(later, false)
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("state %v after successful trial, want closed", st)
+	}
+
+	// Now a failed trial: trip again, wait, fail the trial.
+	for i := 0; i < 3; i++ {
+		b.onFailure(later)
+	}
+	again := later.Add(2 * time.Second)
+	if !b.allow(again) {
+		t.Fatal("no second trial")
+	}
+	if !b.onFailure(again) {
+		t.Fatal("failed half-open trial did not re-trip")
+	}
+	if st, trips := b.snapshot(); st != breakerOpen || trips != 3 {
+		t.Fatalf("state %v trips %d, want open/3", st, trips)
+	}
+}
+
+// TestBreakerAbortRateTrips: a full window of mostly-aborted deliveries
+// opens the circuit even though every answer was typed.
+func TestBreakerAbortRateTrips(t *testing.T) {
+	b := testBreaker() // window 4, trip at 75%
+	now := time.Unix(1000, 0)
+	b.onDelivered(now, true)
+	b.onDelivered(now, true)
+	b.onDelivered(now, false)
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatal("tripped before the window filled")
+	}
+	if !b.onDelivered(now, true) { // 3/4 aborted = 75%
+		t.Fatal("abort-rate threshold did not trip")
+	}
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatal("want open after abort-rate trip")
+	}
+}
+
+// TestBreakerHealthyAbortMixStaysClosed: scattered aborts below the
+// threshold never trip.
+func TestBreakerHealthyAbortMixStaysClosed(t *testing.T) {
+	b := testBreaker()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 40; i++ {
+		b.onDelivered(now, i%2 == 0) // 50% aborted < 75%
+	}
+	if st, trips := b.snapshot(); st != breakerClosed || trips != 0 {
+		t.Fatalf("state %v trips %d under 50%% aborts, want closed/0", st, trips)
+	}
+}
+
+// TestBreakerProbeCloses: a successful probe past the cooldown closes an
+// open breaker (the restart-rejoin path), and a failed probe of a
+// half-open breaker re-opens it.
+func TestBreakerProbeCloses(t *testing.T) {
+	b := testBreaker()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		b.onFailure(now)
+	}
+	b.onProbe(now.Add(100*time.Millisecond), true) // before cooldown: ignored
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatal("probe before cooldown must not close")
+	}
+	b.onProbe(now.Add(2*time.Second), true)
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatal("probe after cooldown should close")
+	}
+
+	for i := 0; i < 3; i++ {
+		b.onFailure(now.Add(3 * time.Second))
+	}
+	trialAt := now.Add(5 * time.Second)
+	if !b.allow(trialAt) {
+		t.Fatal("no trial after second cooldown")
+	}
+	b.onProbe(trialAt, false) // probe sees it dead while a trial is out
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatal("failed probe of half-open breaker should re-open")
+	}
+}

@@ -1,0 +1,509 @@
+// Package cluster is the node-level analogue of the paper's cooperative
+// placement. A gateway fronts a pool of abftd workers; each node
+// advertises the ECC strategies it can host — the cluster-scale version of
+// per-page-frame ECC regions, where software declares which ranges may run
+// relaxed — and placement routes every request to a compatible node via
+// rendezvous hashing on (kernel, size-class), under a bounded per-node
+// outstanding window. Robustness stays hidden behind the hot path the way
+// §4 hides recovery behind ABFT: health probes and circuit breakers take
+// sick nodes out of rotation, connection failures and 503s fail over to
+// the next-ranked replica with jittered backoff, and a delivered
+// classification is never re-executed — retries cannot manufacture a wrong
+// answer, because only undelivered requests are ever retried and every
+// delivered answer is oracle-gated by the node's ladder.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coopabft/internal/campaign"
+	"coopabft/internal/core"
+	"coopabft/internal/serve"
+)
+
+// Typed gateway errors; the HTTP layer maps them to status codes, and
+// serve's ErrBadRequest/ErrOverloaded are reused so in-process callers and
+// the load generator tally gateway answers exactly like node answers.
+var (
+	// ErrNoNodes means no configured node advertises the requested ECC
+	// strategy — a capability miss, not a transient failure.
+	ErrNoNodes = errors.New("cluster: no node advertises the requested strategy")
+	// ErrUnavailable means every placement attempt failed at the
+	// connection/503 level and the retry budget is spent.
+	ErrUnavailable = errors.New("cluster: no replica available")
+	// ErrUnknownNode reports an admin operation against an ID the gateway
+	// does not manage.
+	ErrUnknownNode = errors.New("cluster: unknown node")
+)
+
+// NodeConfig describes one backend worker.
+type NodeConfig struct {
+	// ID names the node in metrics, responses, and admin calls; defaults
+	// to BaseURL without its scheme.
+	ID string
+	// BaseURL is the node's root, e.g. http://127.0.0.1:8321.
+	BaseURL string
+	// Strategies is the node's ECC-capability set: the strategies whose
+	// requests it accepts. Empty means all six — a node whose memory
+	// controller can program any per-range configuration.
+	Strategies []core.Strategy
+}
+
+// Config sizes the gateway. The zero value (plus at least one node) is
+// usable: defaults are applied by New.
+type Config struct {
+	Nodes []NodeConfig
+
+	// Window bounds outstanding requests per node (default 8); a full
+	// window spills the placement to the next-ranked replica.
+	Window int
+	// Retries is how many additional replicas a request may try after a
+	// connection failure, 503, or shed (default 2).
+	Retries int
+	// RetryBackoff is the base jittered delay before a failover retry
+	// (default 5ms; grows exponentially per attempt).
+	RetryBackoff time.Duration
+
+	// ProbeInterval is the health-probe period (default 250ms; < 0
+	// disables probing, leaving nodes optimistically healthy).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default 1s).
+	ProbeTimeout time.Duration
+
+	// BreakerFailures is the consecutive connection/503 failures that
+	// open a node's breaker (default 3).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker parks a node before the
+	// next trial (default 1s).
+	BreakerCooldown time.Duration
+	// AbortWindow and AbortTripFraction configure the elevated-Aborted
+	// trip: once the last AbortWindow delivered outcomes are at least
+	// AbortTripFraction aborted, the breaker opens (defaults 20, 0.9).
+	AbortWindow       int
+	AbortTripFraction float64
+
+	// Seed feeds the deterministic retry jitter.
+	Seed uint64
+	// Client is the forwarding transport (default: a dedicated client
+	// with sane timeouts).
+	Client *http.Client
+	// Metrics receives counters; nil allocates a private set.
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.AbortWindow <= 0 {
+		c.AbortWindow = 20
+	}
+	if c.AbortTripFraction <= 0 || c.AbortTripFraction > 1 {
+		c.AbortTripFraction = 0.9
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if c.Metrics == nil {
+		c.Metrics = &Metrics{}
+	}
+	return c
+}
+
+// node is one backend's runtime state.
+type node struct {
+	id   string
+	base string
+	caps map[core.Strategy]bool // nil = all strategies
+	hash uint64
+
+	window   chan struct{}
+	br       *breaker
+	healthy  atomic.Bool
+	draining atomic.Bool
+	m        *NodeMetrics
+}
+
+func (nd *node) supports(s core.Strategy) bool { return nd.caps == nil || nd.caps[s] }
+
+func (nd *node) tryAcquire() bool {
+	select {
+	case nd.window <- struct{}{}:
+		nd.m.Inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (nd *node) release() {
+	<-nd.window
+	nd.m.Inflight.Add(-1)
+}
+
+// Gateway is the cluster front-end: capability-filtered rendezvous
+// placement, bounded per-node windows, breakers, probes, failover.
+type Gateway struct {
+	cfg   Config
+	m     *Metrics
+	nodes []*node
+	byID  map[string]*node
+
+	quit      chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a gateway and starts its health prober.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes configured")
+	}
+	g := &Gateway{
+		cfg:  cfg,
+		m:    cfg.Metrics,
+		byID: make(map[string]*node, len(cfg.Nodes)),
+		quit: make(chan struct{}),
+	}
+	for _, nc := range cfg.Nodes {
+		base := strings.TrimRight(nc.BaseURL, "/")
+		if base == "" {
+			return nil, errors.New("cluster: node with empty BaseURL")
+		}
+		id := nc.ID
+		if id == "" {
+			id = strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+		}
+		if _, dup := g.byID[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", id)
+		}
+		nd := &node{
+			id:     id,
+			base:   base,
+			hash:   fnv64a(id),
+			window: make(chan struct{}, cfg.Window),
+			br: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown,
+				cfg.AbortWindow, cfg.AbortTripFraction),
+			m: g.m.Node(id),
+		}
+		if len(nc.Strategies) > 0 {
+			nd.caps = make(map[core.Strategy]bool, len(nc.Strategies))
+			for _, s := range nc.Strategies {
+				nd.caps[s] = true
+			}
+		}
+		nd.healthy.Store(true) // optimistic until the first probe
+		g.nodes = append(g.nodes, nd)
+		g.byID[id] = nd
+	}
+	if cfg.ProbeInterval > 0 {
+		for _, nd := range g.nodes {
+			g.probeWG.Add(1)
+			go g.probeLoop(nd)
+		}
+	}
+	return g, nil
+}
+
+// Metrics returns the gateway's counters.
+func (g *Gateway) Metrics() *Metrics { return g.m }
+
+// Close stops the health prober. In-flight forwards are unaffected — the
+// HTTP server draining above the gateway bounds them.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() { close(g.quit) })
+	g.probeWG.Wait()
+}
+
+// forwardClass discriminates one placement attempt's result.
+type forwardClass int
+
+const (
+	fcDelivered  forwardClass = iota // classified answer: final, never retried
+	fcBadRequest                     // node-validated 400: final
+	fcShed                           // 429: node alive but full — try elsewhere
+	fcFailed                         // connection failure or 503 — breaker fault
+)
+
+// Do places one request on a compatible node and returns its classified
+// answer, failing over across replicas on connection failures, 503s, and
+// sheds. It implements the same Doer contract as serve.Service.Do, so the
+// load generator drives a cluster exactly like a single daemon.
+func (g *Gateway) Do(ctx context.Context, req serve.Request) (serve.Response, error) {
+	g.m.Requests.Add(1)
+	kernel, err := serve.ParseKernel(req.Kernel)
+	if err != nil {
+		g.m.BadRequests.Add(1)
+		return serve.Response{}, err
+	}
+	strategy := serve.DefaultStrategy
+	if req.Strategy != "" {
+		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
+			g.m.BadRequests.Add(1)
+			return serve.Response{}, fmt.Errorf("%w: %w", serve.ErrBadRequest, err)
+		}
+	}
+
+	capable := make([]*node, 0, len(g.nodes))
+	for _, nd := range g.nodes {
+		if nd.supports(strategy) {
+			capable = append(capable, nd)
+		}
+	}
+	if len(capable) == 0 {
+		g.m.NoNodes.Add(1)
+		return serve.Response{}, fmt.Errorf("%w: %s", ErrNoNodes, strategy)
+	}
+	ranked := rank(capable, placementKey(kernel, sizeClass(sizeOf(kernel, req))))
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		g.m.BadRequests.Add(1)
+		return serve.Response{}, fmt.Errorf("%w: %w", serve.ErrBadRequest, err)
+	}
+
+	forwards := 0
+	sawShed := false
+	needBackoff := false
+	var lastErr error
+	for _, nd := range ranked {
+		if forwards > g.cfg.Retries {
+			break
+		}
+		if nd.draining.Load() || !nd.healthy.Load() {
+			continue
+		}
+		if !nd.br.allow(time.Now()) {
+			nd.m.BreakerSkips.Add(1)
+			continue
+		}
+		if needBackoff {
+			needBackoff = false
+			if err := sleepCtx(ctx, g.backoff(req.Seed, forwards)); err != nil {
+				return serve.Response{}, fmt.Errorf("%w: %w", ErrUnavailable, err)
+			}
+		}
+		if !nd.tryAcquire() {
+			nd.m.WindowSkips.Add(1)
+			sawShed = true
+			continue
+		}
+		if forwards > 0 {
+			g.m.Retries.Add(1)
+		}
+		resp, class, err := g.forward(ctx, nd, kernel.String(), body)
+		nd.release()
+		forwards++
+		switch class {
+		case fcDelivered:
+			if tripped := nd.br.onDelivered(time.Now(), resp.Outcome == "aborted"); tripped {
+				nd.m.BreakerTrips.Add(1)
+			}
+			nd.m.Delivered.Add(1)
+			g.m.Delivered.Add(1)
+			switch resp.Outcome {
+			case "corrected":
+				g.m.Corrected.Add(1)
+			case "restarted":
+				g.m.Restarted.Add(1)
+			case "aborted":
+				g.m.Aborted.Add(1)
+			}
+			resp.Node = nd.id
+			resp.GatewayRetries = forwards - 1
+			return resp, nil
+		case fcBadRequest:
+			g.m.BadRequests.Add(1)
+			return serve.Response{}, err
+		case fcShed:
+			nd.m.Rejected429.Add(1)
+			sawShed = true
+			lastErr = err
+		case fcFailed:
+			if tripped := nd.br.onFailure(time.Now()); tripped {
+				nd.m.BreakerTrips.Add(1)
+			}
+			lastErr = err
+			needBackoff = true
+			if ctx.Err() != nil {
+				g.m.Unavailable.Add(1)
+				return serve.Response{}, fmt.Errorf("%w: %w", ErrUnavailable, lastErr)
+			}
+		}
+	}
+
+	if sawShed {
+		g.m.Overloaded.Add(1)
+		if lastErr == nil {
+			lastErr = errors.New("every eligible replica's window is full")
+		}
+		return serve.Response{}, fmt.Errorf("%w: %v", serve.ErrOverloaded, lastErr)
+	}
+	g.m.Unavailable.Add(1)
+	if lastErr == nil {
+		lastErr = errors.New("every eligible replica is parked (breaker open or unhealthy)")
+	}
+	return serve.Response{}, fmt.Errorf("%w after %d attempts: %v", ErrUnavailable, forwards, lastErr)
+}
+
+// forward sends one attempt to one node and classifies the transport
+// result. Only fcDelivered carries a response.
+func (g *Gateway) forward(ctx context.Context, nd *node, kernel string, body []byte) (serve.Response, forwardClass, error) {
+	nd.m.Forwarded.Add(1)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		nd.base+"/v1/"+kernel, bytes.NewReader(body))
+	if err != nil {
+		return serve.Response{}, fcFailed, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := g.cfg.Client.Do(hreq)
+	if err != nil {
+		nd.m.TransportErrors.Add(1)
+		return serve.Response{}, fcFailed, fmt.Errorf("node %s: %w", nd.id, err)
+	}
+	defer hresp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	if err != nil {
+		nd.m.TransportErrors.Add(1)
+		return serve.Response{}, fcFailed, fmt.Errorf("node %s: %w", nd.id, err)
+	}
+
+	switch hresp.StatusCode {
+	case http.StatusOK:
+		var resp serve.Response
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			nd.m.TransportErrors.Add(1)
+			return serve.Response{}, fcFailed, fmt.Errorf("node %s: bad response body: %w", nd.id, err)
+		}
+		return resp, fcDelivered, nil
+	case http.StatusBadRequest:
+		return serve.Response{}, fcBadRequest, fmt.Errorf("%w: node %s: %s", serve.ErrBadRequest, nd.id, wireError(payload))
+	case http.StatusTooManyRequests:
+		return serve.Response{}, fcShed, fmt.Errorf("node %s: %s", nd.id, wireError(payload))
+	default: // 503 and anything else unexpected is a node fault
+		nd.m.Failed503.Add(1)
+		return serve.Response{}, fcFailed, fmt.Errorf("node %s: HTTP %d: %s", nd.id, hresp.StatusCode, wireError(payload))
+	}
+}
+
+// backoff derives the jittered failover delay from the request seed and
+// attempt index — exponential growth, deterministic per (gateway seed,
+// request seed, attempt) so a replayed sweep behaves identically.
+func (g *Gateway) backoff(seed uint64, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	if shift < 0 {
+		shift = 0
+	}
+	d := g.cfg.RetryBackoff << shift
+	j := campaign.Splitmix64(g.cfg.Seed ^ seed ^ (uint64(attempt)+1)*0x9E3779B97F4A7C15)
+	frac := 0.5 + float64(j%1024)/1024.0 // [0.5, 1.5)
+	return time.Duration(float64(d) * frac)
+}
+
+// Drain takes a node out of placement without touching its in-flight
+// requests: running work finishes, new work goes elsewhere.
+func (g *Gateway) Drain(id string) error {
+	nd, ok := g.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	nd.draining.Store(true)
+	return nil
+}
+
+// Rejoin returns a drained node to placement.
+func (g *Gateway) Rejoin(id string) error {
+	nd, ok := g.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	nd.draining.Store(false)
+	return nil
+}
+
+// NodeStatus is one node's live state, as reported by /healthz.
+type NodeStatus struct {
+	ID         string `json:"id"`
+	Healthy    bool   `json:"healthy"`
+	Draining   bool   `json:"draining"`
+	Breaker    string `json:"breaker"`
+	Inflight   int64  `json:"inflight"`
+	QueueDepth int64  `json:"queue_depth"` // node-reported, from the last probe
+}
+
+// Status snapshots every node in configuration order.
+func (g *Gateway) Status() []NodeStatus {
+	out := make([]NodeStatus, 0, len(g.nodes))
+	for _, nd := range g.nodes {
+		state, _ := nd.br.snapshot()
+		out = append(out, NodeStatus{
+			ID:         nd.id,
+			Healthy:    nd.healthy.Load(),
+			Draining:   nd.draining.Load(),
+			Breaker:    state.String(),
+			Inflight:   nd.m.Inflight.Value(),
+			QueueDepth: nd.m.QueueDepth.Value(),
+		})
+	}
+	return out
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// wireError extracts a node's error envelope for diagnostics.
+func wireError(payload []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(payload))
+}

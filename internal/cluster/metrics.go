@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+)
+
+// Metrics is the gateway's observability surface: cluster-wide counters
+// plus a per-node breakdown, all plain expvar values safe for concurrent
+// use and exported under the "cluster" key once Publish is called.
+type Metrics struct {
+	// Request path.
+	Requests  expvar.Int // requests entering the gateway
+	Delivered expvar.Int // classified answers returned to clients
+	Retries   expvar.Int // failover forwards after a failed attempt
+
+	// Terminal client-visible failures.
+	BadRequests expvar.Int // 400s (gateway parse or node validation)
+	Overloaded  expvar.Int // every eligible replica shed or window-full
+	Unavailable expvar.Int // retries exhausted on connection failures/503s
+	NoNodes     expvar.Int // no node advertises the requested strategy
+
+	// Cluster-wide outcome taxonomy (sums over delivered answers).
+	Corrected expvar.Int
+	Restarted expvar.Int
+	Aborted   expvar.Int
+
+	mu    sync.Mutex
+	nodes map[string]*NodeMetrics
+}
+
+// NodeMetrics is one backend's breakdown.
+type NodeMetrics struct {
+	Forwarded       expvar.Int // attempts sent to this node
+	Delivered       expvar.Int // classified answers it returned
+	TransportErrors expvar.Int // connection-level failures
+	Rejected429     expvar.Int // node-side sheds (alive but full)
+	Failed503       expvar.Int // node-side queue timeouts / closing
+	WindowSkips     expvar.Int // placements skipped: outstanding window full
+	BreakerSkips    expvar.Int // placements skipped: breaker open
+	BreakerTrips    expvar.Int // times this node's breaker opened
+	Inflight        expvar.Int // gauge: outstanding requests on this node
+	Healthy         expvar.Int // gauge (0/1): last probe verdict
+	QueueDepth      expvar.Int // gauge: node-reported queue depth (probe)
+}
+
+// Node returns (lazily creating) the per-node metrics for id.
+func (m *Metrics) Node(id string) *NodeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nodes == nil {
+		m.nodes = make(map[string]*NodeMetrics)
+	}
+	nm, ok := m.nodes[id]
+	if !ok {
+		nm = &NodeMetrics{}
+		nm.Healthy.Set(1)
+		m.nodes[id] = nm
+	}
+	return nm
+}
+
+var publishOnce sync.Once
+
+// Publish registers the metrics under the "cluster" expvar key. Safe to
+// call more than once; only the first caller's instance is exported.
+func (m *Metrics) Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("cluster", expvar.Func(func() any { return m.Snapshot() }))
+	})
+}
+
+// Snapshot renders the counters as a nested map (the /debug/vars payload).
+func (m *Metrics) Snapshot() map[string]any {
+	snap := map[string]any{
+		"requests":     m.Requests.Value(),
+		"delivered":    m.Delivered.Value(),
+		"retries":      m.Retries.Value(),
+		"bad_requests": m.BadRequests.Value(),
+		"overloaded":   m.Overloaded.Value(),
+		"unavailable":  m.Unavailable.Value(),
+		"no_nodes":     m.NoNodes.Value(),
+		"corrected":    m.Corrected.Value(),
+		"restarted":    m.Restarted.Value(),
+		"aborted":      m.Aborted.Value(),
+	}
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	nodes := make(map[string]any, len(ids))
+	for _, id := range ids {
+		nm := m.nodes[id]
+		nodes[id] = map[string]any{
+			"forwarded":        nm.Forwarded.Value(),
+			"delivered":        nm.Delivered.Value(),
+			"transport_errors": nm.TransportErrors.Value(),
+			"rejected_429":     nm.Rejected429.Value(),
+			"failed_503":       nm.Failed503.Value(),
+			"window_skips":     nm.WindowSkips.Value(),
+			"breaker_skips":    nm.BreakerSkips.Value(),
+			"breaker_trips":    nm.BreakerTrips.Value(),
+			"inflight":         nm.Inflight.Value(),
+			"healthy":          nm.Healthy.Value(),
+			"queue_depth":      nm.QueueDepth.Value(),
+		}
+	}
+	m.mu.Unlock()
+	snap["nodes"] = nodes
+	return snap
+}

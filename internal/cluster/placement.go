@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math/bits"
+	"sort"
+
+	"coopabft/internal/campaign"
+	"coopabft/internal/serve"
+)
+
+// sizeClass buckets a problem size into power-of-two classes (n in
+// (2^(k-1), 2^k] maps to class k), so placement is stable across nearby
+// sizes: every request in a class lands on the same node and keeps its
+// packing buffers and batch windows warm.
+func sizeClass(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// placementKey hashes the placement coordinate (kernel, size-class).
+// Strategy is deliberately not part of the key: it filters which nodes are
+// eligible (the capability set), while the key decides the preference
+// order among them.
+func placementKey(k serve.Kernel, class int) uint64 {
+	return campaign.Splitmix64((uint64(k)+1)*0x9E3779B97F4A7C15 ^ uint64(class))
+}
+
+// fnv64a hashes a node ID for the rendezvous score.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// rank orders nodes for one placement key by rendezvous
+// (highest-random-weight) score: each (key, node) pair hashes
+// independently, so removing a node remaps only the keys it owned and the
+// failover order for a key is itself stable. Ties break by ID so the
+// ranking is deterministic.
+func rank(nodes []*node, key uint64) []*node {
+	ranked := append([]*node(nil), nodes...)
+	score := func(nd *node) uint64 { return campaign.Splitmix64(key ^ nd.hash) }
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := score(ranked[i]), score(ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	return ranked
+}
+
+// sizeOf mirrors the serve layer's problem-size defaults so gateway
+// placement and node admission agree on the size class.
+func sizeOf(k serve.Kernel, req serve.Request) int {
+	if k == serve.KernelCG {
+		nx, ny := req.NX, req.NY
+		if nx == 0 {
+			nx = 16
+		}
+		if ny == 0 {
+			ny = 16
+		}
+		return nx * ny
+	}
+	if req.N == 0 {
+		return 64
+	}
+	return req.N
+}

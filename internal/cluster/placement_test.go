@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+
+	"coopabft/internal/serve"
+)
+
+func mkNodes(ids ...string) []*node {
+	out := make([]*node, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, &node{id: id, hash: fnv64a(id)})
+	}
+	return out
+}
+
+// TestSizeClass pins the power-of-two bucketing.
+func TestSizeClass(t *testing.T) {
+	for _, tc := range []struct{ n, class int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {48, 6}, {64, 6}, {65, 7}, {192, 8}, {0, 0},
+	} {
+		if got := sizeClass(tc.n); got != tc.class {
+			t.Errorf("sizeClass(%d) = %d, want %d", tc.n, got, tc.class)
+		}
+	}
+}
+
+// TestRankDeterministic: the same key always yields the same order.
+func TestRankDeterministic(t *testing.T) {
+	nodes := mkNodes("a", "b", "c", "d")
+	key := placementKey(serve.KernelGEMM, 6)
+	first := rank(nodes, key)
+	for i := 0; i < 10; i++ {
+		again := rank(nodes, key)
+		for j := range first {
+			if first[j].id != again[j].id {
+				t.Fatalf("ranking unstable at %d: %s vs %s", j, first[j].id, again[j].id)
+			}
+		}
+	}
+}
+
+// TestRankSpreads: across kernels and size classes, different nodes win —
+// the hash actually distributes placement.
+func TestRankSpreads(t *testing.T) {
+	nodes := mkNodes("a", "b", "c", "d")
+	winners := map[string]int{}
+	for _, k := range serve.Kernels {
+		for class := 0; class < 10; class++ {
+			winners[rank(nodes, placementKey(k, class))[0].id]++
+		}
+	}
+	if len(winners) < 3 {
+		t.Errorf("30 keys landed on only %d of 4 nodes: %v", len(winners), winners)
+	}
+}
+
+// TestRankRendezvousProperty: removing a node only remaps the keys it
+// owned; every other key keeps its winner. This is the property that makes
+// failover cheap — a dead node does not reshuffle the whole cluster.
+func TestRankRendezvousProperty(t *testing.T) {
+	nodes := mkNodes("a", "b", "c", "d")
+	survivors := nodes[:3] // drop "d"
+	for _, k := range serve.Kernels {
+		for class := 0; class < 12; class++ {
+			key := placementKey(k, class)
+			before := rank(nodes, key)[0]
+			after := rank(survivors, key)[0]
+			if before.id != "d" && before.id != after.id {
+				t.Errorf("key (%v,%d): winner moved %s → %s though %s is alive",
+					k, class, before.id, after.id, before.id)
+			}
+			// And the displaced keys land on the dead node's runner-up.
+			if before.id == "d" {
+				if want := rank(nodes, key)[1]; after.id != want.id {
+					t.Errorf("key (%v,%d): expected runner-up %s, got %s", k, class, want.id, after.id)
+				}
+			}
+		}
+	}
+}
+
+// TestSizeOfDefaults mirrors the serve layer's defaults.
+func TestSizeOfDefaults(t *testing.T) {
+	if got := sizeOf(serve.KernelGEMM, serve.Request{}); got != 64 {
+		t.Errorf("gemm default size = %d, want 64", got)
+	}
+	if got := sizeOf(serve.KernelCholesky, serve.Request{N: 96}); got != 96 {
+		t.Errorf("cholesky size = %d, want 96", got)
+	}
+	if got := sizeOf(serve.KernelCG, serve.Request{}); got != 256 {
+		t.Errorf("cg default size = %d, want 256", got)
+	}
+	if got := sizeOf(serve.KernelCG, serve.Request{NX: 8, NY: 4}); got != 32 {
+		t.Errorf("cg size = %d, want 32", got)
+	}
+}

@@ -75,6 +75,8 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":      "ok",
 		"queue_depth": s.m.QueueDepth.Value(),
 		"running":     s.m.Running.Value(),
+		"inflight":    s.m.Inflight.Value(),
+		"queue_cap":   s.m.QueueCap.Value(),
 	})
 }
 

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pollUntil spins until cond holds or the test deadline budget runs out.
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sendN fires n concurrent requests and returns their responses once all
+// have completed. Any request error fails the test.
+func sendN(t *testing.T, s *Service, reqs []Request) []Response {
+	t.Helper()
+	var wg sync.WaitGroup
+	resps := make([]Response, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			var err error
+			resps[i], err = s.Do(context.Background(), req)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i, req)
+	}
+	wg.Wait()
+	return resps
+}
+
+// TestBatchStopsExactlyAtMaxBatch: with MaxBatch=2 and four compatible
+// GEMMs parked behind a pinned semaphore, the dispatcher must cut two
+// batches of exactly two — the cap is a hard boundary, not a hint.
+func TestBatchStopsExactlyAtMaxBatch(t *testing.T) {
+	s := newTestService(t, Config{
+		MaxConcurrency: 1,
+		QueueDepth:     16,
+		BatchWindow:    2 * time.Second,
+		MaxBatch:       2,
+		QueueTimeout:   time.Minute,
+	})
+	// Pin the only slot so batches form from a full queue, not from
+	// arrival timing.
+	s.sem <- struct{}{}
+
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		reqs[i] = Request{Kernel: "gemm", N: 32, Seed: uint64(i + 1)}
+	}
+	done := make(chan []Response, 1)
+	go func() { done <- sendN(t, s, reqs) }()
+	pollUntil(t, "all four requests admitted", func() bool { return s.m.Accepted.Value() == 4 })
+	<-s.sem // release: the dispatcher owns batching from here
+
+	for i, r := range <-done {
+		if r.BatchSize != 2 {
+			t.Errorf("request %d: batch size %d, want exactly MaxBatch=2", i, r.BatchSize)
+		}
+	}
+	if got := s.m.Batches.Value(); got != 2 {
+		t.Errorf("batches = %d, want 2 (4 requests / MaxBatch 2)", got)
+	}
+	if got := s.m.BatchedRequests.Value(); got != 4 {
+		t.Errorf("batched requests = %d, want 4", got)
+	}
+}
+
+// TestBatchNeverMixesStrategies: two GEMMs inside one open window with
+// different ECC strategies must execute in separate batches — coalescing
+// across strategies would run one request under the other's memory
+// configuration.
+func TestBatchNeverMixesStrategies(t *testing.T) {
+	s := newTestService(t, Config{
+		MaxConcurrency: 1,
+		QueueDepth:     16,
+		BatchWindow:    2 * time.Second,
+		MaxBatch:       4,
+		QueueTimeout:   time.Minute,
+	})
+	s.sem <- struct{}{}
+
+	reqs := []Request{
+		{Kernel: "gemm", N: 32, Strategy: "W_CK", Seed: 1},
+		{Kernel: "gemm", N: 32, Strategy: "No_ECC", Seed: 2},
+	}
+	done := make(chan []Response, 1)
+	go func() { done <- sendN(t, s, reqs) }()
+	pollUntil(t, "both requests admitted", func() bool { return s.m.Accepted.Value() == 2 })
+	<-s.sem
+
+	for i, r := range <-done {
+		if r.BatchSize != 1 {
+			t.Errorf("request %d: batch size %d across strategies, want 1", i, r.BatchSize)
+		}
+	}
+	if got := s.m.Batches.Value(); got != 2 {
+		t.Errorf("batches = %d, want 2", got)
+	}
+	if got := s.m.BatchedRequests.Value(); got != 0 {
+		t.Errorf("batched requests = %d, want 0", got)
+	}
+}
+
+// TestSingleRequestBatch: with batching enabled but only one request in
+// the window, the batch closes at the window edge with size 1 — a lone
+// request pays the window latency but nothing else.
+func TestSingleRequestBatch(t *testing.T) {
+	s := newTestService(t, Config{
+		MaxConcurrency: 1,
+		QueueDepth:     8,
+		BatchWindow:    20 * time.Millisecond,
+		MaxBatch:       4,
+	})
+	resp, err := s.Do(context.Background(), Request{Kernel: "gemm", N: 32, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.BatchSize != 1 {
+		t.Errorf("batch size %d for a lone request, want 1", resp.BatchSize)
+	}
+	if got := s.m.Batches.Value(); got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+	if got := s.m.BatchedRequests.Value(); got != 0 {
+		t.Errorf("batched requests = %d, want 0", got)
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrain is the in-process abftd shutdown contract: a request
+// in flight when shutdown begins still completes with a classified
+// answer, the server's Shutdown only returns once it has, and anything
+// arriving after the service closes is refused with the typed closed
+// error — never dropped mid-ladder, never answered wrong.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{MaxConcurrency: 1, QueueDepth: 8, QueueTimeout: time.Minute})
+	ts := httptest.NewServer(NewHandler(s))
+	// Not deferred: the test closes both in drain order, like abftd's
+	// signal handler (server Shutdown first, then Service.Close).
+
+	// Pin the only slot so the HTTP request parks inside the service.
+	s.sem <- struct{}{}
+
+	inflight := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/gemm", "application/json",
+			bytes.NewReader([]byte(`{"n": 32, "seed": 3, "faults": 1}`)))
+		if err != nil {
+			t.Error(err)
+			inflight <- nil
+			return
+		}
+		inflight <- resp
+	}()
+	pollUntil(t, "request to park in the queue", func() bool { return s.m.Accepted.Value() == 1 })
+
+	// Begin graceful shutdown while the request is parked. Shutdown must
+	// block on the in-flight connection.
+	shutdownDone := make(chan error, 1)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- ts.Config.Shutdown(shutCtx) }()
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Release the slot: the parked request must complete with a
+	// classified outcome, and only then may Shutdown return.
+	<-s.sem
+	resp := <-inflight
+	if resp == nil {
+		t.Fatal("in-flight request failed")
+	}
+	var body Response
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !okOutcomes[body.Outcome] {
+		t.Fatalf("drained request: status %d outcome %q", resp.StatusCode, body.Outcome)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Now the service closes; late work is refused, typed, at both layers.
+	s.Close()
+	if _, err := s.Do(context.Background(), Request{Kernel: "gemm", N: 32, Seed: 4}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("late Do: err = %v, want ErrClosed", err)
+	}
+	req := httptest.NewRequest("POST", "/v1/gemm", bytes.NewReader([]byte(`{"n": 32, "seed": 5}`)))
+	rec := httptest.NewRecorder()
+	NewHandler(s).ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("late HTTP request: status %d, want 503", rec.Code)
+	}
+	var e errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "closed" {
+		t.Errorf("late HTTP request: kind %q, want closed", e.Kind)
+	}
+	if rec.Header().Get("Connection") != "close" {
+		t.Error("late HTTP request missing Connection: close")
+	}
+}

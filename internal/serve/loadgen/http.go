@@ -7,19 +7,32 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"coopabft/internal/serve"
 )
 
-// HTTPClient drives a live abftd over the wire, mapping the daemon's
-// status codes back onto the service's typed errors so in-process and
-// over-the-wire sweeps tally identically.
+// defaultRetryAfterCap bounds how long Do will honor a server-sent
+// Retry-After before resending a shed request.
+const defaultRetryAfterCap = 2 * time.Second
+
+// HTTPClient drives a live abftd (or abftgate) over the wire, mapping the
+// daemon's status codes back onto the service's typed errors so in-process
+// and over-the-wire sweeps tally identically.
 type HTTPClient struct {
 	// Base is the server root, e.g. http://127.0.0.1:8080.
 	Base string
 	// Client is the underlying transport (default http.DefaultClient).
 	Client *http.Client
+	// Retry429 is how many times Do resends a request the server shed
+	// with 429, honoring the server's Retry-After header (capped at
+	// RetryAfterCap) before each resend. Zero keeps the open-loop default:
+	// a 429 is data, returned immediately as ErrOverloaded.
+	Retry429 int
+	// RetryAfterCap caps the honored Retry-After delay (default 2s), so a
+	// hostile or confused server cannot park the generator.
+	RetryAfterCap time.Duration
 }
 
 func (h *HTTPClient) client() *http.Client {
@@ -29,44 +42,103 @@ func (h *HTTPClient) client() *http.Client {
 	return http.DefaultClient
 }
 
-// Do implements Doer over HTTP.
+// Do implements Doer over HTTP. With Retry429 > 0 it resends shed (429)
+// requests after honoring the capped Retry-After; all other statuses map
+// straight onto the service's typed errors.
 func (h *HTTPClient) Do(ctx context.Context, req serve.Request) (serve.Response, error) {
-	kernel := req.Kernel
 	body, err := json.Marshal(req)
 	if err != nil {
 		return serve.Response{}, err
 	}
+	for attempt := 0; ; attempt++ {
+		resp, retryAfter, err := h.post(ctx, req.Kernel, body)
+		if retryAfter >= 0 && attempt < h.Retry429 {
+			if err := sleepCtx(ctx, retryAfter); err != nil {
+				return serve.Response{}, fmt.Errorf("%w: %w", serve.ErrOverloaded, err)
+			}
+			continue
+		}
+		return resp, err
+	}
+}
+
+// post sends one attempt. retryAfter >= 0 marks a 429 whose (capped)
+// Retry-After delay the caller may honor before resending; -1 means the
+// attempt is final (success or a non-retryable error).
+func (h *HTTPClient) post(ctx context.Context, kernel string, body []byte) (serve.Response, time.Duration, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		h.Base+"/v1/"+kernel, bytes.NewReader(body))
 	if err != nil {
-		return serve.Response{}, err
+		return serve.Response{}, -1, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hresp, err := h.client().Do(hreq)
 	if err != nil {
-		return serve.Response{}, err
+		return serve.Response{}, -1, err
 	}
 	defer hresp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
 	if err != nil {
-		return serve.Response{}, err
+		return serve.Response{}, -1, err
 	}
 
 	switch hresp.StatusCode {
 	case http.StatusOK:
 		var resp serve.Response
 		if err := json.Unmarshal(payload, &resp); err != nil {
-			return serve.Response{}, fmt.Errorf("loadgen: bad response body: %w", err)
+			return serve.Response{}, -1, fmt.Errorf("loadgen: bad response body: %w", err)
 		}
-		return resp, nil
+		return resp, -1, nil
 	case http.StatusTooManyRequests:
-		return serve.Response{}, fmt.Errorf("%w: %s", serve.ErrOverloaded, wireError(payload))
+		wait := parseRetryAfter(hresp.Header.Get("Retry-After"), h.retryAfterCap())
+		return serve.Response{}, wait, fmt.Errorf("%w: %s", serve.ErrOverloaded, wireError(payload))
 	case http.StatusServiceUnavailable:
-		return serve.Response{}, fmt.Errorf("%w: %s", serve.ErrQueueTimeout, wireError(payload))
+		return serve.Response{}, -1, fmt.Errorf("%w: %s", serve.ErrQueueTimeout, wireError(payload))
 	case http.StatusBadRequest:
-		return serve.Response{}, fmt.Errorf("%w: %s", serve.ErrBadRequest, wireError(payload))
+		return serve.Response{}, -1, fmt.Errorf("%w: %s", serve.ErrBadRequest, wireError(payload))
 	default:
-		return serve.Response{}, fmt.Errorf("loadgen: HTTP %d: %s", hresp.StatusCode, wireError(payload))
+		return serve.Response{}, -1, fmt.Errorf("loadgen: HTTP %d: %s", hresp.StatusCode, wireError(payload))
+	}
+}
+
+func (h *HTTPClient) retryAfterCap() time.Duration {
+	if h.RetryAfterCap > 0 {
+		return h.RetryAfterCap
+	}
+	return defaultRetryAfterCap
+}
+
+// parseRetryAfter reads a Retry-After header — delta-seconds or an
+// HTTP-date — clamped to [0, cap]. A missing or malformed header yields a
+// small default backoff rather than an immediate hammer.
+func parseRetryAfter(v string, limit time.Duration) time.Duration {
+	d := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(v); err == nil {
+		d = time.Until(when)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
 	}
 }
 

@@ -36,6 +36,13 @@ type Config struct {
 	Duration time.Duration // per-cell send window (default 2s)
 	Timeout  time.Duration // per-request budget (default 5s)
 
+	// Requests, when > 0, sends exactly that many requests per cell
+	// (still paced at the cell's rate) instead of sending for Duration —
+	// the replayable fixed-count mode. With a fixed request count the
+	// whole sweep is a pure function of Seed, which is what the cluster
+	// determinism gate compares bit-for-bit against a direct daemon.
+	Requests int
+
 	Rates      []float64 // requests/second (default {25})
 	Kernels    []serve.Kernel
 	Strategies []core.Strategy
@@ -98,6 +105,10 @@ type Outcomes struct {
 	// Unclassified counts completed responses whose outcome is outside
 	// the ladder taxonomy — wrong answers. Must always be zero.
 	Unclassified int
+	// Retried counts completed responses a cluster gateway delivered
+	// after failing over from at least one replica (gw_retries > 0).
+	// Always zero against a bare daemon.
+	Retried int
 }
 
 // CellResult is one cell's aggregate.
@@ -113,6 +124,10 @@ type CellResult struct {
 	Restarts      int // checkpoint rollbacks
 	BatchedShare  float64
 	ThroughputRPS float64 // Completed / wall
+
+	// PerNode counts completed responses by the gateway-stamped node ID
+	// (nil against a bare daemon) — the placement spread.
+	PerNode map[string]int
 
 	P50, P95, P99, Max time.Duration
 }
@@ -176,6 +191,15 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 			if resp.BatchSize > 1 {
 				cr.BatchedShare++ // normalized after the cell drains
 			}
+			if resp.GatewayRetries > 0 {
+				cr.Retried++
+			}
+			if resp.Node != "" {
+				if cr.PerNode == nil {
+					cr.PerNode = make(map[string]int)
+				}
+				cr.PerNode[resp.Node]++
+			}
 			switch resp.Outcome {
 			case "corrected":
 				cr.Corrected++
@@ -198,7 +222,15 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	sent := uint64(0)
-	for time.Now().Before(deadline) && ctx.Err() == nil {
+	// Fixed-count mode sends exactly cfg.Requests; the open-loop default
+	// sends until the wall-clock window closes.
+	more := func() bool {
+		if cfg.Requests > 0 {
+			return sent < uint64(cfg.Requests)
+		}
+		return time.Now().Before(deadline)
+	}
+	for more() && ctx.Err() == nil {
 		seed := campaign.CellSeed(cfg.Seed, base+sent)
 		req := serve.Request{
 			Kernel:   cell.Kernel.String(),
@@ -270,8 +302,39 @@ func (r *Result) Totals() Outcomes {
 		t.QueueTimeout += c.QueueTimeout
 		t.Errors += c.Errors
 		t.Unclassified += c.Unclassified
+		t.Retried += c.Retried
 	}
 	return t
+}
+
+// Sent sums the requests fired across cells.
+func (r *Result) Sent() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.Sent
+	}
+	return n
+}
+
+// Completed sums the classified responses across cells.
+func (r *Result) Completed() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.Completed
+	}
+	return n
+}
+
+// PerNode aggregates the gateway-stamped placement spread across cells
+// (empty against a bare daemon).
+func (r *Result) PerNode() map[string]int {
+	total := make(map[string]int)
+	for _, c := range r.Cells {
+		for id, n := range c.PerNode {
+			total[id] += n
+		}
+	}
+	return total
 }
 
 // Table renders the sweep as the report the load generator prints.
@@ -289,8 +352,20 @@ func (r *Result) Table() string {
 			round(c.P50), round(c.P95), round(c.P99), c.ThroughputRPS)
 	}
 	t := r.Totals()
-	fmt.Fprintf(&b, "totals: corrected %d, restarted %d, aborted %d, overloaded %d, queue-timeout %d, errors %d, unclassified %d\n",
-		t.Corrected, t.Restarted, t.Aborted, t.Overloaded, t.QueueTimeout, t.Errors, t.Unclassified)
+	fmt.Fprintf(&b, "totals: corrected %d, restarted %d, aborted %d, overloaded %d, queue-timeout %d, errors %d, unclassified %d, retried-elsewhere %d\n",
+		t.Corrected, t.Restarted, t.Aborted, t.Overloaded, t.QueueTimeout, t.Errors, t.Unclassified, t.Retried)
+	if spread := r.PerNode(); len(spread) > 0 {
+		ids := make([]string, 0, len(spread))
+		for id := range spread {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		b.WriteString("node spread:")
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %s=%d", id, spread[id])
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }
 

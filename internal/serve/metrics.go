@@ -15,8 +15,15 @@ type Metrics struct {
 	Rejected      expvar.Int // typed ErrOverloaded rejections (429s)
 	QueueTimeouts expvar.Int // typed ErrQueueTimeout expiries
 	BadRequests   expvar.Int // normalization failures
-	QueueDepth    expvar.Int // requests currently queued
-	Running       expvar.Int // requests currently executing
+	QueueDepth    expvar.Int // gauge: requests currently queued
+	Running       expvar.Int // gauge: requests currently executing
+	// Inflight gauges admitted-but-undelivered requests (queued + running
+	// + batched-but-not-yet-classified); with QueueCap it is the
+	// backpressure signal a cluster gateway's health probe reads.
+	Inflight expvar.Int
+	// QueueCap is the configured admission queue depth (static; set by New
+	// so probes can turn QueueDepth into a fill fraction).
+	QueueCap expvar.Int
 
 	// Batching.
 	Batches         expvar.Int // execution batches dispatched
@@ -57,6 +64,8 @@ func (m *Metrics) Snapshot() map[string]any {
 		"bad_requests":     m.BadRequests.Value(),
 		"queue_depth":      m.QueueDepth.Value(),
 		"running":          m.Running.Value(),
+		"inflight":         m.Inflight.Value(),
+		"queue_cap":        m.QueueCap.Value(),
 		"batches":          m.Batches.Value(),
 		"batched_requests": m.BatchedRequests.Value(),
 		"corrected":        m.Corrected.Value(),

@@ -193,4 +193,12 @@ type Response struct {
 	BatchSize int     `json:"batch_size"`
 	QueueMS   float64 `json:"queue_ms"`
 	RunMS     float64 `json:"run_ms"`
+
+	// Node and GatewayRetries are stamped by the cluster gateway on the
+	// way back out (empty/zero when a daemon is hit directly): which
+	// backend delivered this answer and how many placement attempts it
+	// took. Retries happen only on connection failure or 503 — a delivered
+	// classification is never re-executed.
+	Node           string `json:"node,omitempty"`
+	GatewayRetries int    `json:"gw_retries,omitempty"`
 }

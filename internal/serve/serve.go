@@ -152,6 +152,7 @@ func New(cfg Config) *Service {
 		sem:   make(chan struct{}, cfg.MaxConcurrency),
 		quit:  make(chan struct{}),
 	}
+	s.m.QueueCap.Set(int64(cfg.QueueDepth))
 	s.dispatchWG.Add(1)
 	go s.dispatch()
 	return s
@@ -197,6 +198,8 @@ func (s *Service) Do(ctx context.Context, req Request) (Response, error) {
 	case s.queue <- j:
 		s.m.Accepted.Add(1)
 		s.m.QueueDepth.Add(1)
+		s.m.Inflight.Add(1)
+		defer s.m.Inflight.Add(-1)
 	default:
 		s.m.Rejected.Add(1)
 		return Response{}, fmt.Errorf("%w: depth %d", ErrOverloaded, s.cfg.QueueDepth)
