@@ -73,3 +73,55 @@ kill -INT "$n1" "$n3"
 wait "$n1"
 wait "$n3"
 wait "$n2" || true
+
+# Kill-mid-job chaos gate: three workers behind the gateway with sharding
+# on, one large GEMM job submitted through the async jobs API, and one
+# worker SIGKILLed at the first poll showing the job running with blocks
+# outstanding. The gate requires the job to finish done with the
+# bit-exact reference digest (-job-verify recomputes the product
+# client-side), recovery purely by checksum-block reconstruction
+# (reconstructions >= 1), and zero block recomputation (abftload exits
+# nonzero on recomputes > 0).
+#
+# The victim is the third worker: the shard plan is deterministic for a
+# fixed job seed and node order, and under seed 13 the third node holds
+# the 2x2 grid's data-only slot — two data blocks in different grid
+# columns, serialized by -block-concurrency 1 — so an early strike
+# always leaves at least one data block to reconstruct (a victim owning
+# completed blocks plus only checksum blocks would recover with
+# reconstructions=0, which this gate must distinguish from a recompute).
+# Striking at the first running poll, not after a completed block, keeps
+# the race window closed on loaded hosts: a starved poller that waits
+# for "1 done" can observe it only after the victim already finished
+# everything it owned.
+"$tmp/abftd" -addr 127.0.0.1:18441 -block-concurrency 1 &
+j1=$!
+"$tmp/abftd" -addr 127.0.0.1:18442 -block-concurrency 1 &
+j2=$!
+"$tmp/abftd" -addr 127.0.0.1:18443 -block-concurrency 1 &
+j3=$!
+"$tmp/abftgate" -addr 127.0.0.1:18440 \
+	-nodes "http://127.0.0.1:18441,http://127.0.0.1:18442,http://127.0.0.1:18443" \
+	-shard-threshold 64 -shard-block 256 \
+	-probe-interval 150ms -breaker-cooldown 500ms -seed 13 &
+jgate=$!
+"$tmp/abftload" -addr http://127.0.0.1:18440 -wait 10s \
+	-jobs 1 -job-n 512 -job-verify -job-timeout 120s -seed 13 \
+	-job-kill-pid "$j3"
+
+# Cross-check the same invariants from the gateway's own counters
+# (expvar renders compact JSON): reconstructions >= 1, block_recomputes
+# == 0.
+vars=$(curl -s http://127.0.0.1:18440/debug/vars)
+echo "$vars" | grep -q '"block_recomputes":0'
+if echo "$vars" | grep -q '"reconstructions":0'; then
+	echo "gateway metrics report zero reconstructions" >&2
+	exit 1
+fi
+
+kill -INT "$jgate"
+wait "$jgate"
+kill -INT "$j1" "$j2"
+wait "$j1"
+wait "$j2"
+wait "$j3" || true

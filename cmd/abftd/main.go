@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST /v1/gemm, /v1/cholesky, /v1/cg   JSON compute requests
+//	POST /v1/block                        one block task of a sharded gateway job
 //	GET  /healthz                         liveness + queue snapshot
 //	GET  /debug/vars                      expvar counters (serve.*)
 //	GET  /debug/pprof/...                 profiling
@@ -49,6 +50,8 @@ func run() error {
 		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "how long to hold a small-GEMM batch open (0 disables batching)")
 		maxBatch     = flag.Int("max-batch", 8, "max requests per execution batch")
 		maxN         = flag.Int("max-n", 192, "largest accepted gemm/cholesky dimension")
+		maxJobN      = flag.Int("max-job-n", 2048, "largest accepted sharded-job dimension on /v1/block")
+		blockConc    = flag.Int("block-concurrency", 0, "simultaneously executing block tasks (default max-concurrency)")
 		parallelism  = flag.Int("parallelism", 1, "mat worker count per kernel (throughput comes from request concurrency)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	)
@@ -60,14 +63,16 @@ func run() error {
 	m := &serve.Metrics{}
 	m.Publish()
 	svc := serve.New(serve.Config{
-		MaxConcurrency: *concurrency,
-		QueueDepth:     *queueDepth,
-		QueueTimeout:   *queueTimeout,
-		BatchWindow:    *batchWindow,
-		MaxBatch:       *maxBatch,
-		MaxN:           *maxN,
-		Parallelism:    *parallelism,
-		Metrics:        m,
+		MaxConcurrency:   *concurrency,
+		QueueDepth:       *queueDepth,
+		QueueTimeout:     *queueTimeout,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		MaxN:             *maxN,
+		MaxJobN:          *maxJobN,
+		BlockConcurrency: *blockConc,
+		Parallelism:      *parallelism,
+		Metrics:          m,
 	})
 
 	mux := http.NewServeMux()

@@ -8,11 +8,19 @@
 // Endpoints:
 //
 //	POST /v1/gemm, /v1/cholesky, /v1/cg   forwarded compute requests
+//	POST   /v1/jobs                       submit an async job (202 + status)
+//	GET    /v1/jobs/{id}                  poll a job's status/result
+//	DELETE /v1/jobs/{id}                  cancel a job
 //	GET  /healthz                         gateway liveness + per-node status
 //	POST /admin/drain?node=ID             take a node out of placement
 //	POST /admin/rejoin?node=ID            return a drained node to placement
 //	GET  /debug/vars                      expvar counters (cluster.*)
 //	GET  /debug/pprof/...                 profiling
+//
+// GEMM jobs at or above -shard-threshold are split into a 2D grid of block
+// tasks with dedicated checksum-block tasks on distinct nodes; a lost
+// worker's blocks are reconstructed algebraically from the survivors, never
+// recomputed. Smaller jobs pass through the sync forwarding path.
 //
 // Nodes are given as a comma-separated list of base URLs, each optionally
 // restricted to an ECC-capability set:
@@ -63,6 +71,11 @@ func run() error {
 		breakerCooldown = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before the next trial")
 		seed            = flag.Uint64("seed", 1, "retry-jitter seed")
 		drain           = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		shardThreshold  = flag.Int("shard-threshold", 256, "GEMM jobs with n >= this are sharded into block tasks")
+		shardBlock      = flag.Int("shard-block", 128, "target block extent when choosing the shard grid")
+		maxJobN         = flag.Int("max-job-n", 2048, "largest admitted job dimension")
+		maxJobs         = flag.Int("max-jobs", 128, "job records held before submissions are shed")
+		jobRetention    = flag.Duration("job-retention", 10*time.Minute, "how long terminal job records stay pollable")
 	)
 	flag.Parse()
 
@@ -87,6 +100,11 @@ func run() error {
 		BreakerCooldown: *breakerCooldown,
 		Seed:            *seed,
 		Metrics:         m,
+		ShardThreshold:  *shardThreshold,
+		ShardBlock:      *shardBlock,
+		MaxJobN:         *maxJobN,
+		MaxJobs:         *maxJobs,
+		JobRetention:    *jobRetention,
 	})
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -58,6 +59,12 @@ func run() error {
 		retryCap   = flag.Duration("retry-after-cap", 2*time.Second, "upper bound on honored Retry-After waits")
 		minDone    = flag.Float64("min-complete", 0, "fail unless at least this fraction of sent requests completed")
 		benchOut   = flag.String("bench-out", "", "write machine-readable results (e.g. BENCH_serve.json)")
+
+		jobs       = flag.Int("jobs", 0, "run this many async jobs via /v1/jobs instead of the rate sweep")
+		jobN       = flag.Int("job-n", 256, "job GEMM dimension")
+		jobVerify  = flag.Bool("job-verify", false, "recompute the reference product locally and require a bit-digest match")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job budget, submit through terminal state")
+		jobKillPID = flag.Int("job-kill-pid", 0, "SIGKILL this pid once a job reports running with blocks outstanding (chaos smoke); requires reconstructions >= 1 and recomputes == 0")
 	)
 	flag.Parse()
 
@@ -107,6 +114,9 @@ func run() error {
 			return err
 		}
 	}
+	if *jobs > 0 {
+		return runJobs(ctx, client, *jobs, *jobN, *seed, *jobTimeout, *jobVerify, *jobKillPID)
+	}
 	res, err := loadgen.Run(ctx, client, cfg)
 	if err != nil {
 		return err
@@ -137,6 +147,65 @@ func run() error {
 				100*frac, res.Sent(), 100**minDone)
 		}
 	}
+	return nil
+}
+
+// runJobs is the async-jobs mode: submit -jobs sharded GEMM jobs, poll
+// each to a terminal state, optionally SIGKILL a worker mid-job, and apply
+// the chaos gates — every job done, digests matching, and (with a kill)
+// recovery by reconstruction only.
+func runJobs(ctx context.Context, client *loadgen.HTTPClient, jobs, n int, seed uint64, timeout time.Duration, verify bool, killPID int) error {
+	var killed atomic.Bool
+	cfg := loadgen.JobsConfig{
+		Jobs:    jobs,
+		N:       n,
+		Seed:    seed,
+		Timeout: timeout,
+		Verify:  verify,
+	}
+	if killPID > 0 {
+		cfg.OnProgress = func(st serve.JobStatus) {
+			// Strike at the first poll that shows the job running with
+			// blocks outstanding. Dispatch is immediate on run start, so
+			// this is mid-flight; waiting for a completed block instead
+			// would race the victim on a loaded host — it may finish all
+			// its tasks before a starved poller observes the first one.
+			if st.State == serve.JobRunning &&
+				st.BlocksDone < st.BlocksTotal && killed.CompareAndSwap(false, true) {
+				fmt.Printf("job %s: %d/%d blocks done, SIGKILL pid %d\n",
+					st.ID, st.BlocksDone, st.BlocksTotal, killPID)
+				if err := syscall.Kill(killPID, syscall.SIGKILL); err != nil {
+					fmt.Fprintf(os.Stderr, "abftload: kill %d: %v\n", killPID, err)
+				}
+			}
+		}
+	}
+	rep, err := loadgen.RunJobs(ctx, client, cfg)
+	for _, j := range rep.Jobs {
+		st := j.Status
+		fmt.Printf("job %-8s %-9s n=%-5d sharded=%-5v blocks=%d/%d reconstructions=%d recomputes=%d digest=%s wall=%.0fms\n",
+			st.ID, st.State, st.N, st.Sharded, st.BlocksDone, st.BlocksTotal,
+			st.Reconstructions, st.Recomputes, st.Digest, j.WallMS)
+	}
+	if err != nil {
+		return err
+	}
+	if err := rep.Gate(); err != nil {
+		return err
+	}
+	if killPID > 0 {
+		if !killed.Load() {
+			return fmt.Errorf("kill requested but no mid-flight poll observed — job too fast to strike")
+		}
+		if rep.Reconstructions < 1 {
+			return fmt.Errorf("worker killed mid-job but reconstructions=%d, want >= 1", rep.Reconstructions)
+		}
+	}
+	if rep.Recomputes > 0 {
+		return fmt.Errorf("recomputes=%d, want 0 (lost blocks must be reconstructed, not re-executed)", rep.Recomputes)
+	}
+	fmt.Printf("jobs: %d done, %d sharded, %d reconstructions, 0 recomputes\n",
+		rep.Done, rep.Sharded, rep.Reconstructions)
 	return nil
 }
 

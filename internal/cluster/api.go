@@ -27,6 +27,9 @@ type errorBody struct {
 // endpoints:
 //
 //	POST /v1/gemm, /v1/cholesky, /v1/cg   forwarded compute requests
+//	POST   /v1/jobs                       submit an async job (202 + status)
+//	GET    /v1/jobs/{id}                  poll a job's status/result
+//	DELETE /v1/jobs/{id}                  cancel a job
 //	GET  /healthz                         gateway liveness + per-node status
 //	POST /admin/drain?node=ID             take a node out of placement
 //	POST /admin/rejoin?node=ID            return a drained node to placement
@@ -37,6 +40,9 @@ func NewHandler(g *Gateway) http.Handler {
 	for _, k := range serve.Kernels {
 		mux.HandleFunc("POST /v1/"+k.String(), g.handleKernel(k.String()))
 	}
+	mux.HandleFunc("POST /v1/jobs", g.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleJobCancel)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("POST /admin/drain", g.handleAdmin(g.Drain, "draining"))
 	mux.HandleFunc("POST /admin/rejoin", g.handleAdmin(g.Rejoin, "rejoined"))

@@ -92,6 +92,30 @@ type Config struct {
 	AbortWindow       int
 	AbortTripFraction float64
 
+	// ShardThreshold is the GEMM size at which a job submitted via the
+	// jobs API splits into checksum-block tasks across the pool instead of
+	// forwarding whole (default 256). Requires >= 3 eligible workers;
+	// smaller pools pass through.
+	ShardThreshold int
+	// MaxJobN caps jobs-API problem sizes — and, as the gateway's shared
+	// admission bound, the largest n the sync path will forward (default
+	// 2048).
+	MaxJobN int
+	// MaxFaults caps per-request fault injection at gateway admission,
+	// mirroring the node-side default (default 8).
+	MaxFaults int
+	// ShardBlock is the target block edge when choosing the grid: an n×n
+	// job aims for ceil(n/ShardBlock) block rows/columns, clamped to
+	// [2, min(8, workers-1)] (default 128).
+	ShardBlock int
+	// JobRetention is how long a terminal job stays pollable before
+	// eviction (default 10m).
+	JobRetention time.Duration
+	// MaxJobs caps tracked job records; at capacity the oldest terminal
+	// record is evicted, and if every record is live, submission sheds
+	// (default 128).
+	MaxJobs int
+
 	// Seed feeds the deterministic retry jitter.
 	Seed uint64
 	// Client is the forwarding transport (default: a dedicated client
@@ -130,6 +154,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AbortTripFraction <= 0 || c.AbortTripFraction > 1 {
 		c.AbortTripFraction = 0.9
+	}
+	if c.ShardThreshold <= 0 {
+		c.ShardThreshold = 256
+	}
+	if c.MaxJobN <= 0 {
+		c.MaxJobN = 2048
+	}
+	if c.MaxFaults <= 0 {
+		c.MaxFaults = 8
+	}
+	if c.ShardBlock <= 0 {
+		c.ShardBlock = 128
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 10 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 128
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 2 * time.Minute}
@@ -182,6 +224,14 @@ type Gateway struct {
 	quit      chan struct{}
 	probeWG   sync.WaitGroup
 	closeOnce sync.Once
+
+	// Async jobs (the /v1/jobs surface).
+	jobMu     sync.Mutex
+	jobs      map[string]*jobRecord
+	jobSeq    uint64
+	jobCtx    context.Context
+	jobCancel context.CancelFunc
+	jobWG     sync.WaitGroup
 }
 
 // New builds a gateway and starts its health prober.
@@ -195,7 +245,9 @@ func New(cfg Config) (*Gateway, error) {
 		m:    cfg.Metrics,
 		byID: make(map[string]*node, len(cfg.Nodes)),
 		quit: make(chan struct{}),
+		jobs: make(map[string]*jobRecord),
 	}
+	g.jobCtx, g.jobCancel = context.WithCancel(context.Background())
 	for _, nc := range cfg.Nodes {
 		base := strings.TrimRight(nc.BaseURL, "/")
 		if base == "" {
@@ -239,11 +291,16 @@ func New(cfg Config) (*Gateway, error) {
 // Metrics returns the gateway's counters.
 func (g *Gateway) Metrics() *Metrics { return g.m }
 
-// Close stops the health prober. In-flight forwards are unaffected — the
-// HTTP server draining above the gateway bounds them.
+// Close stops the health prober and cancels running jobs, waiting for
+// their coordinators to unwind. In-flight synchronous forwards are
+// unaffected — the HTTP server draining above the gateway bounds them.
 func (g *Gateway) Close() {
-	g.closeOnce.Do(func() { close(g.quit) })
+	g.closeOnce.Do(func() {
+		close(g.quit)
+		g.jobCancel()
+	})
 	g.probeWG.Wait()
+	g.jobWG.Wait()
 }
 
 // forwardClass discriminates one placement attempt's result.
@@ -262,30 +319,34 @@ const (
 // load generator drives a cluster exactly like a single daemon.
 func (g *Gateway) Do(ctx context.Context, req serve.Request) (serve.Response, error) {
 	g.m.Requests.Add(1)
-	kernel, err := serve.ParseKernel(req.Kernel)
+	// One admission entrypoint for the whole stack: the gateway validates
+	// with the same serve.ParseRequest the nodes use (against its own,
+	// looser limits), so a 400 means the same thing at every layer and a
+	// malformed request never ties up a placement.
+	p, err := serve.ParseRequest(g.jobLimits(), req)
 	if err != nil {
 		g.m.BadRequests.Add(1)
 		return serve.Response{}, err
 	}
-	strategy := serve.DefaultStrategy
-	if req.Strategy != "" {
-		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
-			g.m.BadRequests.Add(1)
-			return serve.Response{}, fmt.Errorf("%w: %w", serve.ErrBadRequest, err)
-		}
+	// Route construction refuses non-wire kernel values rather than ever
+	// splicing the Kernel(%d) diagnostic fallback into a URL.
+	wire, err := p.Kernel.Wire()
+	if err != nil {
+		g.m.BadRequests.Add(1)
+		return serve.Response{}, err
 	}
 
 	capable := make([]*node, 0, len(g.nodes))
 	for _, nd := range g.nodes {
-		if nd.supports(strategy) {
+		if nd.supports(p.Strategy) {
 			capable = append(capable, nd)
 		}
 	}
 	if len(capable) == 0 {
 		g.m.NoNodes.Add(1)
-		return serve.Response{}, fmt.Errorf("%w: %s", ErrNoNodes, strategy)
+		return serve.Response{}, fmt.Errorf("%w: %s", ErrNoNodes, p.Strategy)
 	}
-	ranked := rank(capable, placementKey(kernel, sizeClass(sizeOf(kernel, req))))
+	ranked := rank(capable, placementKey(p.Kernel, sizeClass(p.Size())))
 
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -322,7 +383,7 @@ func (g *Gateway) Do(ctx context.Context, req serve.Request) (serve.Response, er
 		if forwards > 0 {
 			g.m.Retries.Add(1)
 		}
-		resp, class, err := g.forward(ctx, nd, kernel.String(), body)
+		resp, class, err := g.forward(ctx, nd, wire, body)
 		nd.release()
 		forwards++
 		switch class {

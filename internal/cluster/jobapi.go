@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"coopabft/internal/serve"
+)
+
+// Jobs API handlers. Routes (wired in NewHandler):
+//
+//	POST   /v1/jobs       submit → 202 Accepted + JobStatus
+//	GET    /v1/jobs/{id}  poll → 200 + JobStatus (404 after eviction)
+//	DELETE /v1/jobs/{id}  cancel → 200 + JobStatus at call time
+//
+// The wire contract — JobStatus's shape and its field-stability
+// guarantees — is documented on serve.JobStatus, next to the types.
+
+// handleJobSubmit decodes a serve.Request body (the same shape the sync
+// kernel routes take, kernel named in the body) and admits it as a job.
+func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.Request
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	st, err := g.SubmitJob(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, serve.ErrBadRequest):
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// handleJobGet returns a job's current status.
+func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, err := g.JobStatusOf(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "unknown_job", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobCancel requests cancellation and returns the status at call
+// time; clients poll GET for the terminal state.
+func (g *Gateway) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := g.CancelJob(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "unknown_job", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

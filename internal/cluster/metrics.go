@@ -26,6 +26,23 @@ type Metrics struct {
 	Restarted expvar.Int
 	Aborted   expvar.Int
 
+	// Async jobs (the /v1/jobs surface).
+	JobsSubmitted   expvar.Int // jobs admitted
+	JobsCompleted   expvar.Int // jobs that reached "done"
+	JobsFailed      expvar.Int // jobs that reached "failed"
+	JobsCancelled   expvar.Int // jobs that reached "cancelled"
+	JobsPassthrough expvar.Int // jobs forwarded whole (below shard threshold)
+
+	// Sharded execution.
+	BlockTasksDispatched expvar.Int // block tasks delivered by workers
+	ChecksumTasks        expvar.Int // of those, dedicated checksum-block tasks
+	// Reconstructions counts blocks recovered algebraically from checksum
+	// blocks after a node loss; BlockRecomputes counts the last-resort
+	// re-executions when reconstruction was impossible. The kill-mid-job
+	// chaos gate requires Reconstructions >= 1 with BlockRecomputes == 0.
+	Reconstructions expvar.Int
+	BlockRecomputes expvar.Int
+
 	mu    sync.Mutex
 	nodes map[string]*NodeMetrics
 }
@@ -84,6 +101,16 @@ func (m *Metrics) Snapshot() map[string]any {
 		"corrected":    m.Corrected.Value(),
 		"restarted":    m.Restarted.Value(),
 		"aborted":      m.Aborted.Value(),
+
+		"jobs_submitted":         m.JobsSubmitted.Value(),
+		"jobs_completed":         m.JobsCompleted.Value(),
+		"jobs_failed":            m.JobsFailed.Value(),
+		"jobs_cancelled":         m.JobsCancelled.Value(),
+		"jobs_passthrough":       m.JobsPassthrough.Value(),
+		"block_tasks_dispatched": m.BlockTasksDispatched.Value(),
+		"checksum_tasks":         m.ChecksumTasks.Value(),
+		"reconstructions":        m.Reconstructions.Value(),
+		"block_recomputes":       m.BlockRecomputes.Value(),
 	}
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.nodes))

@@ -54,22 +54,3 @@ func rank(nodes []*node, key uint64) []*node {
 	})
 	return ranked
 }
-
-// sizeOf mirrors the serve layer's problem-size defaults so gateway
-// placement and node admission agree on the size class.
-func sizeOf(k serve.Kernel, req serve.Request) int {
-	if k == serve.KernelCG {
-		nx, ny := req.NX, req.NY
-		if nx == 0 {
-			nx = 16
-		}
-		if ny == 0 {
-			ny = 16
-		}
-		return nx * ny
-	}
-	if req.N == 0 {
-		return 64
-	}
-	return req.N
-}

@@ -81,18 +81,26 @@ func TestRankRendezvousProperty(t *testing.T) {
 	}
 }
 
-// TestSizeOfDefaults mirrors the serve layer's defaults.
-func TestSizeOfDefaults(t *testing.T) {
-	if got := sizeOf(serve.KernelGEMM, serve.Request{}); got != 64 {
-		t.Errorf("gemm default size = %d, want 64", got)
-	}
-	if got := sizeOf(serve.KernelCholesky, serve.Request{N: 96}); got != 96 {
-		t.Errorf("cholesky size = %d, want 96", got)
-	}
-	if got := sizeOf(serve.KernelCG, serve.Request{}); got != 256 {
-		t.Errorf("cg default size = %d, want 256", got)
-	}
-	if got := sizeOf(serve.KernelCG, serve.Request{NX: 8, NY: 4}); got != 32 {
-		t.Errorf("cg size = %d, want 32", got)
+// TestPlacementSizeDefaults: gateway placement sizes come from the shared
+// serve.ParseRequest entrypoint, so its defaults and node admission agree
+// on the size class by construction.
+func TestPlacementSizeDefaults(t *testing.T) {
+	limits := serve.Limits{MaxN: 2048, MaxFaults: 8}
+	for _, tc := range []struct {
+		req  serve.Request
+		want int
+	}{
+		{serve.Request{Kernel: "gemm"}, 64},
+		{serve.Request{Kernel: "cholesky", N: 96}, 96},
+		{serve.Request{Kernel: "cg"}, 256},
+		{serve.Request{Kernel: "cg", NX: 8, NY: 4}, 32},
+	} {
+		p, err := serve.ParseRequest(limits, tc.req)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.req, err)
+		}
+		if got := p.Size(); got != tc.want {
+			t.Errorf("%+v: size = %d, want %d", tc.req, got, tc.want)
+		}
 	}
 }

@@ -23,6 +23,7 @@ type errorBody struct {
 //	POST /v1/gemm      run FT-DGEMM
 //	POST /v1/cholesky  run FT-Cholesky
 //	POST /v1/cg        run FT-CG
+//	POST /v1/block     run one sharded-job block task
 //	GET  /healthz      liveness + queue snapshot
 //
 // Debug endpoints (/debug/vars, /debug/pprof) are the daemon's business —
@@ -32,6 +33,7 @@ func NewHandler(s *Service) http.Handler {
 	for _, k := range Kernels {
 		mux.HandleFunc("POST /v1/"+k.String(), s.handleKernel(k.String()))
 	}
+	mux.HandleFunc("POST /v1/block", s.handleBlock)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -65,6 +67,35 @@ func (s *Service) handleKernel(kernel string) http.HandlerFunc {
 		default:
 			writeErr(w, http.StatusInternalServerError, "internal", err.Error())
 		}
+	}
+}
+
+// blockMaxBodyBytes bounds block-task bodies: the grid splits scale with
+// the job size, so the limit is looser than the interactive one.
+const blockMaxBodyBytes = 1 << 20
+
+// handleBlock decodes and runs one sharded-job block task, mapping the
+// same typed errors onto the same status codes as the kernel routes.
+func (s *Service) handleBlock(w http.ResponseWriter, r *http.Request) {
+	var task BlockTask
+	dec := json.NewDecoder(io.LimitReader(r.Body, blockMaxBodyBytes))
+	if err := dec.Decode(&task); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	res, err := s.DoBlock(r.Context(), task)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrBadRequest):
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, ErrQueueTimeout):
+		writeErr(w, http.StatusServiceUnavailable, "queue_timeout", err.Error())
+	case errors.Is(err, ErrClosed):
+		w.Header().Set("Connection", "close")
+		writeErr(w, http.StatusServiceUnavailable, "closed", err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
 

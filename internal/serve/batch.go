@@ -9,9 +9,9 @@ import (
 // same kernel shape, same problem size, same ECC strategy — the serving
 // analogue of GEMM batching, where a worker runs the coalesced group
 // back-to-back on one concurrency slot with warm packing buffers.
-func compatible(a, b parsed) bool {
-	return a.kernel == KernelGEMM && b.kernel == KernelGEMM &&
-		a.n == b.n && a.strategy == b.strategy
+func compatible(a, b Parsed) bool {
+	return a.Kernel == KernelGEMM && b.Kernel == KernelGEMM &&
+		a.N == b.N && a.Strategy == b.Strategy
 }
 
 // dispatch is the scheduling loop: pull the next job, optionally hold a
@@ -34,7 +34,7 @@ func (s *Service) dispatch() {
 			}
 		}
 		batch := []*job{first}
-		if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 && first.req.kernel == KernelGEMM {
+		if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 && first.req.Kernel == KernelGEMM {
 			batch, pending = s.collect(first)
 		}
 		select {

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"coopabft/internal/abft"
+	"coopabft/internal/mat"
+)
+
+// Block-task roles. A sharded job's grid has data blocks plus dedicated
+// checksum blocks; the role tells the worker which panel to compute.
+const (
+	// BlockData computes one data block C[bi,bj] of the sharded product.
+	BlockData = "data"
+	// BlockColCheck computes grid column bj's checksum pair (GF(2) parity
+	// + numeric sum) by folding every data block in that column.
+	BlockColCheck = "col-check"
+	// BlockRowCheck computes grid row bi's checksum pair by folding every
+	// data block in that row.
+	BlockRowCheck = "row-check"
+)
+
+// BlockTask is one unit of a sharded job, in wire (JSON) form: compute one
+// block of C = A·B where A = Random(n,n,seed) and B = Random(n,n,seed+1) —
+// the same operands the single-node DGEMM path uses, so a sharded answer
+// can be compared bit-for-bit against the direct one. RowSplits/ColSplits
+// carry the job's full grid so every worker derives identical extents.
+type BlockTask struct {
+	JobID     string `json:"job_id"`
+	Kernel    string `json:"kernel"`
+	N         int    `json:"n"`
+	Seed      uint64 `json:"seed"`
+	Role      string `json:"role"`
+	RowSplits []int  `json:"row_splits"`
+	ColSplits []int  `json:"col_splits"`
+	// BI, BJ locate the task on the grid: data uses both; col-check uses
+	// BJ; row-check uses BI.
+	BI        int `json:"bi"`
+	BJ        int `json:"bj"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// BlockResult carries a computed block back. Block (and, for checksum
+// roles, Sum) hold the block's float64 elements row-major as little-endian
+// bit patterns (JSON base64) — parity blocks are raw GF(2) words whose bit
+// patterns need not be valid numbers, so they cannot ride in JSON floats.
+type BlockResult struct {
+	JobID string  `json:"job_id"`
+	Role  string  `json:"role"`
+	BI    int     `json:"bi"`
+	BJ    int     `json:"bj"`
+	Rows  int     `json:"rows"`
+	Cols  int     `json:"cols"`
+	Block []byte  `json:"block"`
+	Sum   []byte  `json:"sum,omitempty"`
+	RunMS float64 `json:"run_ms"`
+}
+
+// blockLimits derives the block-task admission bounds: sharded jobs may be
+// much larger than interactive requests, so they get their own size cap.
+func (c Config) blockLimits() Limits { return Limits{MaxN: c.MaxJobN, MaxFaults: c.MaxFaults} }
+
+// parseBlockTask funnels a block task through the shared admission
+// entrypoint (ParseRequest, so the 400 taxonomy is the daemon's), then
+// validates the grid geometry on top.
+func parseBlockTask(l Limits, t BlockTask) (Parsed, abft.BlockGrid, error) {
+	var g abft.BlockGrid
+	p, err := ParseRequest(l, Request{Kernel: t.Kernel, N: t.N, Seed: t.Seed})
+	if err != nil {
+		return p, g, err
+	}
+	if p.Kernel != KernelGEMM {
+		return p, g, fmt.Errorf("%w: block tasks support gemm only, got %s", ErrBadRequest, p.Kernel)
+	}
+	g = abft.BlockGrid{N: p.N, RowSplits: t.RowSplits, ColSplits: t.ColSplits}
+	if err := g.Validate(); err != nil {
+		return p, g, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	switch t.Role {
+	case BlockData:
+		if t.BI < 0 || t.BI >= g.Rows() || t.BJ < 0 || t.BJ >= g.Cols() {
+			return p, g, fmt.Errorf("%w: data block (%d,%d) outside %dx%d grid",
+				ErrBadRequest, t.BI, t.BJ, g.Rows(), g.Cols())
+		}
+	case BlockColCheck:
+		if t.BJ < 0 || t.BJ >= g.Cols() {
+			return p, g, fmt.Errorf("%w: col-check %d outside %d columns", ErrBadRequest, t.BJ, g.Cols())
+		}
+	case BlockRowCheck:
+		if t.BI < 0 || t.BI >= g.Rows() {
+			return p, g, fmt.Errorf("%w: row-check %d outside %d rows", ErrBadRequest, t.BI, g.Rows())
+		}
+	default:
+		return p, g, fmt.Errorf("%w: unknown block role %q", ErrBadRequest, t.Role)
+	}
+	return p, g, nil
+}
+
+// DoBlock admits and executes one block task. Admission mirrors Do's
+// taxonomy — ErrBadRequest for malformed tasks, ErrQueueTimeout when no
+// block slot frees within the queue budget, ErrClosed at shutdown — but
+// block tasks use their own semaphore so a large sharded job cannot starve
+// the interactive request path.
+func (s *Service) DoBlock(ctx context.Context, t BlockTask) (BlockResult, error) {
+	p, grid, err := parseBlockTask(s.cfg.blockLimits(), t)
+	if err != nil {
+		s.m.BlockRejected.Add(1)
+		return BlockResult{}, err
+	}
+	if t.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(t.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	wait := time.NewTimer(s.cfg.QueueTimeout)
+	defer wait.Stop()
+	select {
+	case s.blockSem <- struct{}{}:
+	case <-wait.C:
+		s.m.BlockShed.Add(1)
+		return BlockResult{}, fmt.Errorf("%w: no block slot within %s", ErrQueueTimeout, s.cfg.QueueTimeout)
+	case <-ctx.Done():
+		s.m.BlockShed.Add(1)
+		return BlockResult{}, fmt.Errorf("%w: %w", ErrQueueTimeout, context.Cause(ctx))
+	case <-s.quit:
+		return BlockResult{}, ErrClosed
+	}
+	defer func() { <-s.blockSem }()
+
+	start := time.Now()
+	res, err := computeBlock(p, grid, t)
+	if err != nil {
+		s.m.BlockRejected.Add(1)
+		return BlockResult{}, err
+	}
+	s.m.BlockTasks.Add(1)
+	res.JobID, res.Role, res.BI, res.BJ = t.JobID, t.Role, t.BI, t.BJ
+	res.RunMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.m.BlockRunMSSum.Add(res.RunMS)
+	return res, nil
+}
+
+// computeBlock evaluates the task's panel. Data blocks are one MulAddInto
+// over views of the full operands — by the mat kernel's ascending-k
+// contract, bit-identical to the same region of the single-node product.
+// Checksum roles compute each sibling block the same way and fold, so
+// their parity is over exactly the bits the data workers produced.
+func computeBlock(p Parsed, grid abft.BlockGrid, t BlockTask) (BlockResult, error) {
+	a := mat.Random(p.N, p.N, p.Seed)
+	b := mat.Random(p.N, p.N, p.Seed+1)
+	one := func(bi, bj int) *mat.Matrix {
+		r0, r1 := grid.RowSpan(bi)
+		c0, c1 := grid.ColSpan(bj)
+		out := mat.New(r1-r0, c1-c0)
+		mat.MulAddInto(out, a.View(r0, 0, r1-r0, p.N), b.View(0, c0, p.N, c1-c0))
+		return out
+	}
+
+	switch t.Role {
+	case BlockData:
+		blk := one(t.BI, t.BJ)
+		return BlockResult{Rows: blk.Rows, Cols: blk.Cols, Block: abft.PackBlock(blk)}, nil
+	case BlockColCheck:
+		c0, c1 := grid.ColSpan(t.BJ)
+		col := make([]*mat.Matrix, 0, grid.Rows())
+		for bi := 0; bi < grid.Rows(); bi++ {
+			col = append(col, one(bi, t.BJ))
+		}
+		parity, sum := abft.EncodeChecksumBlocks(col, grid.MaxRowSpan(), c1-c0)
+		return BlockResult{Rows: parity.Rows, Cols: parity.Cols,
+			Block: abft.PackBlock(parity), Sum: abft.PackBlock(sum)}, nil
+	default: // BlockRowCheck; parseBlockTask rejected everything else
+		r0, r1 := grid.RowSpan(t.BI)
+		row := make([]*mat.Matrix, 0, grid.Cols())
+		for bj := 0; bj < grid.Cols(); bj++ {
+			row = append(row, one(t.BI, bj))
+		}
+		parity, sum := abft.EncodeChecksumBlocks(row, r1-r0, grid.MaxColSpan())
+		return BlockResult{Rows: parity.Rows, Cols: parity.Cols,
+			Block: abft.PackBlock(parity), Sum: abft.PackBlock(sum)}, nil
+	}
+}

@@ -23,9 +23,9 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 	run := time.Since(start)
 
 	resp := Response{
-		Kernel:       j.req.kernel.String(),
-		N:            j.req.size(),
-		Strategy:     j.req.strategy.String(),
+		Kernel:       j.req.Kernel.String(),
+		N:            j.req.Size(),
+		Strategy:     j.req.Strategy.String(),
 		Outcome:      rep.Outcome.String(),
 		Injected:     rep.Injected,
 		HWCorrected:  int(rep.HWCorrected),
@@ -68,16 +68,16 @@ func (s *Service) runLadder(j *job) (rep recovery.Report) {
 	}()
 
 	p := j.req
-	rt := core.NewRuntime(machine.ScaledConfig(32), p.strategy, int64(p.seed))
+	rt := core.NewRuntime(machine.ScaledConfig(32), p.Strategy, int64(p.Seed))
 	var w recovery.Workload
 	var err error
-	switch p.kernel {
+	switch p.Kernel {
 	case KernelCholesky:
-		w, err = recovery.NewCholeskyWorkload(rt, p.n, p.seed)
+		w, err = recovery.NewCholeskyWorkload(rt, p.N, p.Seed)
 	case KernelCG:
-		w, err = recovery.NewCGWorkload(rt, p.nx, p.ny, p.seed)
+		w, err = recovery.NewCGWorkload(rt, p.NX, p.NY, p.Seed)
 	default:
-		w, err = recovery.NewDGEMMWorkload(rt, p.n, p.seed)
+		w, err = recovery.NewDGEMMWorkload(rt, p.N, p.Seed)
 	}
 	if err != nil {
 		return recovery.Report{Outcome: recovery.Aborted, Err: err}
@@ -96,20 +96,20 @@ func (s *Service) runLadder(j *job) (rep recovery.Report) {
 // injectionPlan derives the request's fault schedule from its seed — the
 // same splitmix stream discipline the soak harness uses, so a request
 // replayed with the same seed injects the same faults at the same ticks.
-func injectionPlan(p parsed, w recovery.Workload) []recovery.Injection {
-	if p.faults <= 0 {
+func injectionPlan(p Parsed, w recovery.Workload) []recovery.Injection {
+	if p.Faults <= 0 {
 		return nil
 	}
 	targets := w.InjectTargets()
 	steps := w.Steps()
-	st := p.seed
+	st := p.Seed
 	next := func() uint64 { st++; return campaign.Splitmix64(st) }
-	plan := make([]recovery.Injection, 0, p.faults)
-	for e := 0; e < p.faults; e++ {
+	plan := make([]recovery.Injection, 0, p.Faults)
+	for e := 0; e < p.Faults; e++ {
 		ti := int(next() % uint64(len(targets)))
 		plan = append(plan, recovery.Injection{
 			Tick:   int(next() % uint64(steps)),
-			Kind:   p.kind,
+			Kind:   p.Kind,
 			Target: ti,
 			Elem:   int(next() % uint64(len(targets[ti].T.Data))),
 		})

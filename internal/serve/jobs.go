@@ -1,0 +1,75 @@
+package serve
+
+// Versioned async jobs API — wire contract.
+//
+// The gateway fronts sharded execution with three routes:
+//
+//	POST   /v1/jobs       submit (body: Request) → 202 + JobStatus (State "queued")
+//	GET    /v1/jobs/{id}  poll → 200 + JobStatus
+//	DELETE /v1/jobs/{id}  cancel → 200 + JobStatus (no-op once terminal)
+//
+// Field-stability guarantees, by analogy with the /v1/{gemm,cholesky,cg}
+// wire contract: within the /v1 prefix,
+//
+//   - existing JSON field names, types, and the State value set below are
+//     frozen — clients may switch on them;
+//   - new fields may be added at any time — clients must ignore unknown
+//     fields;
+//   - fields tagged omitempty may be absent; absence means zero, never a
+//     different meaning;
+//   - any breaking change ships under a new version prefix (/v2), never by
+//     mutating /v1.
+//
+// These types live in package serve (not cluster) so the load generator
+// and other clients share them without importing the scheduler.
+
+// Job states. Terminal states are done, failed, and cancelled; a terminal
+// JobStatus never changes again (until the record is evicted, after which
+// GET returns 404).
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobStatus is the jobs API's one resource representation, returned by all
+// three routes.
+type JobStatus struct {
+	// ID names the job in /v1/jobs/{id}.
+	ID string `json:"id"`
+	// State is queued|running|done|failed|cancelled.
+	State string `json:"state"`
+	// Kernel and N echo the admitted request.
+	Kernel string `json:"kernel"`
+	N      int    `json:"n"`
+	// Sharded reports the execution path: true means the job was split
+	// into checksum-protected block tasks across the worker pool; false
+	// means it passed through the synchronous forwarding path unchanged.
+	Sharded bool `json:"sharded"`
+
+	// Block progress (sharded jobs only; zero for passthrough).
+	BlocksTotal int `json:"blocks_total,omitempty"`
+	BlocksDone  int `json:"blocks_done,omitempty"`
+	// Reconstructions counts blocks recovered algebraically from checksum
+	// blocks after a node loss; Recomputes counts blocks the coordinator
+	// had to re-execute because reconstruction was impossible. A
+	// single-node failure must show Reconstructions > 0, Recomputes == 0.
+	Reconstructions int `json:"reconstructions,omitempty"`
+	Recomputes      int `json:"recomputes,omitempty"`
+
+	// Digest is the FNV-1a-64 fingerprint of the assembled result's exact
+	// bit patterns (sharded done jobs only) — equal to the digest of the
+	// single-node product by the determinism contract.
+	Digest string `json:"digest,omitempty"`
+	// Error says why a failed job gave up (empty otherwise).
+	Error string `json:"error,omitempty"`
+	// Result carries the classified response once done (passthrough jobs
+	// relay the backend's Response; sharded jobs synthesize one).
+	Result *Response `json:"result,omitempty"`
+
+	// QueueMS and RunMS time the job end to end at the gateway.
+	QueueMS float64 `json:"queue_ms"`
+	RunMS   float64 `json:"run_ms"`
+}

@@ -46,12 +46,23 @@ func (h *HTTPClient) client() *http.Client {
 // requests after honoring the capped Retry-After; all other statuses map
 // straight onto the service's typed errors.
 func (h *HTTPClient) Do(ctx context.Context, req serve.Request) (serve.Response, error) {
+	// Resolve the kernel through the wire-name table before any URL is
+	// built: an unknown kernel string must fail as a typed bad request
+	// here, never be spliced into the request path.
+	k, err := serve.ParseKernel(req.Kernel)
+	if err != nil {
+		return serve.Response{}, err
+	}
+	wire, err := k.Wire()
+	if err != nil {
+		return serve.Response{}, err
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return serve.Response{}, err
 	}
 	for attempt := 0; ; attempt++ {
-		resp, retryAfter, err := h.post(ctx, req.Kernel, body)
+		resp, retryAfter, err := h.post(ctx, wire, body)
 		if retryAfter >= 0 && attempt < h.Retry429 {
 			if err := sleepCtx(ctx, retryAfter); err != nil {
 				return serve.Response{}, fmt.Errorf("%w: %w", serve.ErrOverloaded, err)

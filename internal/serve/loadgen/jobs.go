@@ -1,0 +1,253 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"coopabft/internal/abft"
+	"coopabft/internal/mat"
+	"coopabft/internal/serve"
+)
+
+// Jobs-API client: drives the gateway's versioned async routes
+// (POST /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id}) and provides
+// the submit-poll-verify loop the CI chaos smoke is built on. Lives in
+// loadgen, not cluster, so the generator never imports the scheduler —
+// it speaks only the wire contract documented on serve.JobStatus.
+
+// ErrJobFailed reports a job that reached a terminal state other than
+// done, or a done job whose result failed local verification.
+var ErrJobFailed = fmt.Errorf("loadgen: job failed")
+
+// SubmitJob posts a request to /v1/jobs and returns the accepted job's
+// initial status.
+func (h *HTTPClient) SubmitJob(ctx context.Context, req serve.Request) (serve.JobStatus, error) {
+	// Same rule as Do: resolve the kernel before anything touches the
+	// wire, even though the jobs route carries it in the body not the
+	// path — a bad kernel must fail typed and local.
+	if _, err := serve.ParseKernel(req.Kernel); err != nil {
+		return serve.JobStatus{}, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	return h.jobCall(ctx, http.MethodPost, "/v1/jobs", body, http.StatusAccepted)
+}
+
+// JobStatus polls one job.
+func (h *HTTPClient) JobStatus(ctx context.Context, id string) (serve.JobStatus, error) {
+	return h.jobCall(ctx, http.MethodGet, "/v1/jobs/"+id, nil, http.StatusOK)
+}
+
+// CancelJob requests cancellation and returns the status at call time.
+func (h *HTTPClient) CancelJob(ctx context.Context, id string) (serve.JobStatus, error) {
+	return h.jobCall(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, http.StatusOK)
+}
+
+// jobCall is the shared wire plumbing: one request, the gateway's error
+// envelope mapped back onto the service's typed errors.
+func (h *HTTPClient) jobCall(ctx context.Context, method, path string, body []byte, want int) (serve.JobStatus, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, h.Base+path, rd)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	hresp, err := h.client().Do(hreq)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer hresp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	switch hresp.StatusCode {
+	case want:
+		var st serve.JobStatus
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return serve.JobStatus{}, fmt.Errorf("loadgen: bad job status body: %w", err)
+		}
+		return st, nil
+	case http.StatusBadRequest:
+		return serve.JobStatus{}, fmt.Errorf("%w: %s", serve.ErrBadRequest, wireError(payload))
+	case http.StatusTooManyRequests:
+		return serve.JobStatus{}, fmt.Errorf("%w: %s", serve.ErrOverloaded, wireError(payload))
+	case http.StatusNotFound:
+		return serve.JobStatus{}, fmt.Errorf("loadgen: unknown job: %s", wireError(payload))
+	default:
+		return serve.JobStatus{}, fmt.Errorf("loadgen: HTTP %d: %s", hresp.StatusCode, wireError(payload))
+	}
+}
+
+// JobsConfig drives RunJobs.
+type JobsConfig struct {
+	// Jobs is how many jobs to run, sequentially (default 1).
+	Jobs int
+	// N is the GEMM dimension (default 256) and Seed the base seed; job
+	// number j submits Seed+j so successive jobs are distinct but
+	// reproducible.
+	N    int
+	Seed uint64
+	// Timeout bounds each job end to end, submit through terminal state
+	// (default 2 minutes).
+	Timeout time.Duration
+	// Poll is the status poll interval (default 50ms).
+	Poll time.Duration
+	// Verify recomputes the reference product locally and compares bit
+	// digests — the end-to-end correctness gate. Costs an n³ GEMM per
+	// distinct (n, seed) on the client.
+	Verify bool
+	// OnProgress observes every polled status. The chaos smoke uses the
+	// first observation with BlocksDone >= 1 to SIGKILL a worker while
+	// the job is demonstrably mid-flight.
+	OnProgress func(serve.JobStatus)
+}
+
+func (c JobsConfig) withDefaults() JobsConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 1
+	}
+	if c.N <= 0 {
+		c.N = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	if c.Poll <= 0 {
+		c.Poll = 50 * time.Millisecond
+	}
+	return c
+}
+
+// JobOutcome is one job's terminal record as the client saw it.
+type JobOutcome struct {
+	Status serve.JobStatus `json:"status"`
+	// WallMS is submit-to-terminal latency measured at the client — the
+	// number EXPERIMENTS quotes for kill-mid-job recovery.
+	WallMS float64 `json:"wall_ms"`
+	// DigestMismatch is set when Verify was on, the job finished done and
+	// sharded, and its digest differed from the locally computed one.
+	DigestMismatch bool `json:"digest_mismatch,omitempty"`
+}
+
+// JobsReport aggregates a RunJobs sweep.
+type JobsReport struct {
+	Jobs            []JobOutcome `json:"jobs"`
+	Done            int          `json:"done"`
+	Failed          int          `json:"failed"`
+	Cancelled       int          `json:"cancelled"`
+	Sharded         int          `json:"sharded"`
+	Reconstructions int          `json:"reconstructions"`
+	Recomputes      int          `json:"recomputes"`
+	DigestMismatch  int          `json:"digest_mismatch"`
+}
+
+// Gate returns nil iff every job finished done and, when verification was
+// on, every sharded digest matched the reference — the pass/fail line the
+// CI smoke exits on.
+func (r JobsReport) Gate() error {
+	if r.Failed > 0 || r.Cancelled > 0 || r.Done != len(r.Jobs) {
+		return fmt.Errorf("%w: %d/%d done (%d failed, %d cancelled)",
+			ErrJobFailed, r.Done, len(r.Jobs), r.Failed, r.Cancelled)
+	}
+	if r.DigestMismatch > 0 {
+		return fmt.Errorf("%w: %d digest mismatches", ErrJobFailed, r.DigestMismatch)
+	}
+	return nil
+}
+
+// RunJobs submits cfg.Jobs GEMM jobs one at a time, polls each to a
+// terminal state, and tallies the sweep. Per-job errors (submit rejected,
+// poll timeout) mark the job failed in the report rather than aborting the
+// sweep; only ctx cancellation stops it early.
+func RunJobs(ctx context.Context, h *HTTPClient, cfg JobsConfig) (JobsReport, error) {
+	cfg = cfg.withDefaults()
+	var rep JobsReport
+	for j := 0; j < cfg.Jobs; j++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		out, err := runOneJob(ctx, h, cfg, cfg.Seed+uint64(j))
+		rep.Jobs = append(rep.Jobs, out)
+		st := out.Status
+		switch st.State {
+		case serve.JobDone:
+			rep.Done++
+		case serve.JobCancelled:
+			rep.Cancelled++
+		default:
+			rep.Failed++
+		}
+		if st.Sharded {
+			rep.Sharded++
+		}
+		rep.Reconstructions += st.Reconstructions
+		rep.Recomputes += st.Recomputes
+		if out.DigestMismatch {
+			rep.DigestMismatch++
+		}
+		if err != nil && ctx.Err() != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// runOneJob is the submit-poll-verify loop for a single job.
+func runOneJob(ctx context.Context, h *HTTPClient, cfg JobsConfig, seed uint64) (JobOutcome, error) {
+	jctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	t0 := time.Now()
+	st, err := h.SubmitJob(jctx, serve.Request{Kernel: "gemm", N: cfg.N, Seed: seed})
+	if err != nil {
+		return JobOutcome{Status: serve.JobStatus{State: serve.JobFailed, Error: err.Error()}}, err
+	}
+	for !terminalJobState(st.State) {
+		if err := sleepCtx(jctx, cfg.Poll); err != nil {
+			st.State, st.Error = serve.JobFailed, "poll timeout: "+err.Error()
+			break
+		}
+		next, err := h.JobStatus(jctx, st.ID)
+		if err != nil {
+			st.State, st.Error = serve.JobFailed, err.Error()
+			break
+		}
+		st = next
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(st)
+		}
+	}
+	out := JobOutcome{Status: st, WallMS: float64(time.Since(t0)) / float64(time.Millisecond)}
+	if cfg.Verify && st.State == serve.JobDone && st.Sharded {
+		if ref := referenceDigest(cfg.N, seed); st.Digest != ref {
+			out.DigestMismatch = true
+			return out, fmt.Errorf("%w: job %s digest %s, reference %s", ErrJobFailed, st.ID, st.Digest, ref)
+		}
+	}
+	return out, nil
+}
+
+func terminalJobState(s string) bool {
+	return s == serve.JobDone || s == serve.JobFailed || s == serve.JobCancelled
+}
+
+// referenceDigest recomputes the single-node packed product's bit digest —
+// the value a sharded job must reproduce exactly under the determinism
+// contract.
+func referenceDigest(n int, seed uint64) string {
+	out := mat.New(n, n)
+	mat.MulAddInto(out, mat.Random(n, n, seed), mat.Random(n, n, seed+1))
+	return abft.BitDigest(out)
+}

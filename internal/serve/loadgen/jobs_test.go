@@ -1,0 +1,177 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coopabft/internal/serve"
+)
+
+// fakeJobsServer is a scripted gateway: submit returns the queued status,
+// each poll advances through the given sequence (sticking on the last).
+type fakeJobsServer struct {
+	mu    atomic.Int64 // poll count
+	steps []serve.JobStatus
+}
+
+func (f *fakeJobsServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		json.NewDecoder(r.Body).Decode(&req)
+		if req.Kernel != "gemm" {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "bad kernel", "kind": "bad_request"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.JobStatus{ID: "j000001", State: serve.JobQueued, Kernel: "gemm", N: req.N})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "j000001" {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "no such job", "kind": "unknown_job"})
+			return
+		}
+		i := int(f.mu.Add(1)) - 1
+		if i >= len(f.steps) {
+			i = len(f.steps) - 1
+		}
+		json.NewEncoder(w).Encode(f.steps[i])
+	})
+	return mux
+}
+
+// TestRunJobsHappyPath: the loop submits, polls through running to done,
+// fires the progress hook, verifies the digest against the local
+// reference, and the gate passes.
+func TestRunJobsHappyPath(t *testing.T) {
+	const n, seed = 32, uint64(9)
+	done := serve.JobStatus{
+		ID: "j000001", State: serve.JobDone, Kernel: "gemm", N: n, Sharded: true,
+		BlocksTotal: 8, BlocksDone: 8, Digest: referenceDigest(n, seed),
+	}
+	f := &fakeJobsServer{steps: []serve.JobStatus{
+		{ID: "j000001", State: serve.JobRunning, Kernel: "gemm", N: n, Sharded: true, BlocksTotal: 8, BlocksDone: 3},
+		done,
+	}}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	var sawMidFlight atomic.Bool
+	rep, err := RunJobs(context.Background(), &HTTPClient{Base: ts.URL}, JobsConfig{
+		N: n, Seed: seed, Verify: true, Poll: time.Millisecond,
+		OnProgress: func(st serve.JobStatus) {
+			if st.State == serve.JobRunning && st.BlocksDone >= 1 {
+				sawMidFlight.Store(true)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunJobs: %v", err)
+	}
+	if rep.Done != 1 || rep.Sharded != 1 || rep.DigestMismatch != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if !sawMidFlight.Load() {
+		t.Error("progress hook never saw a mid-flight status")
+	}
+	if err := rep.Gate(); err != nil {
+		t.Errorf("gate: %v", err)
+	}
+}
+
+// TestRunJobsDigestMismatch: a done job with a wrong digest fails
+// verification and the gate.
+func TestRunJobsDigestMismatch(t *testing.T) {
+	f := &fakeJobsServer{steps: []serve.JobStatus{{
+		ID: "j000001", State: serve.JobDone, Kernel: "gemm", N: 32, Sharded: true, Digest: "deadbeefdeadbeef",
+	}}}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	rep, err := RunJobs(context.Background(), &HTTPClient{Base: ts.URL},
+		JobsConfig{N: 32, Seed: 3, Verify: true, Poll: time.Millisecond})
+	if err != nil {
+		t.Fatalf("RunJobs aborted the sweep: %v", err)
+	}
+	if rep.DigestMismatch != 1 {
+		t.Fatalf("report %+v, want 1 digest mismatch", rep)
+	}
+	if err := rep.Gate(); !errors.Is(err, ErrJobFailed) {
+		t.Errorf("gate = %v, want ErrJobFailed", err)
+	}
+}
+
+// TestRunJobsFailedJob: a job that ends failed is tallied and trips the
+// gate without aborting the sweep.
+func TestRunJobsFailedJob(t *testing.T) {
+	f := &fakeJobsServer{steps: []serve.JobStatus{{
+		ID: "j000001", State: serve.JobFailed, Kernel: "gemm", N: 32, Error: "node lost",
+	}}}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	rep, err := RunJobs(context.Background(), &HTTPClient{Base: ts.URL},
+		JobsConfig{N: 32, Poll: time.Millisecond})
+	if err != nil {
+		t.Fatalf("RunJobs: %v", err)
+	}
+	if rep.Failed != 1 || rep.Done != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if err := rep.Gate(); !errors.Is(err, ErrJobFailed) {
+		t.Errorf("gate = %v, want ErrJobFailed", err)
+	}
+}
+
+// TestBadKernelNeverDialed is the regression test for the Kernel(%d)
+// wire-leak: an unknown kernel must come back as a local ErrBadRequest
+// from both the sync client and the jobs client, with zero HTTP requests
+// issued — the raw string never reaches URL construction.
+func TestBadKernelNeverDialed(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := &HTTPClient{Base: ts.URL}
+	for _, kernel := range []string{"lu", "", "gemm/../admin", "Kernel(42)"} {
+		if _, err := c.Do(context.Background(), serve.Request{Kernel: kernel, N: 16}); !errors.Is(err, serve.ErrBadRequest) {
+			t.Errorf("Do(%q) err = %v, want ErrBadRequest", kernel, err)
+		}
+		if _, err := c.SubmitJob(context.Background(), serve.Request{Kernel: kernel, N: 16}); !errors.Is(err, serve.ErrBadRequest) {
+			t.Errorf("SubmitJob(%q) err = %v, want ErrBadRequest", kernel, err)
+		}
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests for invalid kernels, want 0", got)
+	}
+}
+
+// TestKernelCaseNormalized: ParseKernel is case-insensitive, so the URL is
+// built from the canonical wire name, not the caller's spelling.
+func TestKernelCaseNormalized(t *testing.T) {
+	var path atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path.Store(r.URL.Path)
+		json.NewEncoder(w).Encode(serve.Response{Kernel: "gemm", N: 16, Outcome: "corrected"})
+	}))
+	defer ts.Close()
+
+	c := &HTTPClient{Base: ts.URL}
+	if _, err := c.Do(context.Background(), serve.Request{Kernel: "GEMM", N: 16}); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got := path.Load(); got != "/v1/gemm" {
+		t.Errorf("dialed %v, want /v1/gemm", got)
+	}
+}

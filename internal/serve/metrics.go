@@ -43,6 +43,12 @@ type Metrics struct {
 	// percentile reporting lives in the load generator.
 	QueueMSSum expvar.Float
 	RunMSSum   expvar.Float
+
+	// Sharded-job block tasks (the /v1/block path).
+	BlockTasks    expvar.Int   // block tasks completed
+	BlockRejected expvar.Int   // malformed block tasks (400s)
+	BlockShed     expvar.Int   // block tasks that found no slot in budget (503s)
+	BlockRunMSSum expvar.Float // block execution time sum
 }
 
 var publishOnce sync.Once
@@ -76,5 +82,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		"restarts":         m.Restarts.Value(),
 		"queue_ms_sum":     m.QueueMSSum.Value(),
 		"run_ms_sum":       m.RunMSSum.Value(),
+		"block_tasks":      m.BlockTasks.Value(),
+		"block_rejected":   m.BlockRejected.Value(),
+		"block_shed":       m.BlockShed.Value(),
+		"block_run_ms_sum": m.BlockRunMSSum.Value(),
 	}
 }

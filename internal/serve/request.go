@@ -42,6 +42,20 @@ func (k Kernel) String() string {
 	}
 }
 
+// Valid reports whether k is one of the served kernels.
+func (k Kernel) Valid() bool { return k >= KernelGEMM && k <= KernelCG }
+
+// Wire returns the route component for k, refusing invalid values: the
+// String fallback ("Kernel(%d)") is a diagnostic label and must never be
+// spliced into a URL path, so every route-construction site goes through
+// Wire instead of String.
+func (k Kernel) Wire() (string, error) {
+	if !k.Valid() {
+		return "", fmt.Errorf("%w: invalid kernel value %d", ErrBadRequest, int(k))
+	}
+	return k.String(), nil
+}
+
 // Kernels lists the served kernels in wire order.
 var Kernels = []Kernel{KernelGEMM, KernelCholesky, KernelCG}
 
@@ -101,69 +115,89 @@ type Request struct {
 // configuration.
 const DefaultStrategy = core.PartialChipkillSECDED
 
-// parsed is the admitted, typed form of a Request.
-type parsed struct {
-	kernel   Kernel
-	n        int // gemm/cholesky dimension
-	nx, ny   int // cg grid
-	strategy core.Strategy
-	seed     uint64
-	faults   int
-	kind     bifit.Kind
+// Limits bounds what ParseRequest admits. Every admission point — the
+// daemon's Do, the cluster gateway, and the block-task path — builds its
+// Limits from its own configuration but shares the validation logic and
+// error taxonomy below, so a 400 means the same thing at every layer.
+type Limits struct {
+	// MaxN caps gemm/cholesky problem sizes; the CG grid area is capped
+	// at MaxN²/16.
+	MaxN int
+	// MaxFaults caps per-request fault injection.
+	MaxFaults int
 }
 
-// size returns the user-facing problem size (n, or the CG grid area).
-func (p parsed) size() int {
-	if p.kernel == KernelCG {
-		return p.nx * p.ny
+// Limits derives the service's admission bounds from its configuration.
+func (c Config) Limits() Limits { return Limits{MaxN: c.MaxN, MaxFaults: c.MaxFaults} }
+
+// Parsed is the admitted, typed form of a Request — the output of
+// ParseRequest, shared by the daemon, the cluster gateway, and the
+// block-task path.
+type Parsed struct {
+	Kernel   Kernel
+	N        int // gemm/cholesky dimension
+	NX, NY   int // cg grid
+	Strategy core.Strategy
+	Seed     uint64
+	Faults   int
+	Kind     bifit.Kind
+}
+
+// Size returns the user-facing problem size (n, or the CG grid area).
+func (p Parsed) Size() int {
+	if p.Kernel == KernelCG {
+		return p.NX * p.NY
 	}
-	return p.n
+	return p.N
 }
 
-// normalize validates a wire request against the service limits and
-// resolves its string fields, applying defaults.
-func (c Config) normalize(r Request) (parsed, error) {
-	var p parsed
+// ParseRequest is the single admission/validation entrypoint: it resolves
+// a wire Request's string fields (kernel, strategy, fault kind), applies
+// defaults, and bounds the problem size and fault count against l. Every
+// failure wraps ErrBadRequest, so the 400 taxonomy is defined exactly once
+// instead of being re-derived per handler.
+func ParseRequest(l Limits, r Request) (Parsed, error) {
+	var p Parsed
 	var err error
-	if p.kernel, err = ParseKernel(r.Kernel); err != nil {
+	if p.Kernel, err = ParseKernel(r.Kernel); err != nil {
 		return p, err
 	}
-	if p.strategy = DefaultStrategy; r.Strategy != "" {
+	if p.Strategy = DefaultStrategy; r.Strategy != "" {
 		s, err := core.ParseStrategy(r.Strategy)
 		if err != nil {
 			return p, fmt.Errorf("%w: %w", ErrBadRequest, err)
 		}
-		p.strategy = s
+		p.Strategy = s
 	}
-	p.n = r.N
-	if p.n == 0 {
-		p.n = 64
+	p.N = r.N
+	if p.N == 0 {
+		p.N = 64
 	}
-	switch p.kernel {
+	switch p.Kernel {
 	case KernelGEMM, KernelCholesky:
-		if p.n < 8 || p.n > c.MaxN {
-			return p, fmt.Errorf("%w: n=%d outside [8, %d]", ErrBadRequest, p.n, c.MaxN)
+		if p.N < 8 || p.N > l.MaxN {
+			return p, fmt.Errorf("%w: n=%d outside [8, %d]", ErrBadRequest, p.N, l.MaxN)
 		}
 	case KernelCG:
-		p.nx, p.ny = r.NX, r.NY
-		if p.nx == 0 {
-			p.nx = 16
+		p.NX, p.NY = r.NX, r.NY
+		if p.NX == 0 {
+			p.NX = 16
 		}
-		if p.ny == 0 {
-			p.ny = 16
+		if p.NY == 0 {
+			p.NY = 16
 		}
-		if p.nx < 4 || p.ny < 4 || p.nx*p.ny > c.MaxN*c.MaxN/16 {
+		if p.NX < 4 || p.NY < 4 || p.NX*p.NY > l.MaxN*l.MaxN/16 {
 			return p, fmt.Errorf("%w: cg grid %dx%d outside [4x4, area %d]",
-				ErrBadRequest, p.nx, p.ny, c.MaxN*c.MaxN/16)
+				ErrBadRequest, p.NX, p.NY, l.MaxN*l.MaxN/16)
 		}
 	}
-	p.seed = r.Seed
-	p.faults = r.Faults
-	if p.faults < 0 || p.faults > c.MaxFaults {
-		return p, fmt.Errorf("%w: faults=%d outside [0, %d]", ErrBadRequest, p.faults, c.MaxFaults)
+	p.Seed = r.Seed
+	p.Faults = r.Faults
+	if p.Faults < 0 || p.Faults > l.MaxFaults {
+		return p, fmt.Errorf("%w: faults=%d outside [0, %d]", ErrBadRequest, p.Faults, l.MaxFaults)
 	}
-	if p.kind = bifit.SingleBit; r.FaultKind != "" {
-		if p.kind, err = parseKind(r.FaultKind); err != nil {
+	if p.Kind = bifit.SingleBit; r.FaultKind != "" {
+		if p.Kind, err = parseKind(r.FaultKind); err != nil {
 			return p, err
 		}
 	}

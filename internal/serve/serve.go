@@ -58,6 +58,13 @@ type Config struct {
 	MaxN int
 	// MaxFaults caps per-request fault injection (default 8).
 	MaxFaults int
+	// MaxJobN caps the problem size of sharded-job block tasks, which may
+	// far exceed the interactive MaxN (default 2048).
+	MaxJobN int
+	// BlockConcurrency bounds simultaneously executing block tasks on
+	// their own semaphore, isolated from the interactive path (default
+	// MaxConcurrency).
+	BlockConcurrency int
 	// MaxRestarts is the per-request checkpoint-restart budget handed to
 	// the coordinator (default 3).
 	MaxRestarts int
@@ -91,6 +98,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxRestarts <= 0 {
 		c.MaxRestarts = 3
 	}
+	if c.MaxJobN <= 0 {
+		c.MaxJobN = 2048
+	}
+	if c.BlockConcurrency <= 0 {
+		c.BlockConcurrency = c.MaxConcurrency
+	}
 	if c.Metrics == nil {
 		c.Metrics = &Metrics{}
 	}
@@ -112,7 +125,7 @@ type result struct {
 
 type job struct {
 	ctx   context.Context
-	req   parsed
+	req   Parsed
 	enq   time.Time
 	state atomic.Int32
 	done  chan result // buffered(1); receives exactly one result unless abandoned
@@ -130,9 +143,10 @@ type Service struct {
 	cfg Config
 	m   *Metrics
 
-	queue chan *job
-	sem   chan struct{}
-	quit  chan struct{}
+	queue    chan *job
+	sem      chan struct{}
+	blockSem chan struct{}
+	quit     chan struct{}
 
 	dispatchWG sync.WaitGroup
 	execWG     sync.WaitGroup
@@ -146,11 +160,12 @@ func New(cfg Config) *Service {
 		mat.SetParallelism(cfg.Parallelism)
 	}
 	s := &Service{
-		cfg:   cfg,
-		m:     cfg.Metrics,
-		queue: make(chan *job, cfg.QueueDepth),
-		sem:   make(chan struct{}, cfg.MaxConcurrency),
-		quit:  make(chan struct{}),
+		cfg:      cfg,
+		m:        cfg.Metrics,
+		queue:    make(chan *job, cfg.QueueDepth),
+		sem:      make(chan struct{}, cfg.MaxConcurrency),
+		blockSem: make(chan struct{}, cfg.BlockConcurrency),
+		quit:     make(chan struct{}),
 	}
 	s.m.QueueCap.Set(int64(cfg.QueueDepth))
 	s.dispatchWG.Add(1)
@@ -177,7 +192,7 @@ func (s *Service) Close() {
 // (admitted but expired in queue), ErrClosed. A nil error means the
 // Response carries one of the ladder's three oracle-gated outcomes.
 func (s *Service) Do(ctx context.Context, req Request) (Response, error) {
-	p, err := s.cfg.normalize(req)
+	p, err := ParseRequest(s.cfg.Limits(), req)
 	if err != nil {
 		s.m.BadRequests.Add(1)
 		return Response{}, err

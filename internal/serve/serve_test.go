@@ -239,19 +239,19 @@ func TestBatchingCoalesces(t *testing.T) {
 // TestBatchingKeepsIncompatibleApart: different strategies must not share
 // a batch even inside one window.
 func TestBatchingKeepsIncompatibleApart(t *testing.T) {
-	a := parsed{kernel: KernelGEMM, n: 32, strategy: DefaultStrategy}
+	a := Parsed{Kernel: KernelGEMM, N: 32, Strategy: DefaultStrategy}
 	b := a
-	b.strategy = 0 // No_ECC
+	b.Strategy = 0 // No_ECC
 	if compatible(a, b) {
 		t.Error("different strategies reported compatible")
 	}
 	c := a
-	c.n = 64
+	c.N = 64
 	if compatible(a, c) {
 		t.Error("different sizes reported compatible")
 	}
 	d := a
-	d.kernel = KernelCholesky
+	d.Kernel = KernelCholesky
 	if compatible(a, d) || compatible(d, d) {
 		t.Error("non-GEMM kernels must never batch")
 	}
