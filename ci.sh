@@ -23,6 +23,17 @@ go test -race -timeout 5m -run 'TestSoakShortDeterministic' ./internal/recovery/
 # (kernel layer, tables/figures) can't silently rot.
 go test -bench=. -benchtime=1x -run='^$' ./...
 
+# Fused-kernel bench gate: a short wall-clock comparison of two-pass
+# (FullVerify) vs fused (FusedVerify) DGEMM under fault injection. The
+# test fails if the fused faulted GFLOP/s regresses below the two-pass
+# faulted GFLOP/s — the perf contract behind the fused verify mode. The
+# committed BENCH_fused.json baseline is the same test at n=1024. n=256 is
+# the smallest size where the contract structurally holds: below it the
+# whole product is cache-resident and the two-pass sweep's memory-traffic
+# penalty (the cost fused detection avoids) vanishes.
+FUSED_BENCH=1 FUSED_BENCH_N=256 go test -timeout 10m \
+	-run 'TestFusedVsTwoPassGate' -v ./internal/abft/
+
 # Serving smoke gate: build abftd + abftload under the race detector,
 # start the daemon on loopback, drive a seeded fault-injected burst
 # through it, and assert zero wrong answers (abftload exits nonzero on
@@ -36,9 +47,12 @@ go build -race -o "$tmp/abftload" ./cmd/abftload
 abftd_pid=$!
 "$tmp/abftload" -addr http://127.0.0.1:18321 -wait 10s \
 	-rates 40 -kernels gemm,cholesky -strategies "w_ck,p_ck+p_sd" \
+	-verify-modes notified,fused \
 	-duration 2s -n 48 -fault-fraction 0.25 -fault-kind chip-failure \
 	-seed 7 -bench-out "$tmp/BENCH_serve.json"
 test -s "$tmp/BENCH_serve.json"
+# The fused sweep axis must have produced gemm cells in the baseline.
+grep -q '"verify_mode": "fused"' "$tmp/BENCH_serve.json"
 kill -INT "$abftd_pid"
 wait "$abftd_pid"
 

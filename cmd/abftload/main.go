@@ -1,5 +1,6 @@
 // Command abftload is the open-loop load generator for abftd: it sweeps
-// request rate × kernel × ECC strategy against a live daemon, injects
+// request rate × kernel × ECC strategy × verify mode against a live
+// daemon, injects
 // faults on a seeded fraction of requests, and reports p50/p95/p99 latency
 // plus the full outcome taxonomy per cell. Because the loop is open,
 // overload surfaces as typed 429/503 counts instead of silently slowing
@@ -24,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
 	"coopabft/internal/core"
 	"coopabft/internal/serve"
@@ -45,6 +47,7 @@ func run() error {
 		rates      = flag.String("rates", "25", "comma-separated request rates (req/s)")
 		kernels    = flag.String("kernels", "gemm", "comma-separated kernels (gemm,cholesky,cg)")
 		strategies = flag.String("strategies", serve.DefaultStrategy.String(), "comma-separated ECC strategies (paper labels)")
+		modes      = flag.String("verify-modes", "notified", "comma-separated verify modes (full,notified,fused); fused pairs only with gemm")
 		duration   = flag.Duration("duration", 2*time.Second, "send window per cell")
 		requests   = flag.Int("requests", 0, "fixed request count per cell (replayable mode; 0 = send for -duration)")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-request budget")
@@ -96,6 +99,13 @@ func run() error {
 			return err
 		}
 		cfg.Strategies = append(cfg.Strategies, s)
+	}
+	for _, name := range splitList(*modes) {
+		m, err := abft.ParseVerifyMode(name)
+		if err != nil {
+			return err
+		}
+		cfg.Modes = append(cfg.Modes, m)
 	}
 	if cfg.FaultKind, err = parseKind(*kindName); err != nil {
 		return err

@@ -39,14 +39,40 @@ const (
 	// the ECC hardware detected; the kernels fall back to a full check when
 	// the caller requests it.
 	NotifiedVerify
+	// FusedVerify folds checksum derivation into the packed GEMM itself
+	// (FT-BLAS-style online ABFT): operand checksums ride the panel
+	// packing pass and output checksums the micro-kernel's register
+	// writeback, so every panel boundary compares O(n) values without the
+	// O(n²) re-read of C that FullVerify pays. Detection is online —
+	// faults surface as typed PanelFault reports at the boundary after
+	// the corrupting panel instead of at the end of a sweep. DGEMM-only;
+	// kernels without a fused path treat it as FullVerify.
+	FusedVerify
 )
 
 // String implements fmt.Stringer.
 func (v VerifyMode) String() string {
-	if v == NotifiedVerify {
+	switch v {
+	case NotifiedVerify:
 		return "notified"
+	case FusedVerify:
+		return "fused"
 	}
 	return "full"
+}
+
+// ErrUnknownVerifyMode is returned by ParseVerifyMode for mode names that
+// are not full/notified/fused.
+var ErrUnknownVerifyMode = errors.New("abft: unknown verify mode")
+
+// ParseVerifyMode maps a wire/CLI name to its VerifyMode.
+func ParseVerifyMode(s string) (VerifyMode, error) {
+	for _, v := range []VerifyMode{FullVerify, NotifiedVerify, FusedVerify} {
+		if s == v.String() {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownVerifyMode, s)
 }
 
 // Notification is one corrupted location reported by the OS (a drained

@@ -40,13 +40,40 @@ type DGEMM struct {
 
 	Ops         OpCounters
 	Corrections []Correction
+	// Faults records every checksum violation the fused online check
+	// detected, in detection order (empty outside FusedVerify mode).
+	Faults []PanelFault
 
 	// scratch holds verification partial sums; it is ordinary unprotected
-	// working memory (the "refs to blocks w/o ABFT" of Table 4).
+	// working memory (the "refs to blocks w/o ABFT" of Table 4). fused
+	// holds the online path's kernel-accumulated checksums, allocated on
+	// first use.
 	scratch Vec
+	fused   Vec
 
 	env Env
 }
+
+// PanelFault is one checksum violation the fused online check detected at a
+// k-panel boundary — the typed fault report the correction machinery and
+// the recovery ladder consume. Result faults are repaired in place via the
+// same locate-and-fix algebra as VerifyFull; operand faults are
+// detection-only (a corrupted input cannot be rebuilt from the output
+// checksums) and abort the run with ErrUncorrectable.
+type PanelFault struct {
+	Panel  int     // k-panel whose boundary check fired
+	Source string  // FaultOperandA, FaultOperandB, FaultResultRow, FaultResultCol
+	Index  int     // row, column, or k index of the violated checksum
+	Delta  float64 // encoded checksum − kernel-accumulated sum
+}
+
+// PanelFault sources.
+const (
+	FaultOperandA  = "operand-a"
+	FaultOperandB  = "operand-b"
+	FaultResultRow = "result-row"
+	FaultResultCol = "result-col"
+)
 
 // NewDGEMM builds the encoded operands for a random n×n problem.
 func NewDGEMM(env Env, n int, seed uint64) (*DGEMM, error) {
@@ -119,9 +146,18 @@ func (d *DGEMM) RunFrom(startPanel int) error {
 		// The arithmetic runs through the packed kernel, parallel over row
 		// bands when the panel is large enough; every Cf element accumulates
 		// its k-products in ascending order, so the result is bit-identical
-		// to the scalar triple loop at any parallelism.
-		mat.MulAddInto(d.Cf.Matrix,
-			d.Ac.View(0, kk, n+1, kMax-kk), d.Br.View(kk, 0, kMax-kk, n+1))
+		// to the scalar triple loop at any parallelism. Panels the fused
+		// mode will check at this boundary run the checksum-accumulating
+		// kernel variant instead — same bits, plus the online comparison.
+		fusedCheck := d.Mode == FusedVerify && d.CheckPeriod > 0 && (panel+1)%d.CheckPeriod == 0
+		if fusedCheck {
+			if err := d.runPanelFused(panel, kk, kMax); err != nil {
+				return err
+			}
+		} else {
+			mat.MulAddInto(d.Cf.Matrix,
+				d.Ac.View(0, kk, n+1, kMax-kk), d.Br.View(kk, 0, kMax-kk, n+1))
+		}
 		// Accounting walk: report the same per-element access pattern and
 		// op-bucket split the scalar loop produced, so the simulated traffic
 		// and the Figure 3 breakdown are unchanged.
@@ -152,9 +188,94 @@ func (d *DGEMM) maybeVerify(panel int) error {
 	switch d.Mode {
 	case NotifiedVerify:
 		return d.verifyNotified()
+	case FusedVerify:
+		// Already checked online at the panel boundary by runPanelFused.
+		return nil
 	default:
 		return d.VerifyFull()
 	}
+}
+
+// runPanelFused executes one k-panel through the checksum-accumulating
+// kernel (mat.MulAddIntoFused) and compares the accumulated sums against
+// the encoded checksums at the boundary — the FT-BLAS-style interval check.
+// Cf's bits are identical to the plain panel path.
+func (d *DGEMM) runPanelFused(panel, kk, kMax int) error {
+	n := d.N
+	kb := kMax - kk
+	if need := 2*(n+1) + 2*kb; len(d.fused.Data) < need {
+		d.fused = d.env.NewVec("dgemm.fused", 2*(n+1)+2*max(kb, d.Block), false)
+	}
+	rs := d.fused.Data[0 : n+1]
+	cs := d.fused.Data[n+1 : 2*(n+1)]
+	asum := d.fused.Data[2*(n+1) : 2*(n+1)+kb]
+	bsum := d.fused.Data[2*(n+1)+kb : 2*(n+1)+2*kb]
+	mat.MulAddIntoFused(d.Cf.Matrix,
+		d.Ac.View(0, kk, n+1, kb), d.Br.View(kk, 0, kb, n+1),
+		&mat.FusedSums{RowSums: rs, ColSums: cs, ASums: asum, BSums: bsum})
+	return d.verifyFused(panel, kk, kb, rs, cs, asum, bsum)
+}
+
+// verifyFused is the panel-boundary comparison for the fused path. The
+// kernel already folded every operand and result value into the sums, so
+// verification here touches only the encoded checksum row/column and the
+// small sum vectors — O(n) traffic in place of VerifyFull's O(n²) sweep.
+func (d *DGEMM) verifyFused(panel, kk, kb int, rs, cs, asum, bsum []float64) error {
+	n := d.N
+	// Accounting: ~2 kernel-resident flops per Cf element for the output
+	// sums, one add per packed operand element, plus the O(n) compares.
+	d.ops(&d.Ops.Verify, 2*(n+1)*(n+1)+2*(n+1)*kb+2*(n+1)+2*kb)
+	d.fused.Touch(0, 2*(n+1)+2*kb, true)
+	d.Ac.TouchRow(n, kk, kb, false)
+	d.Br.TouchCol(n, kk, kb, false)
+	d.Cf.TouchCol(n, 0, n+1, false)
+	d.Cf.TouchRow(n, 0, n+1, false)
+
+	// Operand checks: the packing pass re-derived eᵀ·(Ac panel) and
+	// (Br panel)·e over all n+1 rows/columns, so an intact operand gives
+	// exactly twice its encoded checksum. Detection-only — corrupted
+	// inputs poison every downstream product, so the run must restart.
+	for p := 0; p < kb; p++ {
+		if delta := 2*d.Ac.At(n, kk+p) - asum[p]; math.Abs(delta) > d.Tol {
+			d.Faults = append(d.Faults, PanelFault{Panel: panel, Source: FaultOperandA, Index: kk + p, Delta: delta})
+			return fmt.Errorf("%w: fused check at panel %d: operand A column %d checksum off by %g",
+				ErrUncorrectable, panel, kk+p, delta)
+		}
+		if delta := 2*d.Br.At(kk+p, n) - bsum[p]; math.Abs(delta) > d.Tol {
+			d.Faults = append(d.Faults, PanelFault{Panel: panel, Source: FaultOperandB, Index: kk + p, Delta: delta})
+			return fmt.Errorf("%w: fused check at panel %d: operand B row %d checksum off by %g",
+				ErrUncorrectable, panel, kk+p, delta)
+		}
+	}
+
+	// Result checks: rs[i]/cs[j] sum all n+1 final values of row i /
+	// column j including the checksum entry itself, so intact lines give
+	// rs[i] = 2·Cf[i][n] and cs[j] = 2·Cf[n][j], and the deltas reduce to
+	// exactly VerifyFull's (checksum − recomputed-sum) convention — the
+	// same locate-and-fix switch repairs them. The kernel seeds its
+	// accumulators from stored C, so corruption written by *earlier*
+	// panels propagates into these sums and is caught here too.
+	var rowBad, colBad []int
+	var rowDelta, colDelta []float64
+	for i := 0; i <= n; i++ {
+		if delta := 2*d.Cf.At(i, n) - rs[i]; math.Abs(delta) > d.Tol {
+			rowBad = append(rowBad, i)
+			rowDelta = append(rowDelta, delta)
+		}
+	}
+	for j := 0; j <= n; j++ {
+		if delta := 2*d.Cf.At(n, j) - cs[j]; math.Abs(delta) > d.Tol {
+			colBad = append(colBad, j)
+			colDelta = append(colDelta, delta)
+		}
+	}
+	for i, r := range rowBad {
+		d.Faults = append(d.Faults, PanelFault{Panel: panel, Source: FaultResultRow, Index: r, Delta: rowDelta[i]})
+	}
+	for i, c := range colBad {
+		d.Faults = append(d.Faults, PanelFault{Panel: panel, Source: FaultResultCol, Index: c, Delta: colDelta[i]})
+	}
+	return d.locateAndFix(rowBad, rowDelta, colBad, colDelta)
 }
 
 // VerifyFull recomputes every row and column checksum of Cf, locates
@@ -203,7 +324,13 @@ func (d *DGEMM) VerifyFull() error {
 			colDelta = append(colDelta, delta)
 		}
 	}
+	return d.locateAndFix(rowBad, rowDelta, colBad, colDelta)
+}
 
+// locateAndFix maps row/column checksum mismatches to corrupted elements
+// and repairs every correctable pattern (§2.1); both the two-pass sweep and
+// the fused online check feed it the same delta convention.
+func (d *DGEMM) locateAndFix(rowBad []int, rowDelta []float64, colBad []int, colDelta []float64) error {
 	switch {
 	case len(rowBad) == 0 && len(colBad) == 0:
 		return nil

@@ -1,0 +1,242 @@
+package abft
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"coopabft/internal/mat"
+	"coopabft/internal/trace"
+)
+
+// fusedDGEMM builds a DGEMM in FusedVerify mode.
+func fusedDGEMM(t *testing.T, env Env, n int, seed uint64) *DGEMM {
+	t.Helper()
+	d := mustDGEMM(t, env, n, seed)
+	d.Mode = FusedVerify
+	return d
+}
+
+// TestDGEMMFusedCleanRun: a fault-free fused run completes, passes the
+// oracle, reports no faults, and produces exactly the bits of a full-mode
+// run (the determinism contract crosses the verify-mode boundary).
+func TestDGEMMFusedCleanRun(t *testing.T) {
+	for _, n := range []int{16, 33, 48, 80} {
+		full := mustDGEMM(t, Standalone(), n, 21)
+		if err := full.Run(); err != nil {
+			t.Fatal(err)
+		}
+		fused := fusedDGEMM(t, Standalone(), n, 21)
+		if err := fused.Run(); err != nil {
+			t.Fatalf("n=%d: fused run: %v", n, err)
+		}
+		if err := fused.CheckResult(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(fused.Faults) != 0 || len(fused.Corrections) != 0 {
+			t.Errorf("n=%d: clean fused run reported faults=%v corrections=%v",
+				n, fused.Faults, fused.Corrections)
+		}
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				if math.Float64bits(full.Cf.At(i, j)) != math.Float64bits(fused.Cf.At(i, j)) {
+					t.Fatalf("n=%d: Cf[%d][%d] differs between full and fused mode: %v vs %v",
+						n, i, j, full.Cf.At(i, j), fused.Cf.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestDGEMMFusedDetectsAndCorrectsMidRun: corruption injected between
+// panels is caught online at the next panel boundary — not deferred to a
+// final sweep — typed with the panel index, and repaired in place.
+func TestDGEMMFusedDetectsAndCorrectsMidRun(t *testing.T) {
+	d := fusedDGEMM(t, Standalone(), 64, 22)
+	var want float64
+	d.OnPanel = func(panel int) {
+		if panel == 1 {
+			// Strike after panel 0's boundary check passed. The stored value
+			// is mid-accumulation; the corruption rides into the final value
+			// through the kernel's C-seeded accumulators.
+			want = d.Cf.At(10, 20)
+			d.Cf.Set(10, 20, want+7.5)
+		}
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckResult(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Faults) == 0 {
+		t.Fatal("mid-run corruption produced no PanelFault")
+	}
+	if got := d.Faults[0].Panel; got != 1 {
+		t.Errorf("fault detected at panel %d, want 1 (online, not end-of-run)", got)
+	}
+	seen := map[string]bool{}
+	for _, f := range d.Faults {
+		seen[f.Source] = true
+	}
+	if !seen[FaultResultRow] || !seen[FaultResultCol] {
+		t.Errorf("faults %v missing result row/col reports", d.Faults)
+	}
+	if len(d.Corrections) != 1 || d.Corrections[0].I != 10 || d.Corrections[0].J != 20 {
+		t.Errorf("corrections = %+v, want exactly (10,20)", d.Corrections)
+	}
+}
+
+// TestDGEMMFusedCorrectsChecksumLineCorruption: corruption in Cf's own
+// checksum row/column is located and repaired by the same algebra.
+func TestDGEMMFusedCorrectsChecksumLineCorruption(t *testing.T) {
+	d := fusedDGEMM(t, Standalone(), 48, 23)
+	n := d.N
+	d.OnPanel = func(panel int) {
+		if panel == 1 {
+			d.Cf.Set(n, 5, d.Cf.At(n, 5)-3.25)
+		}
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckResult(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Corrections) == 0 {
+		t.Error("checksum-row corruption was not corrected")
+	}
+}
+
+// TestDGEMMFusedOperandCorruptionTypedError: corrupting an input operand is
+// detected by the pack-time checksum, reported as a typed operand
+// PanelFault, and aborts with ErrUncorrectable (inputs cannot be rebuilt
+// from output checksums) — the ladder's restart trigger.
+func TestDGEMMFusedOperandCorruptionTypedError(t *testing.T) {
+	for _, src := range []string{FaultOperandA, FaultOperandB} {
+		d := fusedDGEMM(t, Standalone(), 40, 24)
+		d.OnPanel = func(panel int) {
+			if panel == 1 {
+				if src == FaultOperandA {
+					d.Ac.Set(3, 35, d.Ac.At(3, 35)+11) // column 35 ∈ panel 1's k range
+				} else {
+					d.Br.Set(35, 6, d.Br.At(35, 6)+11)
+				}
+			}
+		}
+		err := d.Run()
+		if !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("%s: err = %v, want ErrUncorrectable", src, err)
+		}
+		if len(d.Faults) != 1 || d.Faults[0].Source != src || d.Faults[0].Panel != 1 {
+			t.Errorf("%s: faults = %+v, want one panel-1 %s fault", src, d.Faults, src)
+		}
+	}
+}
+
+// TestDGEMMFusedTrafficBelowFull: the fused check must replace VerifyFull's
+// O(n²)-per-check re-read of Cf with O(n) traffic. Measured with a trace
+// counter: total line touches in fused mode must undercut full mode by at
+// least the verification sweep's volume.
+func TestDGEMMFusedTrafficBelowFull(t *testing.T) {
+	countRun := func(mode VerifyMode) uint64 {
+		sp := trace.NewSpace()
+		ctr := trace.NewCounter(sp)
+		env := Env{
+			Mem:   &trace.Memory{Probe: ctr.Probe},
+			Alloc: func(name string, n int, abft bool) trace.Region { return sp.AllocFloats(name, n, abft) },
+		}
+		d := mustDGEMM(t, env, 64, 25)
+		d.Mode = mode
+		if err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ctr.ABFTRefs + ctr.OtherRefs
+	}
+	full := countRun(FullVerify)
+	fused := countRun(FusedVerify)
+	// Each of the 2 panels' VerifyFull sweeps re-reads all of Cf twice
+	// (~2·(n+1)²/8 lines); the fused check reads ~O(n) lines. Require at
+	// least half that sweep volume back to keep the bound robust.
+	n := 64
+	panels := 2
+	sweep := uint64(panels * (n + 1) * (n + 1) / 8)
+	if fused+sweep/2 > full {
+		t.Errorf("fused traffic %d not below full traffic %d by >= %d lines", fused, full, sweep/2)
+	}
+}
+
+// TestDGEMMFusedRunFromResumes: the checkpoint/restart entry point must
+// work in fused mode — resuming mid-run replays the remaining panels with
+// online checks and still passes the oracle.
+func TestDGEMMFusedRunFromResumes(t *testing.T) {
+	d := fusedDGEMM(t, Standalone(), 64, 26)
+	// Run panels [0, 1) then stop by snapshotting; replay from panel 1.
+	stop := errors.New("stop")
+	d.OnPanel = func(panel int) {
+		if panel == 1 {
+			panic(stop)
+		}
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != stop {
+				panic(r)
+			}
+		}()
+		_ = d.Run()
+	}()
+	d.OnPanel = nil
+	if err := d.RunFrom(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckResult(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDGEMMFusedCheckPeriod: with CheckPeriod > 1 only boundary panels run
+// the fused check, and corruption landing in an unchecked span is still
+// caught at the next checked boundary (final-value sums witness history).
+func TestDGEMMFusedCheckPeriod(t *testing.T) {
+	d := fusedDGEMM(t, Standalone(), 96, 27)
+	d.CheckPeriod = 3
+	d.OnPanel = func(panel int) {
+		if panel == 1 { // panels 0,1 are unchecked; boundary check after panel 2
+			d.Cf.Set(40, 41, d.Cf.At(40, 41)+4.5)
+		}
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckResult(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Faults) == 0 || d.Faults[0].Panel != 2 {
+		t.Fatalf("faults = %+v, want detection at the panel-2 boundary", d.Faults)
+	}
+}
+
+// TestDGEMMFusedMatchesMatSums is a cross-layer pin: the DGEMM fused panel
+// must feed mat.MulAddIntoFused views whose checksums match a direct sweep,
+// guarding the view-offset plumbing between the layers.
+func TestDGEMMFusedMatchesMatSums(t *testing.T) {
+	n := 32
+	d := fusedDGEMM(t, Standalone(), n, 28)
+	d.Block = n // single panel
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Recompute what the kernel accumulated for the lone panel.
+	fs := &mat.FusedSums{
+		RowSums: make([]float64, n+1),
+		ColSums: make([]float64, n+1),
+	}
+	c := mat.New(n+1, n+1)
+	mat.MulAddIntoFused(c, d.Ac.View(0, 0, n+1, n), d.Br.View(0, 0, n, n+1), fs)
+	for i := 0; i <= n; i++ {
+		if math.Abs(fs.RowSums[i]-2*d.Cf.At(i, n)) > d.Tol {
+			t.Fatalf("row sum %d inconsistent with encoded checksum", i)
+		}
+	}
+}

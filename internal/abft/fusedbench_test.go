@@ -1,0 +1,190 @@
+package abft
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"coopabft/internal/mat"
+)
+
+// The fused-vs-two-pass bench gate. Opt-in via FUSED_BENCH=1 (it is a
+// wall-clock measurement, not a correctness test): it times unprotected
+// GEMM, two-pass (FullVerify) DGEMM, and fused (FusedVerify) DGEMM — clean
+// and with a seeded mid-run fault each — and fails if the fused faulted
+// throughput regresses below the two-pass faulted throughput. With
+// FUSED_BENCH_OUT set, the table is written as machine-readable JSON
+// (BENCH_fused.json). FUSED_BENCH_N overrides the problem size (default
+// 256 for the CI smoke; the committed baseline uses 1024).
+
+// FusedBenchCell is one measured configuration.
+type FusedBenchCell struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"ms"`
+	GFLOPS float64 `json:"gflops"`
+	// OverheadPct is the slowdown vs the unprotected cell, in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// FusedBenchReport is the BENCH_fused.json schema.
+type FusedBenchReport struct {
+	Bench       string           `json:"bench"`
+	N           int              `json:"n"`
+	Block       int              `json:"block"`
+	CheckPeriod int              `json:"check_period"`
+	Parallelism int              `json:"parallelism"`
+	When        string           `json:"when"`
+	Cells       []FusedBenchCell `json:"cells"`
+}
+
+func TestFusedVsTwoPassGate(t *testing.T) {
+	if os.Getenv("FUSED_BENCH") == "" {
+		t.Skip("set FUSED_BENCH=1 to run the fused-vs-two-pass wall-clock gate")
+	}
+	n := 256
+	if s := os.Getenv("FUSED_BENCH_N"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 64 {
+			t.Fatalf("bad FUSED_BENCH_N %q", s)
+		}
+	}
+	old := mat.SetParallelism(1) // serial: stable numbers on small CI hosts
+	defer mat.SetParallelism(old)
+
+	// Interval checking at rank-256 panels: the blocking the fused kernel
+	// amortizes its fold over (and the granularity a production run would
+	// use). Small CI sizes halve it so a mid-run panel still exists.
+	block := 256
+	if n < 2*block {
+		block = n / 2
+	}
+
+	// Cells are sampled interleaved (round-robin, several rounds) and each
+	// cell reports its minimum sample: on a shared 1-CPU host the noise is
+	// one-sided (preemption only adds time), so min-of-N converges on the
+	// true cost, and interleaving keeps a slow period from biasing one
+	// cell the way a measure-each-cell-in-turn loop would.
+	const rounds = 6
+	flops := 2 * float64(n) * float64(n) * float64(n)
+
+	newDGEMM := func(mode VerifyMode, faulted bool) *DGEMM {
+		d := mustDGEMM(t, Standalone(), n, 404)
+		d.Mode = mode
+		d.Block = block
+		if faulted {
+			mid := d.Panels() / 2
+			d.OnPanel = func(panel int) {
+				if panel == mid {
+					d.Cf.Set(n/2, n/3, d.Cf.At(n/2, n/3)+13.5)
+				}
+			}
+		}
+		return d
+	}
+	runDGEMM := func(mode VerifyMode, faulted bool) func() {
+		d := newDGEMM(mode, faulted)
+		return func() {
+			d.Corrections = d.Corrections[:0]
+			d.Faults = d.Faults[:0]
+			if err := d.Run(); err != nil {
+				t.Fatalf("%v faulted=%v: %v", mode, faulted, err)
+			}
+			if faulted && len(d.Corrections) == 0 {
+				t.Fatalf("%v: injected fault was not corrected", mode)
+			}
+		}
+	}
+
+	a := mat.Random(n, n, 404)
+	b := mat.Random(n, n, 405)
+	c := mat.New(n, n)
+	runners := []struct {
+		name string
+		fn   func()
+	}{
+		{"unprotected", func() { mat.MulAddInto(c, a, b) }},
+		{"two_pass_clean", runDGEMM(FullVerify, false)},
+		{"two_pass_faulted", runDGEMM(FullVerify, true)},
+		{"fused_clean", runDGEMM(FusedVerify, false)},
+		{"fused_faulted", runDGEMM(FusedVerify, true)},
+	}
+	best := make([]time.Duration, len(runners))
+	for i, r := range runners {
+		r.fn() // warm pools and page in operands
+		best[i] = 1<<63 - 1
+	}
+	for round := 0; round < rounds; round++ {
+		for i, r := range runners {
+			t0 := time.Now()
+			r.fn()
+			if d := time.Since(t0); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	cells := make([]FusedBenchCell, len(runners))
+	for i, r := range runners {
+		ms := float64(best[i]) / float64(time.Millisecond)
+		cells[i] = FusedBenchCell{Name: r.name, Millis: ms, GFLOPS: flops / (ms * 1e6)}
+	}
+	base := cells[0].Millis
+	for i := range cells {
+		cells[i].OverheadPct = 100 * (cells[i].Millis - base) / base
+		t.Logf("%-18s %8.2f ms  %6.2f GFLOP/s  overhead %+6.2f%%",
+			cells[i].Name, cells[i].Millis, cells[i].GFLOPS, cells[i].OverheadPct)
+	}
+
+	if out := os.Getenv("FUSED_BENCH_OUT"); out != "" {
+		rep := FusedBenchReport{
+			Bench:       "fused_vs_two_pass_dgemm",
+			N:           n,
+			Block:       block,
+			CheckPeriod: 1,
+			Parallelism: 1,
+			When:        time.Now().UTC().Format(time.RFC3339),
+			Cells:       cells,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", out)
+	}
+
+	// The gate: online fused detection must beat the two-pass sweep under
+	// fault injection (2% allowance for shared-host timer noise).
+	twoPass, fused := cells[2], cells[4]
+	if fused.GFLOPS < 0.98*twoPass.GFLOPS {
+		t.Errorf("fused faulted GFLOP/s %.2f regressed below two-pass faulted %.2f",
+			fused.GFLOPS, twoPass.GFLOPS)
+	}
+}
+
+// BenchmarkDGEMMVerifyMode is the always-on (bench-smoke visible) version:
+// one clean run per verify mode at n=192.
+func BenchmarkDGEMMVerifyMode(b *testing.B) {
+	n := 192
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	for _, mode := range []VerifyMode{FullVerify, FusedVerify} {
+		b.Run(mode.String(), func(b *testing.B) {
+			d, err := NewDGEMM(Standalone(), n, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Mode = mode
+			for i := 0; i < b.N; i++ {
+				if err := d.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(flops*float64(b.N)/sec/1e9, "GFLOP/s")
+			}
+		})
+	}
+}

@@ -74,6 +74,7 @@ func TestGatewayEndToEnd(t *testing.T) {
 	for i, req := range []serve.Request{
 		{Kernel: "gemm", N: 48, Seed: 11, Faults: 1},
 		{Kernel: "gemm", N: 96, Seed: 12, Faults: 2, FaultKind: "chip-failure", Strategy: "P_CK+No_ECC"},
+		{Kernel: "gemm", N: 48, Seed: 15, Faults: 1, VerifyMode: "fused"},
 		{Kernel: "cholesky", N: 32, Seed: 13, Faults: 1, Strategy: "W_SD"},
 		{Kernel: "cg", NX: 8, NY: 8, Seed: 14},
 	} {
@@ -84,13 +85,23 @@ func TestGatewayEndToEnd(t *testing.T) {
 		if !ok[resp.Outcome] {
 			t.Fatalf("request %d: outcome %q outside taxonomy", i, resp.Outcome)
 		}
+		if req.VerifyMode != "" && resp.VerifyMode != req.VerifyMode {
+			t.Errorf("request %d: verify mode %q not echoed through the gateway (got %q)",
+				i, req.VerifyMode, resp.VerifyMode)
+		}
 		if resp.Node == "" {
 			t.Errorf("request %d: response not node-stamped", i)
 		}
 		seen[resp.Node] = true
 	}
-	if g.m.Delivered.Value() != 4 {
-		t.Errorf("delivered = %d, want 4", g.m.Delivered.Value())
+	if g.m.Delivered.Value() != 5 {
+		t.Errorf("delivered = %d, want 5", g.m.Delivered.Value())
+	}
+	// The gateway applies the nodes' admission taxonomy locally: the
+	// gemm-only fused mode is rejected before placement for other kernels.
+	if _, err := g.Do(context.Background(),
+		serve.Request{Kernel: "cholesky", N: 32, Seed: 16, VerifyMode: "fused"}); !errors.Is(err, serve.ErrBadRequest) {
+		t.Errorf("fused cholesky through gateway: err = %v, want ErrBadRequest", err)
 	}
 	for id := range seen {
 		if id != "n0" && id != "n1" {

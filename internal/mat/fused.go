@@ -1,0 +1,225 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fused online-ABFT GEMM (FT-BLAS / FT-GEMM direction).
+//
+// MulAddIntoFused computes the same c += a·b as MulAddInto — bit-identical,
+// same determinism contract — while deriving the checksums an online ABFT
+// verifier needs from data the GEMM already has in registers or L1:
+//
+//   - operand checksums (eᵀA, B·e) fall out of the packing copy, so
+//     encoding/verification of the inputs costs no extra traversal;
+//   - row/column checksums of the *output* are folded into the micro-kernel
+//     at the final k-block: each finished C value is added to its row and
+//     column accumulator right at writeback, while it is still a register.
+//
+// A two-pass verifier re-reads all of C (O(n²) memory traffic) after the
+// multiply; the fused path replaces that with ~2 register adds per element
+// inside the kernel and O(n) traffic at the comparison. Corruption of a C
+// element written by an *earlier* panel is still witnessed: the kernel seeds
+// its accumulators from the stored (possibly corrupted) value, so the fault
+// propagates into the final value the checksum folds in.
+//
+// Only c's bits are parallelism-invariant. The checksum sums are reduced in
+// deterministic ascending-band order, so they are reproducible for a fixed
+// worker count, but their rounding association varies with the band split —
+// consumers must compare them against encoded checksums with a tolerance,
+// never for bit equality.
+
+// FusedSums receives the checksums MulAddIntoFused accumulates. Each slice
+// is optional (nil skips that accumulation); non-nil slices must have the
+// exact length noted and are overwritten.
+type FusedSums struct {
+	RowSums []float64 // len a.Rows: Σ_j of the final c[i][j]
+	ColSums []float64 // len c.Cols: Σ_i of the final c[i][j]
+	ASums   []float64 // len a.Cols: Σ_i a[i][k] (eᵀA, the column checksums)
+	BSums   []float64 // len a.Cols: Σ_j b[k][j] (B·e, the row checksums)
+}
+
+// fusedAcc is the per-band view of the accumulators: rs/cs are indexed in
+// the band's local row space / the full column space, asum/bsum in k space.
+// Nil slices skip that accumulation.
+type fusedAcc struct {
+	rs, cs     []float64
+	asum, bsum []float64
+}
+
+// MulAddIntoFused computes c += a×b with checksum accumulation fused into
+// the packing and micro-kernel passes. c's result is bit-identical to
+// MulAddInto (and to the naive scalar loop) at any blocking, tile shape, or
+// parallelism.
+func MulAddIntoFused(c, a, b *Matrix, fs *FusedSums) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulAddIntoFused shape mismatch: c %dx%d += a %dx%d × b %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	m, kdim, n := a.Rows, a.Cols, c.Cols
+	if fs == nil {
+		mulAdd(c, a, b, 1, false)
+		return
+	}
+	if (fs.RowSums == nil) != (fs.ColSums == nil) {
+		panic("mat: MulAddIntoFused RowSums and ColSums must be set together")
+	}
+	checkSumLen(fs.RowSums, m, "RowSums")
+	checkSumLen(fs.ColSums, n, "ColSums")
+	checkSumLen(fs.ASums, kdim, "ASums")
+	checkSumLen(fs.BSums, kdim, "BSums")
+	clear(fs.RowSums)
+	clear(fs.ColSums)
+	clear(fs.ASums)
+	clear(fs.BSums)
+	if m == 0 || n == 0 || kdim == 0 {
+		return
+	}
+	workers := workersFor(m, 2*m*n*kdim)
+	if fs.RowSums == nil || fs.ColSums == nil {
+		// Partial-sum callers still need the operand checksums wired through
+		// the pack pass, but without output folding the plain kernels run.
+		workers = 1
+	}
+	if workers <= 1 {
+		gemmSerialFused(c, a, b, &fusedAcc{fs.RowSums, fs.ColSums, fs.ASums, fs.BSums})
+		return
+	}
+
+	// Parallel: each row band folds into disjoint RowSums rows directly and
+	// into pooled per-band ColSums/ASums partials; bands are then reduced in
+	// ascending order, so the sums depend only on (shape, workers). BSums
+	// covers all of b in every band, so only band 0 derives it.
+	bands := rowBands(m, workers)
+	colParts := make([]*[]float64, len(bands))
+	aParts := make([]*[]float64, len(bands))
+	var wg sync.WaitGroup
+	for idx, bd := range bands {
+		colParts[idx] = getZeroBuf(n)
+		if fs.ASums != nil {
+			aParts[idx] = getZeroBuf(kdim)
+		}
+		wg.Add(1)
+		go func(idx, lo, hi int) {
+			defer wg.Done()
+			fa := &fusedAcc{rs: fs.RowSums[lo:hi], cs: *colParts[idx]}
+			if aParts[idx] != nil {
+				fa.asum = *aParts[idx]
+			}
+			if idx == 0 {
+				fa.bsum = fs.BSums
+			}
+			gemmSerialFused(c.View(lo, 0, hi-lo, n), a.View(lo, 0, hi-lo, kdim), b, fa)
+		}(idx, bd.lo, bd.hi)
+	}
+	wg.Wait()
+	for idx := range bands {
+		for j, v := range *colParts[idx] {
+			fs.ColSums[j] += v
+		}
+		putBuf(colParts[idx])
+		if aParts[idx] != nil {
+			for k, v := range *aParts[idx] {
+				fs.ASums[k] += v
+			}
+			putBuf(aParts[idx])
+		}
+	}
+}
+
+func checkSumLen(s []float64, want int, name string) {
+	if s != nil && len(s) != want {
+		panic(fmt.Sprintf("mat: MulAddIntoFused %s length %d, want %d", name, len(s), want))
+	}
+}
+
+// gemmSerialFused dispatches one row band to the packed or simple fused
+// path by the same size threshold as gemmSerial, so the c bits stay
+// identical to the unfused dispatch.
+func gemmSerialFused(c, a, b *Matrix, fa *fusedAcc) {
+	if 2*a.Rows*a.Cols*c.Cols < packMinFlops {
+		gemmSimpleFused(c, a, b, fa)
+		return
+	}
+	gemmPackedTile(c, a, b, 1, false, fusedTileM, fa)
+}
+
+// fusedTileM is the micro-tile height of the fused packed path. 2×4 wins on
+// this register file (see the mr comment in kernel.go); the 4×4 variant
+// stays dispatchable for BenchmarkGEMMTile and the property tests.
+const fusedTileM = mr
+
+// gemmSimpleFused handles sub-threshold problems: the plain blocked loop
+// (identical bits) followed by one post-pass over the small operands to
+// derive the sums. Below packMinFlops everything is L1-resident, so the
+// extra pass costs what the fused kernels would have.
+func gemmSimpleFused(c, a, b *Matrix, fa *fusedAcc) {
+	gemmSimple(c, a, b, 1, false)
+	if fa.rs != nil && fa.cs != nil {
+		for i := 0; i < c.Rows; i++ {
+			row := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			s := fa.rs[i]
+			for j, v := range row {
+				s += v
+				fa.cs[j] += v
+			}
+			fa.rs[i] = s
+		}
+	}
+	if fa.asum != nil {
+		for i := 0; i < a.Rows; i++ {
+			row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			for k, v := range row {
+				fa.asum[k] += v
+			}
+		}
+	}
+	if fa.bsum != nil {
+		for k := 0; k < b.Rows; k++ {
+			row := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			fa.bsum[k] += s
+		}
+	}
+}
+
+// kern2x4Fused is kern2x4 plus output-checksum folding. The fold runs as a
+// separate pass over the just-stored 2x4 tile (L1-hot, 8 loads + 14 adds)
+// rather than inside the k loop: keeping rs/cs out of the hot loop leaves
+// the micro-kernel's register allocation untouched, so the fused main loop
+// is byte-for-byte the plain kernel.
+func kern2x4Fused(kb int, ap, bp []float64, cd []float64, ldc int, rs, cs []float64) {
+	kern2x4(kb, ap, bp, cd, ldc)
+	foldTile(cd, ldc, mr, nr, rs, cs)
+}
+
+// kern4x4Fused is kern4x4 plus the same post-store checksum folding.
+func kern4x4Fused(kb int, ap, bp []float64, cd []float64, ldc int, rs, cs []float64) {
+	kern4x4(kb, ap, bp, cd, ldc)
+	foldTile(cd, ldc, 4, nr, rs, cs)
+}
+
+// kernEdgeFused handles fringe tiles on the final k-block: the kernEdge
+// accumulation followed by the same fold over the partial tile.
+func kernEdgeFused(kb, rows, cols int, ap, bp, cd []float64, ldc, tm int, rs, cs []float64) {
+	kernEdge(kb, rows, cols, ap, bp, cd, ldc, tm)
+	foldTile(cd, ldc, rows, cols, rs, cs)
+}
+
+// foldTile adds a stored rows x cols tile's final values into the running
+// row and column checksum accumulators.
+func foldTile(cd []float64, ldc, rows, cols int, rs, cs []float64) {
+	for r := 0; r < rows; r++ {
+		row := cd[r*ldc : r*ldc+cols]
+		sum := 0.0
+		for c, v := range row {
+			sum += v
+			cs[c] += v
+		}
+		rs[r] += sum
+	}
+}

@@ -2,6 +2,7 @@ package mat
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -21,12 +22,19 @@ import (
 // row-band parallelism. Tests assert exact bit equality.
 
 const (
-	// mr×nr is the register micro-tile: 8 accumulators plus 6 operand
-	// temporaries fit the 16-register amd64 FP file with room to spare.
-	// (A 4×4 tile measures ~2× slower here: its 16 accumulators spill
-	// every iteration.)
+	// mr×nr is the default register micro-tile: 8 accumulators plus 6
+	// operand temporaries fit the 16-register amd64 FP file with room to
+	// spare. A 4×4 tile (kern4x4) is also available — its 16 accumulators
+	// spill, which BenchmarkGEMMTile shows costs more than the halved B
+	// traffic saves, so 2×4 stays the default for both plain and fused
+	// paths.
 	mr = 2
 	nr = 4
+
+	// tileAlign is the band-partition alignment: the least common multiple
+	// of the supported micro-tile heights (2 and 4), so row bands keep full
+	// micro-tiles intact at either setting.
+	tileAlign = 4
 
 	// kcBlock sizes the packed panels' shared k extent: an mr×kcBlock
 	// A micro-panel (8KB) plus an nr×kcBlock B micro-panel stay L1-warm.
@@ -41,36 +49,86 @@ const (
 	packMinFlops = 1 << 15
 )
 
-// bufPool recycles packing buffers across GEMM calls and goroutines.
-var bufPool = sync.Pool{New: func() any { return new([]float64) }}
+// Packing and reduction buffers are recycled through size-classed pools:
+// one sync.Pool per power-of-two capacity class. A single shared pool
+// thrashes under mixed request sizes — a Get can return a buffer too small
+// for this call (reallocate, dropping the pooled one) while large buffers
+// sit idle in the pool — so steady state keeps allocating. With per-class
+// pools every Get either hits a buffer guaranteed to fit or takes the one
+// allocation that seeds the class.
+const maxPoolClass = 26 // 2^26 float64 = 512MB; anything larger is not pooled
 
+var bufPools [maxPoolClass + 1]sync.Pool
+
+// getBuf returns a length-n buffer (contents unspecified) from the pool of
+// the smallest power-of-two capacity class holding n.
 func getBuf(n int) *[]float64 {
-	p := bufPool.Get().(*[]float64)
-	if cap(*p) < n {
-		*p = make([]float64, n)
+	if n < 1 {
+		n = 1
 	}
-	*p = (*p)[:n]
+	class := bits.Len(uint(n - 1)) // smallest c with 1<<c >= n
+	if class > maxPoolClass {
+		p := make([]float64, n)
+		return &p
+	}
+	if p, ok := bufPools[class].Get().(*[]float64); ok {
+		*p = (*p)[:n]
+		return p
+	}
+	p := make([]float64, n, 1<<class)
+	return &p
+}
+
+// putBuf returns a buffer to its capacity class. Buffers always leave getBuf
+// with an exact power-of-two capacity, so the class is recoverable from
+// cap alone; anything else (or oversized) is dropped for the GC.
+func putBuf(p *[]float64) {
+	c := cap(*p)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.Len(uint(c - 1))
+	if class > maxPoolClass {
+		return
+	}
+	*p = (*p)[:c]
+	bufPools[class].Put(p)
+}
+
+// getZeroBuf returns a zeroed length-n pooled buffer (for sum accumulators).
+func getZeroBuf(n int) *[]float64 {
+	p := getBuf(n)
+	clear(*p)
 	return p
 }
 
-func putBuf(p *[]float64) { bufPool.Put(p) }
-
-// packA copies rows [i0, i0+m) × cols [k0, k0+kb) of a into buf as mr-row
-// micro-panels in k-major order (the kernel reads mr values per k step),
-// scaled by alpha (±1, so scaling is exact) and zero-padded to mr rows.
-func packA(buf []float64, a *Matrix, i0, m, k0, kb int, alpha float64) {
+// packA copies rows [i0, i0+m) × cols [k0, k0+kb) of a into buf as tm-row
+// micro-panels in k-major order (the kernel reads tm values per k step),
+// scaled by alpha (±1, so scaling is exact) and zero-padded to tm rows.
+//
+// When asum is non-nil (length kb), the copy also accumulates the panel's
+// column checksums — asum[p] += Σ_rows α·a[i0+r][k0+p], i.e. the eᵀA slice
+// the online-ABFT path compares against the encoded checksum row — so the
+// operand checksum costs no traversal beyond the packing pass itself.
+func packA(buf []float64, a *Matrix, i0, m, k0, kb int, alpha float64, tm int, asum []float64) {
 	idx := 0
-	for r0 := 0; r0 < m; r0 += mr {
-		rows := min(mr, m-r0)
+	for r0 := 0; r0 < m; r0 += tm {
+		rows := min(tm, m-r0)
 		base := (i0+r0)*a.Stride + k0
 		for p := 0; p < kb; p++ {
+			s := 0.0
 			for r := 0; r < rows; r++ {
-				buf[idx+r] = alpha * a.Data[base+r*a.Stride+p]
+				v := alpha * a.Data[base+r*a.Stride+p]
+				buf[idx+r] = v
+				s += v
 			}
-			for r := rows; r < mr; r++ {
+			for r := rows; r < tm; r++ {
 				buf[idx+r] = 0
 			}
-			idx += mr
+			if asum != nil {
+				asum[p] += s
+			}
+			idx += tm
 		}
 	}
 }
@@ -78,24 +136,36 @@ func packA(buf []float64, a *Matrix, i0, m, k0, kb int, alpha float64) {
 // packB copies rows [k0, k0+kb) × cols [j0, j0+nw) of b (of bᵀ when trans
 // is set, reading element (k, j) from b[j][k]) into buf as nr-column
 // micro-panels in k-major order, zero-padded to nr columns.
-func packB(buf []float64, b *Matrix, k0, kb, j0, nw int, trans bool) {
+//
+// When bsum is non-nil (length kb), the copy also accumulates the panel's
+// row checksums — bsum[p] += Σ_cols b[k0+p][j0+c], i.e. the B·e slice the
+// online-ABFT path compares against the encoded checksum column.
+func packB(buf []float64, b *Matrix, k0, kb, j0, nw int, trans bool, bsum []float64) {
 	idx := 0
 	for c0 := 0; c0 < nw; c0 += nr {
 		cols := min(nr, nw-c0)
 		for p := 0; p < kb; p++ {
+			s := 0.0
 			if trans {
 				base := (j0+c0)*b.Stride + k0 + p
 				for c := 0; c < cols; c++ {
-					buf[idx+c] = b.Data[base+c*b.Stride]
+					v := b.Data[base+c*b.Stride]
+					buf[idx+c] = v
+					s += v
 				}
 			} else {
 				src := b.Data[(k0+p)*b.Stride+j0+c0:]
 				for c := 0; c < cols; c++ {
-					buf[idx+c] = src[c]
+					v := src[c]
+					buf[idx+c] = v
+					s += v
 				}
 			}
 			for c := cols; c < nr; c++ {
 				buf[idx+c] = 0
+			}
+			if bsum != nil {
+				bsum[p] += s
 			}
 			idx += nr
 		}
@@ -104,7 +174,7 @@ func packB(buf []float64, b *Matrix, k0, kb, j0, nw int, trans bool) {
 
 // kern2x4 runs the full-tile micro-kernel: a 2×4 block of C gains the
 // kb-step product of an A micro-panel and a B micro-panel, k unrolled by
-// two. Accumulators are seeded from C and updated in ascending-k order (see
+// four. Accumulators are seeded from C and updated in ascending-k order (see
 // the determinism contract above).
 func kern2x4(kb int, ap, bp []float64, cd []float64, ldc int) {
 	c0 := cd[0*ldc : 0*ldc+4]
@@ -114,9 +184,9 @@ func kern2x4(kb int, ap, bp []float64, cd []float64, ldc int) {
 	ap = ap[:mr*kb]
 	bp = bp[:nr*kb]
 	pa, pb := 0, 0
-	for ; pa+4 <= len(ap); pa, pb = pa+4, pb+8 {
-		a := ap[pa : pa+4]
-		b := bp[pb : pb+8]
+	for ; pa+8 <= len(ap); pa, pb = pa+8, pb+16 {
+		a := ap[pa : pa+8]
+		b := bp[pb : pb+16]
 		a0, a1 := a[0], a[1]
 		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
 		c00 += a0 * b0
@@ -129,6 +199,26 @@ func kern2x4(kb int, ap, bp []float64, cd []float64, ldc int) {
 		c13 += a1 * b3
 		a0, a1 = a[2], a[3]
 		b0, b1, b2, b3 = b[4], b[5], b[6], b[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = a[4], a[5]
+		b0, b1, b2, b3 = b[8], b[9], b[10], b[11]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = a[6], a[7]
+		b0, b1, b2, b3 = b[12], b[13], b[14], b[15]
 		c00 += a0 * b0
 		c01 += a0 * b1
 		c02 += a0 * b2
@@ -155,14 +245,60 @@ func kern2x4(kb int, ap, bp []float64, cd []float64, ldc int) {
 	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
 }
 
+// kern4x4 is the widened 4×4 full-tile kernel (tileA4 packing): each k step
+// loads 4 A values and 4 B values for 16 multiply-adds, halving B traffic
+// per flop relative to 2×4. Its 16 accumulators exceed the 16-register
+// amd64 FP file, so whether the better operand reuse beats the spill is a
+// measured question — BenchmarkGEMMTile decides; dispatch stays behind the
+// same determinism contract either way.
+func kern4x4(kb int, ap, bp []float64, cd []float64, ldc int) {
+	c0 := cd[0*ldc : 0*ldc+4]
+	c1 := cd[1*ldc : 1*ldc+4]
+	c2 := cd[2*ldc : 2*ldc+4]
+	c3 := cd[3*ldc : 3*ldc+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	c20, c21, c22, c23 := c2[0], c2[1], c2[2], c2[3]
+	c30, c31, c32, c33 := c3[0], c3[1], c3[2], c3[3]
+	ap = ap[:4*kb]
+	bp = bp[:4*kb]
+	for p := 0; p+4 <= len(ap); p += 4 {
+		a := ap[p : p+4]
+		b := bp[p : p+4]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
+	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
+}
+
 // kernEdge handles partial tiles at the right/bottom fringe with the same
-// per-element ascending-k accumulation as the full-tile kernel.
-func kernEdge(kb, rows, cols int, ap, bp, cd []float64, ldc int) {
+// per-element ascending-k accumulation as the full-tile kernel. tm is the
+// micro-panel row count ap was packed with.
+func kernEdge(kb, rows, cols int, ap, bp, cd []float64, ldc, tm int) {
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			s := cd[r*ldc+c]
 			for p := 0; p < kb; p++ {
-				s += ap[p*mr+r] * bp[p*nr+c]
+				s += ap[p*tm+r] * bp[p*nr+c]
 			}
 			cd[r*ldc+c] = s
 		}
@@ -170,10 +306,25 @@ func kernEdge(kb, rows, cols int, ap, bp, cd []float64, ldc int) {
 }
 
 // gemmPacked computes c += alpha·a·op(b) (alpha ∈ {+1, −1}; op(b) = bᵀ when
-// transB) over all of c with the packed micro-kernel. Loop order is
-// jc→pc→ic (pack B per k-panel, pack A per row block), so k ascends for
-// every output element no matter how the blocks fall.
+// transB) over all of c with the packed micro-kernel at the default tile.
 func gemmPacked(c, a, b *Matrix, alpha float64, transB bool) {
+	gemmPackedTile(c, a, b, alpha, transB, mr, nil)
+}
+
+// gemmPackedTile is the packed driver behind gemmPacked and the fused
+// online-ABFT path. Loop order is jc→pc→ic (pack B per k-panel, pack A per
+// row block), so k ascends for every output element no matter how the
+// blocks fall. tm ∈ {2, 4} selects the micro-tile height (both satisfy the
+// determinism contract, so the choice is purely a throughput knob).
+//
+// When fa is non-nil the pack passes accumulate the operand checksums
+// (fa.asum once per k-panel on the first column slab, fa.bsum once per
+// (j,k) slab pair) and the final k-block's kernels additionally fold each
+// finished C value into fa.rs/fa.cs — the running row/column checksums the
+// online verifier compares at the panel boundary. Earlier k-blocks run the
+// plain kernels: a C value is folded exactly once, after its last update,
+// so the checksum also witnesses corruption of previously written C.
+func gemmPackedTile(c, a, b *Matrix, alpha float64, transB bool, tm int, fa *fusedAcc) {
 	m, kdim, n := a.Rows, a.Cols, c.Cols
 	bbuf := getBuf(kcBlock * ncBlock)
 	abuf := getBuf(mcBlock * kcBlock)
@@ -183,21 +334,45 @@ func gemmPacked(c, a, b *Matrix, alpha float64, transB bool) {
 		nw := min(ncBlock, n-j0)
 		for k0 := 0; k0 < kdim; k0 += kcBlock {
 			kb := min(kcBlock, kdim-k0)
-			packB(*bbuf, b, k0, kb, j0, nw, transB)
+			var bsum []float64
+			if fa != nil && fa.bsum != nil {
+				bsum = fa.bsum[k0 : k0+kb]
+			}
+			packB(*bbuf, b, k0, kb, j0, nw, transB, bsum)
+			fuse := fa != nil && fa.rs != nil && fa.cs != nil && k0+kb == kdim
 			for i0 := 0; i0 < m; i0 += mcBlock {
 				mb := min(mcBlock, m-i0)
-				packA(*abuf, a, i0, mb, k0, kb, alpha)
+				var asum []float64
+				if fa != nil && fa.asum != nil && j0 == 0 {
+					asum = fa.asum[k0 : k0+kb]
+				}
+				packA(*abuf, a, i0, mb, k0, kb, alpha, tm, asum)
 				for jr := 0; jr < nw; jr += nr {
 					cols := min(nr, nw-jr)
 					bp := (*bbuf)[(jr/nr)*kb*nr:]
-					for ir := 0; ir < mb; ir += mr {
-						rows := min(mr, mb-ir)
-						ap := (*abuf)[(ir/mr)*kb*mr:]
+					for ir := 0; ir < mb; ir += tm {
+						rows := min(tm, mb-ir)
+						ap := (*abuf)[(ir/tm)*kb*tm:]
 						cd := c.Data[(i0+ir)*c.Stride+j0+jr:]
-						if rows == mr && cols == nr {
+						full := rows == tm && cols == nr
+						switch {
+						case fuse:
+							rs := fa.rs[i0+ir:]
+							cs := fa.cs[j0+jr:]
+							switch {
+							case full && tm == mr:
+								kern2x4Fused(kb, ap, bp, cd, c.Stride, rs, cs)
+							case full:
+								kern4x4Fused(kb, ap, bp, cd, c.Stride, rs, cs)
+							default:
+								kernEdgeFused(kb, rows, cols, ap, bp, cd, c.Stride, tm, rs, cs)
+							}
+						case full && tm == mr:
 							kern2x4(kb, ap, bp, cd, c.Stride)
-						} else {
-							kernEdge(kb, rows, cols, ap, bp, cd, c.Stride)
+						case full:
+							kern4x4(kb, ap, bp, cd, c.Stride)
+						default:
+							kernEdge(kb, rows, cols, ap, bp, cd, c.Stride, tm)
 						}
 					}
 				}

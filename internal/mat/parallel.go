@@ -66,11 +66,12 @@ func workersFor(rows, flops int) int {
 type band struct{ lo, hi int }
 
 // rowBands splits rows into at most workers bands of near-equal size, with
-// band starts aligned to mr so full micro-tiles stay intact. The partition
-// depends only on (rows, workers) — never on runtime scheduling.
+// band starts aligned to tileAlign so full micro-tiles stay intact at any
+// supported tile height. The partition depends only on (rows, workers) —
+// never on runtime scheduling.
 func rowBands(rows, workers int) []band {
 	chunk := (rows + workers - 1) / workers
-	chunk = (chunk + mr - 1) / mr * mr
+	chunk = (chunk + tileAlign - 1) / tileAlign * tileAlign
 	bands := make([]band, 0, workers)
 	for lo := 0; lo < rows; lo += chunk {
 		bands = append(bands, band{lo, min(lo+chunk, rows)})

@@ -1,0 +1,91 @@
+package mat
+
+import (
+	"testing"
+)
+
+// TestBufPoolClassRoundTrip: buffers come back from the class they were
+// put into, lengths are honored, and odd sizes round up to the class cap.
+func TestBufPoolClassRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 100, 1 << 10, 1<<10 + 1, kcBlock * ncBlock} {
+		p := getBuf(n)
+		if len(*p) != n {
+			t.Fatalf("getBuf(%d): len %d", n, len(*p))
+		}
+		if c := cap(*p); c&(c-1) != 0 || c < n {
+			t.Fatalf("getBuf(%d): cap %d not a power of two >= n", n, c)
+		}
+		putBuf(p)
+	}
+	// A foreign buffer with a non-power-of-two cap is dropped, not pooled.
+	odd := make([]float64, 100, 100)
+	putBuf(&odd) // must not panic; nothing to assert beyond that
+}
+
+// TestMulAddIntoSteadyStateZeroAllocs: after warmup, serial GEMM over a
+// *mix* of problem sizes must not allocate — the size-classed pools
+// guarantee a pooled buffer always fits, where the old single shared pool
+// could hand a small request's recycled buffer to a large request and force
+// a reallocation on every call.
+func TestMulAddIntoSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; zero-alloc cannot hold")
+	}
+	type prob struct{ c, a, b *Matrix }
+	var probs []prob
+	// All above packMinFlops so every call takes the packed (pooled) path;
+	// spread across different buffer size classes.
+	for _, sh := range []struct{ m, k, n int }{
+		{40, 256, 40}, {64, 64, 64}, {100, 100, 100}, {129, 65, 97}, {33, 500, 33},
+	} {
+		probs = append(probs, prob{
+			c: New(sh.m, sh.n),
+			a: Random(sh.m, sh.k, uint64(sh.m)),
+			b: Random(sh.k, sh.n, uint64(sh.n)),
+		})
+	}
+	withParallelism(1, func() {
+		run := func() {
+			for _, p := range probs {
+				MulAddInto(p.c, p.a, p.b)
+			}
+		}
+		run() // warm the pools
+		if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+			t.Errorf("steady-state GEMM mix allocates %.0f times per run, want 0", allocs)
+		}
+	})
+}
+
+// BenchmarkBufPoolMixed measures pool behavior under the mixed-size request
+// pattern the serving path produces (different n per request sharing the
+// pools). b.ReportAllocs surfaces the steady-state allocation count the
+// size-classed pools are designed to hold at zero.
+func BenchmarkBufPoolMixed(b *testing.B) {
+	sizes := []int{512, 48 * 48, kcBlock * 64, kcBlock * ncBlock, 1000}
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := getBuf(sizes[i%len(sizes)])
+			putBuf(p)
+		}
+	})
+	b.Run("gemm", func(b *testing.B) {
+		type prob struct{ c, a, b *Matrix }
+		var probs []prob
+		for _, n := range []int{40, 64, 100} {
+			probs = append(probs, prob{New(n, n), Random(n, n, uint64(n)), Random(n, n, uint64(n)+1)})
+		}
+		withParallelism(1, func() {
+			for _, p := range probs {
+				MulAddInto(p.c, p.a, p.b) // warm
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := probs[i%len(probs)]
+				MulAddInto(p.c, p.a, p.b)
+			}
+		})
+	})
+}

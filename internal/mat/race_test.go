@@ -1,0 +1,7 @@
+//go:build race
+
+package mat
+
+// raceEnabled gates tests that cannot hold under the race detector (e.g.
+// zero-alloc assertions: sync.Pool intentionally drops items under -race).
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"testing"
 
+	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
 	"coopabft/internal/checkpoint"
 	"coopabft/internal/core"
@@ -23,7 +24,7 @@ func newRT(t *testing.T, s core.Strategy) *core.Runtime {
 // finishes without ABFT repair or rollback.
 func TestCase1HardwareCorrects(t *testing.T) {
 	rt := newRT(t, core.WholeChipkill)
-	w, err := NewDGEMMWorkload(rt, 80, 3)
+	w, err := NewDGEMMWorkload(rt, 80, 3, abft.NotifiedVerify)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestCase1HardwareCorrects(t *testing.T) {
 // address and ABFT rebuilds the element from its checksum.
 func TestCase2NotifiedRepair(t *testing.T) {
 	rt := newRT(t, core.PartialChipkillSECDED)
-	w, err := NewDGEMMWorkload(rt, 80, 3)
+	w, err := NewDGEMMWorkload(rt, 80, 3, abft.NotifiedVerify)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,6 +68,34 @@ func TestCase2NotifiedRepair(t *testing.T) {
 	}
 	if rep.Restarts != 0 {
 		t.Errorf("Case 2 should not roll back: %+v", rep)
+	}
+}
+
+// TestFusedOnlineCorrectsSilentCorruption: under NoECC a chip failure in Cf
+// is invisible to the hardware and the OS — the notified path would only
+// learn about it from the end-of-run oracle. In fused mode the kernel's own
+// boundary check detects and repairs it online: the run finishes Corrected
+// with zero rollbacks and no OS involvement.
+func TestFusedOnlineCorrectsSilentCorruption(t *testing.T) {
+	rt := newRT(t, core.NoECC)
+	w, err := NewDGEMMWorkload(rt, 80, 3, abft.FusedVerify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &Coordinator{RT: rt, W: w,
+		Plan: []Injection{{Tick: 1, Kind: bifit.ChipFailure, Target: 0, Elem: 300}}}
+	rep := co.Run()
+	if rep.Outcome != Corrected {
+		t.Fatalf("outcome = %v (err %v), want Corrected", rep.Outcome, rep.Err)
+	}
+	if rep.Corrections == 0 {
+		t.Error("fused check repaired nothing")
+	}
+	if rep.Notified != 0 {
+		t.Errorf("NoECC run saw %d OS notifications", rep.Notified)
+	}
+	if rep.Restarts != 0 {
+		t.Errorf("online repair should not roll back: %+v", rep)
 	}
 }
 
@@ -228,7 +257,7 @@ func TestOutcomeStrings(t *testing.T) {
 // relies on.
 func TestCtxCancelAborts(t *testing.T) {
 	rt := newRT(t, core.WholeChipkill)
-	w, err := NewDGEMMWorkload(rt, 80, 3)
+	w, err := NewDGEMMWorkload(rt, 80, 3, abft.NotifiedVerify)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +281,7 @@ func TestCtxCancelAborts(t *testing.T) {
 // at a step boundary instead of completing or looping in restarts.
 func TestCtxCancelMidRun(t *testing.T) {
 	rt := newRT(t, core.WholeChipkill)
-	w, err := NewDGEMMWorkload(rt, 96, 3)
+	w, err := NewDGEMMWorkload(rt, 96, 3, abft.NotifiedVerify)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
 	"coopabft/internal/campaign"
 	"coopabft/internal/core"
@@ -72,6 +73,11 @@ type Config struct {
 	// Problem sizes (defaults: DGEMM 80, Cholesky 96, CG 16×16).
 	DGEMMN, CholN, CGX, CGY int
 
+	// DGEMMMode selects the DGEMM verify mode for the whole campaign. The
+	// zero value is FullVerify; Short/Default use NotifiedVerify (the
+	// paper's cooperative path) and the fused soak sweeps FusedVerify.
+	DGEMMMode abft.VerifyMode
+
 	MaxRestarts     int // per-run restart budget (default 3)
 	CheckpointEvery int // ticks between checkpoints (default 2)
 }
@@ -84,6 +90,7 @@ func Default() Config {
 		Strategies: core.Strategies,
 		Kinds:      []bifit.Kind{bifit.SingleBit, bifit.DoubleBitSameWord, bifit.ChipFailure, bifit.Scattered},
 		Counts:     []int{1, 2, 4},
+		DGEMMMode:  abft.NotifiedVerify,
 	}
 }
 
@@ -95,6 +102,7 @@ func Short() Config {
 		Strategies: []core.Strategy{core.WholeChipkill, core.PartialChipkillSECDED, core.NoECC},
 		Kinds:      []bifit.Kind{bifit.SingleBit, bifit.DoubleBitSameWord, bifit.ChipFailure, bifit.Scattered},
 		Counts:     []int{2},
+		DGEMMMode:  abft.NotifiedVerify,
 	}
 }
 
@@ -238,7 +246,7 @@ func runOne(cfg Config, kernel Kernel, strat core.Strategy, kind bifit.Kind, cou
 	case KCG:
 		w, err = recovery.NewCGWorkload(rt, cfg.CGX, cfg.CGY, seed)
 	default:
-		w, err = recovery.NewDGEMMWorkload(rt, cfg.DGEMMN, seed)
+		w, err = recovery.NewDGEMMWorkload(rt, cfg.DGEMMN, seed, cfg.DGEMMMode)
 	}
 	if err != nil {
 		return recovery.Report{Outcome: recovery.Aborted, Err: err}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
 	"coopabft/internal/core"
 	"coopabft/internal/recovery"
@@ -55,6 +56,40 @@ func TestSoakShortDeterministic(t *testing.T) {
 	}
 	if r1.Table() != r2.Table() {
 		t.Errorf("same seed produced different outcome tables:\n--- run 1 ---\n%s--- run 2 ---\n%s", r1.Table(), r2.Table())
+	}
+}
+
+// TestSoakFusedDGEMM soaks the fused (kernel-resident online ABFT) verify
+// mode: a DGEMM-only grid across ECC schemes and all four error kinds with
+// faults landing mid-run at panel boundaries. The coordinator's oracle gates
+// every success, so the invariants below imply zero silent wrong answers;
+// the grid must also stay seed-deterministic like the notified one.
+func TestSoakFusedDGEMM(t *testing.T) {
+	cfg := soak.Short()
+	cfg.Kernels = []soak.Kernel{soak.KDGEMM}
+	cfg.DGEMMMode = abft.FusedVerify
+	cfg.Seed = 11
+	cfg.Deadline = 2 * time.Minute
+	r1, err := soak.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, r1)
+	if got := len(r1.Runs); got != cfg.Cells() {
+		t.Fatalf("runs = %d, want %d", got, cfg.Cells())
+	}
+	if r1.Counts[recovery.Corrected] == 0 {
+		t.Errorf("fused soak corrected nothing:\n%s", r1.Table())
+	}
+
+	cfg2 := cfg
+	cfg2.Workers = 2
+	r2, err := soak.Run(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Table() != r2.Table() {
+		t.Errorf("fused soak not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s", r1.Table(), r2.Table())
 	}
 }
 

@@ -58,16 +58,17 @@ type dgemmWork struct {
 	d *abft.DGEMM
 }
 
-// NewDGEMMWorkload builds an FT-DGEMM workload in notified mode. Block is
-// lowered to 16 so a run has several panel boundaries for mid-run
-// injection while each rank-16 update stays above the parallel threshold
-// for n ≥ 80.
-func NewDGEMMWorkload(rt *core.Runtime, n int, seed uint64) (Workload, error) {
+// NewDGEMMWorkload builds an FT-DGEMM workload in the given verify mode
+// (notified for the cooperative path, fused for kernel-resident online
+// checks, full for the software-only baseline). Block is lowered to 16 so a
+// run has several panel boundaries for mid-run injection while each rank-16
+// update stays above the parallel threshold for n ≥ 80.
+func NewDGEMMWorkload(rt *core.Runtime, n int, seed uint64, mode abft.VerifyMode) (Workload, error) {
 	d, err := rt.NewDGEMM(n, seed)
 	if err != nil {
 		return nil, err
 	}
-	d.Mode = abft.NotifiedVerify
+	d.Mode = mode
 	d.Block = 16
 	return &dgemmWork{d: d}, nil
 }

@@ -6,12 +6,14 @@ import (
 )
 
 // compatible reports whether two requests may share an execution batch:
-// same kernel shape, same problem size, same ECC strategy — the serving
-// analogue of GEMM batching, where a worker runs the coalesced group
-// back-to-back on one concurrency slot with warm packing buffers.
+// same kernel shape, same problem size, same ECC strategy, and same verify
+// mode — the serving analogue of GEMM batching, where a worker runs the
+// coalesced group back-to-back on one concurrency slot with warm packing
+// buffers. Mixing verify modes in a batch would make batch latency depend
+// on queue interleaving, so fused and notified requests never coalesce.
 func compatible(a, b Parsed) bool {
 	return a.Kernel == KernelGEMM && b.Kernel == KernelGEMM &&
-		a.N == b.N && a.Strategy == b.Strategy
+		a.N == b.N && a.Strategy == b.Strategy && a.Mode == b.Mode
 }
 
 // dispatch is the scheduling loop: pull the next job, optionally hold a

@@ -18,9 +18,10 @@ import (
 
 // Cell is one sweep coordinate's aggregate, flattened for JSON diffing.
 type Cell struct {
-	Kernel   string  `json:"kernel"`
-	Strategy string  `json:"strategy"`
-	RateRPS  float64 `json:"rate_rps"`
+	Kernel     string  `json:"kernel"`
+	Strategy   string  `json:"strategy"`
+	VerifyMode string  `json:"verify_mode"`
+	RateRPS    float64 `json:"rate_rps"`
 
 	Sent         int `json:"sent"`
 	Completed    int `json:"completed"`
@@ -78,6 +79,7 @@ func FromResult(res *loadgen.Result) File {
 		f.Cells = append(f.Cells, Cell{
 			Kernel:        c.Kernel.String(),
 			Strategy:      c.Strategy.String(),
+			VerifyMode:    c.Mode.String(),
 			RateRPS:       c.Rate,
 			Sent:          c.Sent,
 			Completed:     c.Completed,

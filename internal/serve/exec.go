@@ -26,6 +26,7 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 		Kernel:       j.req.Kernel.String(),
 		N:            j.req.Size(),
 		Strategy:     j.req.Strategy.String(),
+		VerifyMode:   j.req.Mode.String(),
 		Outcome:      rep.Outcome.String(),
 		Injected:     rep.Injected,
 		HWCorrected:  int(rep.HWCorrected),
@@ -77,7 +78,7 @@ func (s *Service) runLadder(j *job) (rep recovery.Report) {
 	case KernelCG:
 		w, err = recovery.NewCGWorkload(rt, p.NX, p.NY, p.Seed)
 	default:
-		w, err = recovery.NewDGEMMWorkload(rt, p.N, p.Seed)
+		w, err = recovery.NewDGEMMWorkload(rt, p.N, p.Seed, p.Mode)
 	}
 	if err != nil {
 		return recovery.Report{Outcome: recovery.Aborted, Err: err}

@@ -1,5 +1,6 @@
 // Package loadgen is the open-loop load generator for the serving
-// subsystem: it sweeps request rate × kernel × ECC strategy, fires
+// subsystem: it sweeps request rate × kernel × ECC strategy × verify
+// mode, fires
 // requests on a fixed schedule without waiting for responses (so overload
 // shows up as typed rejections, not as a self-throttling client), injects
 // faults on a seeded fraction of requests, and reports per-cell latency
@@ -16,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
 	"coopabft/internal/campaign"
 	"coopabft/internal/core"
@@ -46,6 +48,10 @@ type Config struct {
 	Rates      []float64 // requests/second (default {25})
 	Kernels    []serve.Kernel
 	Strategies []core.Strategy
+	// Modes is the verify-mode sweep axis (default {NotifiedVerify}).
+	// FusedVerify is gemm-only: fused × non-gemm coordinates are skipped
+	// rather than sent, so a sweep never manufactures 400s.
+	Modes []abft.VerifyMode
 
 	// N sizes gemm/cholesky requests (default 48); NX, NY size CG.
 	N, NX, NY int
@@ -73,6 +79,9 @@ func (c *Config) defaults() {
 	if len(c.Strategies) == 0 {
 		c.Strategies = []core.Strategy{serve.DefaultStrategy}
 	}
+	if len(c.Modes) == 0 {
+		c.Modes = []abft.VerifyMode{abft.NotifiedVerify}
+	}
 	if c.N <= 0 {
 		c.N = 48
 	}
@@ -92,6 +101,7 @@ type Cell struct {
 	Rate     float64
 	Kernel   serve.Kernel
 	Strategy core.Strategy
+	Mode     abft.VerifyMode
 }
 
 // Outcomes tallies the terminal classification of every request sent.
@@ -149,13 +159,18 @@ func Run(ctx context.Context, d Doer, cfg Config) (*Result, error) {
 	for _, rate := range cfg.Rates {
 		for _, kernel := range cfg.Kernels {
 			for _, strat := range cfg.Strategies {
-				if err := ctx.Err(); err != nil {
-					return res, err
+				for _, mode := range cfg.Modes {
+					if mode == abft.FusedVerify && kernel != serve.KernelGEMM {
+						continue // fused is a DGEMM-only verify mode
+					}
+					if err := ctx.Err(); err != nil {
+						return res, err
+					}
+					cell := Cell{Rate: rate, Kernel: kernel, Strategy: strat, Mode: mode}
+					cr, sent := runCell(ctx, d, cfg, cell, reqIndex)
+					reqIndex += sent
+					res.Cells = append(res.Cells, cr)
 				}
-				cell := Cell{Rate: rate, Kernel: kernel, Strategy: strat}
-				cr, sent := runCell(ctx, d, cfg, cell, reqIndex)
-				reqIndex += sent
-				res.Cells = append(res.Cells, cr)
 			}
 		}
 	}
@@ -233,12 +248,13 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 	for more() && ctx.Err() == nil {
 		seed := campaign.CellSeed(cfg.Seed, base+sent)
 		req := serve.Request{
-			Kernel:   cell.Kernel.String(),
-			N:        cfg.N,
-			NX:       cfg.NX,
-			NY:       cfg.NY,
-			Strategy: cell.Strategy.String(),
-			Seed:     seed,
+			Kernel:     cell.Kernel.String(),
+			N:          cfg.N,
+			NX:         cfg.NX,
+			NY:         cfg.NY,
+			Strategy:   cell.Strategy.String(),
+			VerifyMode: cell.Mode.String(),
+			Seed:       seed,
 		}
 		// Seeded fault lottery: the decision is a pure function of the
 		// request seed, so replays inject on the same requests.
@@ -342,12 +358,12 @@ func (r *Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serving sweep: %d cells, seed %d, %s/cell, fault fraction %.2f\n",
 		len(r.Cells), r.Cfg.Seed, r.Cfg.Duration, r.Cfg.FaultFraction)
-	fmt.Fprintf(&b, "%-9s %-12s %6s %6s %6s %5s %5s %5s %5s %5s %4s %8s %8s %8s %8s\n",
-		"kernel", "strategy", "rate", "sent", "done", "corr", "rst", "abrt", "429", "qto", "err",
+	fmt.Fprintf(&b, "%-9s %-12s %-9s %6s %6s %6s %5s %5s %5s %5s %5s %4s %8s %8s %8s %8s\n",
+		"kernel", "strategy", "verify", "rate", "sent", "done", "corr", "rst", "abrt", "429", "qto", "err",
 		"p50", "p95", "p99", "rps")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "%-9s %-12s %6.1f %6d %6d %5d %5d %5d %5d %5d %4d %8s %8s %8s %8.1f\n",
-			c.Kernel, c.Strategy, c.Rate, c.Sent, c.Completed,
+		fmt.Fprintf(&b, "%-9s %-12s %-9s %6.1f %6d %6d %5d %5d %5d %5d %5d %4d %8s %8s %8s %8.1f\n",
+			c.Kernel, c.Strategy, c.Mode, c.Rate, c.Sent, c.Completed,
 			c.Corrected, c.Restarted, c.Aborted, c.Overloaded, c.QueueTimeout, c.Errors,
 			round(c.P50), round(c.P95), round(c.P99), c.ThroughputRPS)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
 	"coopabft/internal/core"
 	"coopabft/internal/serve"
@@ -46,6 +47,47 @@ func checkInvariants(t *testing.T, res *Result) {
 		if c.P50 > c.P95 || c.P95 > c.P99 || c.P99 > c.Max {
 			t.Errorf("cell %v: non-monotonic percentiles %v %v %v %v", c.Cell, c.P50, c.P95, c.P99, c.Max)
 		}
+	}
+}
+
+// TestSweepVerifyModes sweeps the verify-mode axis: notified and fused
+// cells both complete with zero wrong answers, and the gemm-only fused
+// mode is skipped (not rejected) for other kernels.
+func TestSweepVerifyModes(t *testing.T) {
+	s := serve.New(serve.Config{MaxConcurrency: 4, QueueDepth: 128, QueueTimeout: 30 * time.Second})
+	defer s.Close()
+
+	cfg := smokeConfig()
+	cfg.Kernels = []serve.Kernel{serve.KernelGEMM, serve.KernelCholesky}
+	cfg.Strategies = []core.Strategy{core.WholeChipkill}
+	cfg.Modes = []abft.VerifyMode{abft.NotifiedVerify, abft.FusedVerify}
+	res, err := Run(context.Background(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gemm×{notified,fused} + cholesky×{notified}: the fused×cholesky
+	// coordinate must be skipped.
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3 (fused x cholesky skipped)", len(res.Cells))
+	}
+	checkInvariants(t, res)
+	fused := 0
+	for _, c := range res.Cells {
+		if c.Mode == abft.FusedVerify {
+			fused++
+			if c.Kernel != serve.KernelGEMM {
+				t.Errorf("fused cell for kernel %v", c.Kernel)
+			}
+			if c.Completed == 0 {
+				t.Error("fused cell completed nothing")
+			}
+			if c.Errors > 0 {
+				t.Errorf("fused cell had %d errors", c.Errors)
+			}
+		}
+	}
+	if fused != 1 {
+		t.Fatalf("fused cells = %d, want 1", fused)
 	}
 }
 

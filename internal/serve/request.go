@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"coopabft/internal/abft"
 	"coopabft/internal/bifit"
 	"coopabft/internal/core"
 )
@@ -108,6 +109,10 @@ type Request struct {
 	// TimeoutMS bounds the request end to end (queue wait + execution);
 	// the deadline propagates into the kernel's step loop.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// VerifyMode is full|notified|fused (default notified). Fused selects
+	// the kernel-resident online checks and is gemm-only — requests pairing
+	// it with another kernel are rejected at admission.
+	VerifyMode string `json:"verify_mode,omitempty"`
 }
 
 // DefaultStrategy is used when a request does not pick one: relax ABFT
@@ -141,6 +146,7 @@ type Parsed struct {
 	Seed     uint64
 	Faults   int
 	Kind     bifit.Kind
+	Mode     abft.VerifyMode
 }
 
 // Size returns the user-facing problem size (n, or the CG grid area).
@@ -201,6 +207,15 @@ func ParseRequest(l Limits, r Request) (Parsed, error) {
 			return p, err
 		}
 	}
+	if p.Mode = abft.NotifiedVerify; r.VerifyMode != "" {
+		if p.Mode, err = abft.ParseVerifyMode(r.VerifyMode); err != nil {
+			return p, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+	}
+	if p.Mode == abft.FusedVerify && p.Kernel != KernelGEMM {
+		return p, fmt.Errorf("%w: verify mode %q requires kernel gemm, got %q",
+			ErrBadRequest, p.Mode, p.Kernel)
+	}
 	return p, nil
 }
 
@@ -211,6 +226,8 @@ type Response struct {
 	Kernel   string `json:"kernel"`
 	N        int    `json:"n"`
 	Strategy string `json:"strategy"`
+	// VerifyMode echoes the admitted verify mode (full|notified|fused).
+	VerifyMode string `json:"verify_mode"`
 	// Outcome is corrected|restarted|aborted (recovery.Outcome.String).
 	Outcome string `json:"outcome"`
 	// Error says why an aborted run gave up (empty otherwise).
