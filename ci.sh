@@ -139,3 +139,53 @@ kill -INT "$j1" "$j2"
 wait "$j1"
 wait "$j2"
 wait "$j3" || true
+
+# SIGKILL-mid-CG chaos gate: two workers behind the gateway with tight
+# checkpoint streaming, and abftload's migrate-vs-cold-restart experiment
+# (-recover-out). abftload first runs an undisturbed CG long job to price
+# a full restart, then re-runs the same solve and SIGKILLs whichever
+# worker is executing it once the gateway has accepted a checkpoint. It
+# exits nonzero unless the job migrated (migrations >= 1), resumed from a
+# step > 0 (a cold restart on the replacement is a failure), converged
+# corrected (zero wrong answers), and the gateway-measured fault-to-
+# resumed latency beat the cold baseline's wall time — the comparison is
+# written to BENCH_recover.json. -self-url is what workers dial to stream
+# checkpoints back, so it must be the gateway's loopback address.
+"$tmp/abftd" -addr 127.0.0.1:18451 &
+c1=$!
+"$tmp/abftd" -addr 127.0.0.1:18452 &
+c2=$!
+"$tmp/abftgate" -addr 127.0.0.1:18450 \
+	-nodes "http://127.0.0.1:18451,http://127.0.0.1:18452" \
+	-self-url http://127.0.0.1:18450 -checkpoint-every 2 \
+	-probe-interval 150ms -breaker-cooldown 500ms -seed 17 &
+cgate=$!
+"$tmp/abftload" -addr http://127.0.0.1:18450 -wait 10s \
+	-job-kernel cg -job-nx 64 -job-ny 64 -job-timeout 120s -seed 17 \
+	-job-kill-nodes "127.0.0.1:18451=$c1,127.0.0.1:18452=$c2" \
+	-recover-checkpoint-every 2 -recover-out "$tmp/BENCH_recover.json"
+test -s "$tmp/BENCH_recover.json"
+grep -q '"bench": "recover"' "$tmp/BENCH_recover.json"
+grep -q '"outcome": "corrected"' "$tmp/BENCH_recover.json"
+
+# Cross-check from the gateway's own counters: at least one migration and
+# one stored checkpoint, a push-detected node death, and no job the
+# cluster lost.
+cvars=$(curl -s http://127.0.0.1:18450/debug/vars)
+if echo "$cvars" | grep -q '"migrations":0[,}]'; then
+	echo "gateway metrics report zero migrations" >&2
+	exit 1
+fi
+if echo "$cvars" | grep -q '"checkpoints_stored":0[,}]'; then
+	echo "gateway metrics report zero stored checkpoints" >&2
+	exit 1
+fi
+echo "$cvars" | grep -q '"jobs_failed":0[,}]'
+
+kill -INT "$cgate"
+wait "$cgate"
+# One worker was SIGKILLed by abftload; drain whichever survived.
+kill -INT "$c1" 2>/dev/null || true
+kill -INT "$c2" 2>/dev/null || true
+wait "$c1" || true
+wait "$c2" || true

@@ -11,6 +11,8 @@
 //	POST   /v1/jobs                       submit an async job (202 + status)
 //	GET    /v1/jobs/{id}                  poll a job's status/result
 //	DELETE /v1/jobs/{id}                  cancel a job
+//	PUT  /v1/jobs/{id}/checkpoint         worker checkpoint upload (long jobs)
+//	GET  /v1/events                       cluster-wide NDJSON error-bus stream
 //	GET  /healthz                         gateway liveness + per-node status
 //	POST /admin/drain?node=ID             take a node out of placement
 //	POST /admin/rejoin?node=ID            return a drained node to placement
@@ -21,6 +23,12 @@
 // tasks with dedicated checksum-block tasks on distinct nodes; a lost
 // worker's blocks are reconstructed algebraically from the survivors, never
 // recomputed. Smaller jobs pass through the sync forwarding path.
+//
+// CG jobs ride the long path: the worker streams a checkpoint back to the
+// gateway every -checkpoint-every steps, and when the worker dies mid-solve
+// the gateway reschedules the job on a healthy capable node, ships the last
+// checkpoint, and the solve resumes from that step — not from zero. Set
+// -self-url when workers reach the gateway at an address other than -addr.
 //
 // Nodes are given as a comma-separated list of base URLs, each optionally
 // restricted to an ECC-capability set:
@@ -76,6 +84,9 @@ func run() error {
 		maxJobN         = flag.Int("max-job-n", 2048, "largest admitted job dimension")
 		maxJobs         = flag.Int("max-jobs", 128, "job records held before submissions are shed")
 		jobRetention    = flag.Duration("job-retention", 10*time.Minute, "how long terminal job records stay pollable")
+		selfURL         = flag.String("self-url", "", "externally reachable base URL of this gateway; workers stream long-job checkpoints back to it (default http://<addr>)")
+		checkpointEvery = flag.Int("checkpoint-every", 8, "steps between long-job checkpoint uploads")
+		maxMigrations   = flag.Int("max-migrations", 3, "long-job reschedules before the job fails")
 	)
 	flag.Parse()
 
@@ -105,9 +116,16 @@ func run() error {
 		MaxJobN:         *maxJobN,
 		MaxJobs:         *maxJobs,
 		JobRetention:    *jobRetention,
+		CheckpointEvery: *checkpointEvery,
+		MaxMigrations:   *maxMigrations,
 	})
 	if err != nil {
 		return err
+	}
+	if *selfURL != "" {
+		g.SetSelfURL(*selfURL)
+	} else {
+		g.SetSelfURL("http://" + *addr)
 	}
 
 	mux := http.NewServeMux()

@@ -11,6 +11,14 @@
 // zero-wrong-answers acceptance gate — or if transport errors occurred.
 // With -bench-out, the per-cell aggregates are written as a
 // machine-readable JSON baseline (BENCH_serve.json).
+//
+// With -recover-out, abftload instead runs the migrate-vs-cold-restart
+// experiment against a gateway: one undisturbed CG long job prices the
+// full restart, then the same solve is re-run with the executing worker
+// SIGKILLed (-job-kill-nodes node=pid,...) after its first checkpoint.
+// The run fails unless the job migrated, resumed from a step > 0,
+// converged, and recovered faster than the cold baseline; the comparison
+// is written as BENCH_recover.json.
 package main
 
 import (
@@ -64,10 +72,17 @@ func run() error {
 		benchOut   = flag.String("bench-out", "", "write machine-readable results (e.g. BENCH_serve.json)")
 
 		jobs       = flag.Int("jobs", 0, "run this many async jobs via /v1/jobs instead of the rate sweep")
+		jobKernel  = flag.String("job-kernel", "gemm", "job kernel: gemm (sharded) or cg (long path with checkpoint streaming)")
 		jobN       = flag.Int("job-n", 256, "job GEMM dimension")
+		jobNX      = flag.Int("job-nx", 48, "job CG grid x (-job-kernel cg)")
+		jobNY      = flag.Int("job-ny", 48, "job CG grid y (-job-kernel cg)")
 		jobVerify  = flag.Bool("job-verify", false, "recompute the reference product locally and require a bit-digest match")
 		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job budget, submit through terminal state")
 		jobKillPID = flag.Int("job-kill-pid", 0, "SIGKILL this pid once a job reports running with blocks outstanding (chaos smoke); requires reconstructions >= 1 and recomputes == 0")
+
+		killNodes  = flag.String("job-kill-nodes", "", "comma-separated node=pid pairs; with -recover-out, SIGKILL the pid of the node executing the CG job once a checkpoint has landed")
+		recoverOut = flag.String("recover-out", "", "run the migrate-vs-cold-restart experiment and write BENCH_recover.json here (requires -job-kill-nodes)")
+		recoverCE  = flag.Int("recover-checkpoint-every", 8, "checkpoint cadence to stamp into the recover artifact (informational; must match the gateway's -checkpoint-every)")
 	)
 	flag.Parse()
 
@@ -124,8 +139,25 @@ func run() error {
 			return err
 		}
 	}
-	if *jobs > 0 {
-		return runJobs(ctx, client, *jobs, *jobN, *seed, *jobTimeout, *jobVerify, *jobKillPID)
+	if *jobs > 0 || *recoverOut != "" {
+		jcfg := loadgen.JobsConfig{
+			Jobs:    *jobs,
+			Kernel:  strings.ToLower(*jobKernel),
+			N:       *jobN,
+			NX:      *jobNX,
+			NY:      *jobNY,
+			Seed:    *seed,
+			Timeout: *jobTimeout,
+			Verify:  *jobVerify,
+		}
+		if *recoverOut != "" {
+			pids, err := parseKillNodes(*killNodes)
+			if err != nil {
+				return err
+			}
+			return runRecover(ctx, client, jcfg, pids, *recoverOut, *recoverCE)
+		}
+		return runJobs(ctx, client, jcfg, *jobKillPID)
 	}
 	res, err := loadgen.Run(ctx, client, cfg)
 	if err != nil {
@@ -160,19 +192,12 @@ func run() error {
 	return nil
 }
 
-// runJobs is the async-jobs mode: submit -jobs sharded GEMM jobs, poll
-// each to a terminal state, optionally SIGKILL a worker mid-job, and apply
-// the chaos gates — every job done, digests matching, and (with a kill)
-// recovery by reconstruction only.
-func runJobs(ctx context.Context, client *loadgen.HTTPClient, jobs, n int, seed uint64, timeout time.Duration, verify bool, killPID int) error {
+// runJobs is the async-jobs mode: submit -jobs jobs, poll each to a
+// terminal state, optionally SIGKILL a worker mid-job, and apply the chaos
+// gates — every job done, digests matching, and (with a kill) recovery by
+// reconstruction only.
+func runJobs(ctx context.Context, client *loadgen.HTTPClient, cfg loadgen.JobsConfig, killPID int) error {
 	var killed atomic.Bool
-	cfg := loadgen.JobsConfig{
-		Jobs:    jobs,
-		N:       n,
-		Seed:    seed,
-		Timeout: timeout,
-		Verify:  verify,
-	}
 	if killPID > 0 {
 		cfg.OnProgress = func(st serve.JobStatus) {
 			// Strike at the first poll that shows the job running with
@@ -191,12 +216,7 @@ func runJobs(ctx context.Context, client *loadgen.HTTPClient, jobs, n int, seed 
 		}
 	}
 	rep, err := loadgen.RunJobs(ctx, client, cfg)
-	for _, j := range rep.Jobs {
-		st := j.Status
-		fmt.Printf("job %-8s %-9s n=%-5d sharded=%-5v blocks=%d/%d reconstructions=%d recomputes=%d digest=%s wall=%.0fms\n",
-			st.ID, st.State, st.N, st.Sharded, st.BlocksDone, st.BlocksTotal,
-			st.Reconstructions, st.Recomputes, st.Digest, j.WallMS)
-	}
+	printJobs(rep)
 	if err != nil {
 		return err
 	}
@@ -214,8 +234,143 @@ func runJobs(ctx context.Context, client *loadgen.HTTPClient, jobs, n int, seed 
 	if rep.Recomputes > 0 {
 		return fmt.Errorf("recomputes=%d, want 0 (lost blocks must be reconstructed, not re-executed)", rep.Recomputes)
 	}
-	fmt.Printf("jobs: %d done, %d sharded, %d reconstructions, 0 recomputes\n",
-		rep.Done, rep.Sharded, rep.Reconstructions)
+	fmt.Printf("jobs: %d done, %d sharded, %d long, %d reconstructions, %d migrations, 0 recomputes\n",
+		rep.Done, rep.Sharded, rep.LongJobs, rep.Reconstructions, rep.Migrations)
+	return nil
+}
+
+// printJobs renders one line per job, long jobs with their recovery story.
+func printJobs(rep loadgen.JobsReport) {
+	for _, j := range rep.Jobs {
+		st := j.Status
+		if st.Long {
+			fmt.Printf("job %-8s %-9s n=%-5d node=%-4s step=%-5d checkpoints=%-3d migrations=%d resume_step=%d recovery=%.0fms wall=%.0fms\n",
+				st.ID, st.State, st.N, st.Node, st.Step, st.Checkpoints,
+				st.Migrations, st.ResumeStep, st.RecoveryMS, j.WallMS)
+			continue
+		}
+		fmt.Printf("job %-8s %-9s n=%-5d sharded=%-5v blocks=%d/%d reconstructions=%d recomputes=%d digest=%s wall=%.0fms\n",
+			st.ID, st.State, st.N, st.Sharded, st.BlocksDone, st.BlocksTotal,
+			st.Reconstructions, st.Recomputes, st.Digest, j.WallMS)
+	}
+}
+
+// parseKillNodes reads the -job-kill-nodes spec: "nodeID=pid,nodeID=pid".
+func parseKillNodes(spec string) (map[string]int, error) {
+	out := map[string]int{}
+	for _, part := range splitList(spec) {
+		id, pidStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -job-kill-nodes entry %q (want node=pid)", part)
+		}
+		pid, err := strconv.Atoi(pidStr)
+		if err != nil || pid <= 0 {
+			return nil, fmt.Errorf("bad pid in -job-kill-nodes entry %q", part)
+		}
+		out[id] = pid
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-recover-out requires -job-kill-nodes node=pid[,node=pid]")
+	}
+	return out, nil
+}
+
+// nodeKiller SIGKILLs the worker executing a long job, but only once the
+// gateway has accepted a checkpoint — so the migration has real state to
+// resume from and a cold restart would be distinguishable.
+type nodeKiller struct {
+	pids   map[string]int
+	killed atomic.Bool
+	victim string
+}
+
+func (k *nodeKiller) onProgress(st serve.JobStatus) {
+	if st.State != serve.JobRunning || st.Node == "" || st.Checkpoints < 1 || st.Step < 1 {
+		return
+	}
+	pid, ok := k.pids[st.Node]
+	if !ok || !k.killed.CompareAndSwap(false, true) {
+		return
+	}
+	k.victim = st.Node
+	fmt.Printf("job %s: step %d, %d checkpoints on node %s — SIGKILL pid %d\n",
+		st.ID, st.Step, st.Checkpoints, st.Node, pid)
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		fmt.Fprintf(os.Stderr, "abftload: kill %d: %v\n", pid, err)
+	}
+}
+
+// runRecover is the migrate-vs-cold-restart experiment behind
+// BENCH_recover.json: one undisturbed CG solve to price a full restart,
+// then the same solve with the executing worker SIGKILLed after its first
+// checkpoint. The gates demand a real migration (resume step > 0, one
+// migration, converged answer) and a recovery latency strictly below the
+// cold wall time — otherwise checkpoint shipping would be theater.
+func runRecover(ctx context.Context, client *loadgen.HTTPClient, cfg loadgen.JobsConfig, pids map[string]int, outPath string, checkpointEvery int) error {
+	cfg.Jobs = 1
+	cfg.Kernel = "cg"
+	cfg.Verify = false
+
+	fmt.Printf("recover: cold baseline solve (grid %dx%d, seed %d)\n", cfg.NX, cfg.NY, cfg.Seed)
+	coldRep, err := loadgen.RunJobs(ctx, client, cfg)
+	printJobs(coldRep)
+	if err != nil {
+		return err
+	}
+	if err := coldRep.Gate(); err != nil {
+		return fmt.Errorf("cold baseline: %w", err)
+	}
+	cold := coldRep.Jobs[0]
+
+	killer := &nodeKiller{pids: pids}
+	cfg.OnProgress = killer.onProgress
+	fmt.Println("recover: chaos solve (SIGKILL after first checkpoint)")
+	chaosRep, err := loadgen.RunJobs(ctx, client, cfg)
+	printJobs(chaosRep)
+	if err != nil {
+		return err
+	}
+	if err := chaosRep.Gate(); err != nil {
+		return fmt.Errorf("chaos run: %w", err)
+	}
+	st := chaosRep.Jobs[0].Status
+
+	f := benchjson.NewRecoverFile(cfg.Seed)
+	f.NX, f.NY, f.CheckpointEvery = cfg.NX, cfg.NY, checkpointEvery
+	f.ColdWallMS, f.ColdSteps = cold.WallMS, cold.Status.Step
+	f.KillWallMS = chaosRep.Jobs[0].WallMS
+	f.ResumeStep, f.Migrations = st.ResumeStep, st.Migrations
+	f.RecoveryMS, f.Checkpoints = st.RecoveryMS, st.Checkpoints
+	if st.Result != nil {
+		f.Outcome = st.Result.Outcome
+	}
+	if err := benchjson.WriteRecover(outPath, f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (cold %.0fms, recovery %.0fms, resumed from step %d)\n",
+		outPath, f.ColdWallMS, f.RecoveryMS, f.ResumeStep)
+
+	if !killer.killed.Load() {
+		return fmt.Errorf("no kill landed — job never polled running with a checkpoint on a named node")
+	}
+	if f.Outcome != "corrected" {
+		return fmt.Errorf("chaos outcome %q, want corrected", f.Outcome)
+	}
+	if f.Migrations < 1 {
+		return fmt.Errorf("migrations=%d, want >= 1", f.Migrations)
+	}
+	if f.ResumeStep <= 0 {
+		return fmt.Errorf("resume_step=%d, want > 0 (the replacement started cold)", f.ResumeStep)
+	}
+	if st.Node == killer.victim {
+		return fmt.Errorf("job finished on the killed node %s", st.Node)
+	}
+	if f.RecoveryMS <= 0 {
+		return fmt.Errorf("recovery_ms=%.1f, want > 0", f.RecoveryMS)
+	}
+	if f.RecoveryMS >= f.ColdWallMS {
+		return fmt.Errorf("recovery %.0fms not faster than a cold full restart (%.0fms)", f.RecoveryMS, f.ColdWallMS)
+	}
 	return nil
 }
 

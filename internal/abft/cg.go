@@ -158,9 +158,20 @@ func (c *CG) dot(xv, yv Vec, bucket *uint64) float64 {
 }
 
 // Run executes the solver to convergence or MaxIter.
-func (c *CG) Run() (CGOutcome, error) {
+func (c *CG) Run() (CGOutcome, error) { return c.RunFrom(0) }
+
+// RunFrom resumes the solve at global iteration step, rebuilding the
+// derived iteration state (r, z, p, ρ) from the current x and b — which on
+// a fresh start are x⁰ = 0 and the assembled right-hand side, and after a
+// checkpoint restore (possibly on a different node) are the restored
+// iterate. The rebuild is the same algebra as Recover: CG converges to the
+// true solution from any x, so only x and b need to survive a migration.
+func (c *CG) RunFrom(step int) (CGOutcome, error) {
+	if step < 0 || step > c.MaxIter {
+		return CGOutcome{}, fmt.Errorf("abft: CG resume step %d outside [0, %d]", step, c.MaxIter)
+	}
 	n := c.N()
-	// r⁰ = b − A·x⁰ (x⁰ = 0), z = M⁻¹r, p = z.
+	// r = b − A·x, z = M⁻¹r, p = z.
 	c.matvec(c.q, c.x, &c.Ops.Compute)
 	for i := 0; i < n; i++ {
 		c.r.Data[i] = c.b.Data[i] - c.q.Data[i]
@@ -178,7 +189,7 @@ func (c *CG) Run() (CGOutcome, error) {
 		c.bnorm = 1
 	}
 
-	for c.iter = 0; c.iter < c.MaxIter; c.iter++ {
+	for c.iter = step; c.iter < c.MaxIter; c.iter++ {
 		if c.OnIteration != nil {
 			c.OnIteration(c.iter)
 		}

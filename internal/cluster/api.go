@@ -30,6 +30,8 @@ type errorBody struct {
 //	POST   /v1/jobs                       submit an async job (202 + status)
 //	GET    /v1/jobs/{id}                  poll a job's status/result
 //	DELETE /v1/jobs/{id}                  cancel a job
+//	PUT    /v1/jobs/{id}/checkpoint       long-job snapshot upload (workers)
+//	GET  /v1/events                       cluster-wide error bus (NDJSON)
 //	GET  /healthz                         gateway liveness + per-node status
 //	POST /admin/drain?node=ID             take a node out of placement
 //	POST /admin/rejoin?node=ID            return a drained node to placement
@@ -43,6 +45,8 @@ func NewHandler(g *Gateway) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", g.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleJobCancel)
+	mux.HandleFunc("PUT /v1/jobs/{id}/checkpoint", g.handleJobCheckpoint)
+	mux.HandleFunc("GET /v1/events", g.handleEvents)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("POST /admin/drain", g.handleAdmin(g.Drain, "draining"))
 	mux.HandleFunc("POST /admin/rejoin", g.handleAdmin(g.Rejoin, "rejoined"))

@@ -116,6 +116,25 @@ type Config struct {
 	// (default 128).
 	MaxJobs int
 
+	// SelfURL is the gateway's own externally reachable base URL (e.g.
+	// http://127.0.0.1:8330). Long-job workers stream checkpoints back to
+	// SelfURL + /v1/jobs/{id}/checkpoint; empty disables checkpoint
+	// streaming (long jobs still run, but a dead worker forces a cold
+	// restart instead of a step-granular migration). The daemon may also
+	// set it after binding its listener, via SetSelfURL.
+	SelfURL string
+	// CheckpointEvery is the step interval workers are asked to stream
+	// checkpoints at for long jobs (default 8).
+	CheckpointEvery int
+	// MaxMigrations bounds how many times one long job may be rescheduled
+	// onto a new node after worker deaths (default 3).
+	MaxMigrations int
+	// EventBuffer sizes the gateway's error-bus replay ring (default 256).
+	EventBuffer int
+	// DisableEventStream turns off the per-node /v1/events watchers; node
+	// death is then discovered by probes and transport errors only.
+	DisableEventStream bool
+
 	// Seed feeds the deterministic retry jitter.
 	Seed uint64
 	// Client is the forwarding transport (default: a dedicated client
@@ -172,6 +191,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 128
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = 3
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 2 * time.Minute}
@@ -232,6 +260,14 @@ type Gateway struct {
 	jobCtx    context.Context
 	jobCancel context.CancelFunc
 	jobWG     sync.WaitGroup
+
+	// Error bus and long-job plumbing. selfURL is atomic so the daemon can
+	// set it after binding its listener; longClient has no overall timeout
+	// (a long solve's lifetime is bounded by the job context, and event
+	// streams stay open indefinitely).
+	bus        *serve.Bus
+	selfURL    atomic.Value // string
+	longClient *http.Client
 }
 
 // New builds a gateway and starts its health prober.
@@ -241,12 +277,16 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, errors.New("cluster: no nodes configured")
 	}
 	g := &Gateway{
-		cfg:  cfg,
-		m:    cfg.Metrics,
-		byID: make(map[string]*node, len(cfg.Nodes)),
-		quit: make(chan struct{}),
-		jobs: make(map[string]*jobRecord),
+		cfg:        cfg,
+		m:          cfg.Metrics,
+		byID:       make(map[string]*node, len(cfg.Nodes)),
+		quit:       make(chan struct{}),
+		jobs:       make(map[string]*jobRecord),
+		bus:        serve.NewBus(cfg.EventBuffer),
+		longClient: &http.Client{},
 	}
+	g.selfURL.Store(strings.TrimRight(cfg.SelfURL, "/"))
+	g.m.bus = g.bus
 	g.jobCtx, g.jobCancel = context.WithCancel(context.Background())
 	for _, nc := range cfg.Nodes {
 		base := strings.TrimRight(nc.BaseURL, "/")
@@ -285,11 +325,32 @@ func New(cfg Config) (*Gateway, error) {
 			go g.probeLoop(nd)
 		}
 	}
+	// Event watchers ride the same switch as the prober: ProbeInterval < 0
+	// means "no background node traffic" (deterministic tests), and the
+	// push-on-fault stream is a complement to probing, not a replacement.
+	if cfg.ProbeInterval > 0 && !cfg.DisableEventStream {
+		for _, nd := range g.nodes {
+			g.probeWG.Add(1)
+			go g.watchLoop(nd)
+		}
+	}
 	return g, nil
 }
 
 // Metrics returns the gateway's counters.
 func (g *Gateway) Metrics() *Metrics { return g.m }
+
+// Bus returns the gateway's error bus: every node's fault events, relayed
+// with Node stamped, plus the gateway's own node_death publications.
+func (g *Gateway) Bus() *serve.Bus { return g.bus }
+
+// SetSelfURL records the gateway's externally reachable base URL after
+// the daemon binds its listener, enabling checkpoint streaming for long
+// jobs submitted from then on.
+func (g *Gateway) SetSelfURL(u string) { g.selfURL.Store(strings.TrimRight(u, "/")) }
+
+// SelfURL returns the currently configured self URL ("" if unset).
+func (g *Gateway) SelfURL() string { u, _ := g.selfURL.Load().(string); return u }
 
 // Close stops the health prober and cancels running jobs, waiting for
 // their coordinators to unwind. In-flight synchronous forwards are

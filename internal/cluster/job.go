@@ -39,6 +39,16 @@ type jobRecord struct {
 	mu     sync.Mutex
 	status serve.JobStatus
 	doneAt time.Time
+
+	// long is the long-job coordination state (guarded by mu): the current
+	// incarnation epoch, the newest accepted encoded checkpoint and its
+	// step, and the open fault time for recovery-latency accounting.
+	long struct {
+		epoch    int64
+		snap     []byte
+		snapStep int
+		faultAt  time.Time
+	}
 }
 
 // update mutates the status under the record lock and returns a copy.
@@ -86,9 +96,11 @@ func (g *Gateway) jobLimits() serve.Limits {
 }
 
 // SubmitJob admits one async job: large GEMMs shard into checksum-block
-// tasks across the pool; everything else passes through the synchronous
-// forwarding path unchanged. Returns the job's initial status (State
-// "queued") with its polling ID.
+// tasks across the pool; CG solves run as step-granular long jobs that
+// stream checkpoints back to the gateway and migrate across worker
+// deaths; everything else passes through the synchronous forwarding path
+// unchanged. Returns the job's initial status (State "queued") with its
+// polling ID.
 func (g *Gateway) SubmitJob(req serve.Request) (serve.JobStatus, error) {
 	p, err := serve.ParseRequest(g.jobLimits(), req)
 	if err != nil {
@@ -96,6 +108,7 @@ func (g *Gateway) SubmitJob(req serve.Request) (serve.JobStatus, error) {
 		return serve.JobStatus{}, err
 	}
 
+	long := p.Kernel == serve.KernelCG
 	sharded := p.Kernel == serve.KernelGEMM && p.N >= g.cfg.ShardThreshold
 	var plan shardPlan
 	if sharded {
@@ -122,7 +135,8 @@ func (g *Gateway) SubmitJob(req serve.Request) (serve.JobStatus, error) {
 	ctx, cancel := context.WithCancel(g.jobCtx)
 	rec := &jobRecord{id: id, cancel: cancel, done: make(chan struct{})}
 	rec.status = serve.JobStatus{
-		ID: id, State: serve.JobQueued, Kernel: p.Kernel.String(), N: p.Size(), Sharded: sharded,
+		ID: id, State: serve.JobQueued, Kernel: p.Kernel.String(), N: p.Size(),
+		Sharded: sharded, Long: long,
 	}
 	if sharded {
 		grid := plan.grid
@@ -137,9 +151,12 @@ func (g *Gateway) SubmitJob(req serve.Request) (serve.JobStatus, error) {
 	go func() {
 		defer g.jobWG.Done()
 		defer cancel()
-		if sharded {
+		switch {
+		case long:
+			g.runLongJob(ctx, rec, p, req)
+		case sharded:
 			g.runShardedJob(ctx, rec, p, plan)
-		} else {
+		default:
 			g.runPassthroughJob(ctx, rec, req)
 		}
 	}()

@@ -5,15 +5,18 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 
+	"coopabft/internal/checkpoint"
 	"coopabft/internal/serve"
 )
 
 // Jobs API handlers. Routes (wired in NewHandler):
 //
-//	POST   /v1/jobs       submit → 202 Accepted + JobStatus
-//	GET    /v1/jobs/{id}  poll → 200 + JobStatus (404 after eviction)
-//	DELETE /v1/jobs/{id}  cancel → 200 + JobStatus at call time
+//	POST   /v1/jobs                  submit → 202 Accepted + JobStatus
+//	GET    /v1/jobs/{id}             poll → 200 + JobStatus (404 after eviction)
+//	DELETE /v1/jobs/{id}             cancel → 200 + JobStatus at call time
+//	PUT    /v1/jobs/{id}/checkpoint  store a long job's streamed snapshot
 //
 // The wire contract — JobStatus's shape and its field-stability
 // guarantees — is documented on serve.JobStatus, next to the types.
@@ -60,4 +63,54 @@ func (g *Gateway) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobCheckpoint receives one streamed snapshot from a long job's
+// worker (PUT /v1/jobs/{id}/checkpoint?epoch=N). The body must decode as
+// a checkpoint snapshot — the gateway never retains bytes it could not
+// resume from. Stale PUTs (old epoch, non-advancing step) answer 200 with
+// stored:false: the worker's stream is healthy, its snapshot just lost
+// the race, so the worker must not count it as a transport failure.
+func (g *Gateway) handleJobCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.jobMu.Lock()
+	rec, ok := g.jobs[id]
+	g.jobMu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_job", "no such job: "+id)
+		return
+	}
+	epoch, err := strconv.ParseInt(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "epoch must be an integer")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, longReadLimit))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "reading snapshot: "+err.Error())
+		return
+	}
+	snap, err := checkpoint.Decode(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	stored, recoveredMS := rec.acceptCheckpoint(epoch, snap.Step, snap.Restarts, body)
+	if !stored {
+		g.m.CheckpointsStale.Add(1)
+		writeJSON(w, http.StatusOK, map[string]any{"stored": false})
+		return
+	}
+	g.m.CheckpointsStored.Add(1)
+	if recoveredMS > 0 {
+		g.m.RecoveryMSSum.Add(recoveredMS)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stored": true, "step": snap.Step})
+}
+
+// handleEvents re-exports the gateway's error bus — every node's fault
+// events with Node stamped, plus the gateway's own node_death
+// publications — as the same NDJSON stream the workers serve.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	serve.ServeEventStream(w, r, g.bus, g.quit)
 }

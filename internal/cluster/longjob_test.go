@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"coopabft/internal/checkpoint"
+	"coopabft/internal/serve"
+)
+
+// longTestGateway builds a gateway with background machinery on (probes +
+// event watchers), fronted by its own HTTP server so workers can stream
+// checkpoints back, and a tight CheckpointEvery so migrations have fresh
+// state to resume from.
+func longTestGateway(t *testing.T, nodes ...NodeConfig) *Gateway {
+	t.Helper()
+	g, err := New(Config{
+		Nodes:           nodes,
+		Window:          8,
+		Retries:         3,
+		RetryBackoff:    time.Millisecond,
+		ProbeInterval:   25 * time.Millisecond,
+		ProbeTimeout:    250 * time.Millisecond,
+		BreakerFailures: 2,
+		BreakerCooldown: 100 * time.Millisecond,
+		CheckpointEvery: 1,
+		Seed:            19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	ts := httptest.NewServer(NewHandler(g))
+	t.Cleanup(ts.Close)
+	g.SetSelfURL(ts.URL)
+	return g
+}
+
+// TestLongJobMigratesOnWorkerDeath is the in-process version of the CI
+// SIGKILL-mid-CG chaos gate: submit a CG solve as a long job, kill the
+// worker executing it after the gateway has accepted a checkpoint, and
+// require the job to finish converged on the other node, resumed from a
+// step > 0, with exactly one migration and a measured recovery latency —
+// never a wrong answer, never a silent cold restart.
+func TestLongJobMigratesOnWorkerDeath(t *testing.T) {
+	nodes := map[string]*restartableNode{
+		"n0": startRestartable(t, ""),
+		"n1": startRestartable(t, ""),
+	}
+	g := longTestGateway(t,
+		NodeConfig{ID: "n0", BaseURL: "http://" + nodes["n0"].addr},
+		NodeConfig{ID: "n1", BaseURL: "http://" + nodes["n1"].addr},
+	)
+	events, cancelSub := g.Bus().Subscribe(512)
+	defer cancelSub()
+
+	st, err := g.SubmitJob(serve.Request{Kernel: "cg", NX: 48, NY: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Long {
+		t.Fatalf("CG job not admitted on the long path: %+v", st)
+	}
+
+	// Kill the executing worker only once a checkpoint has landed, so the
+	// migration has state to resume from.
+	var victim string
+	waitFor(t, "first accepted checkpoint", func() bool {
+		cur, err := g.JobStatusOf(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terminal(cur.State) {
+			t.Fatalf("job finished before the kill could land: %+v", cur)
+		}
+		victim = cur.Node
+		return cur.Checkpoints >= 1 && cur.Step >= 1
+	})
+	nodes[victim].kill()
+
+	// The resumed solve runs to convergence; give it real time (the -race
+	// build is several times slower than the plain one).
+	var final serve.JobStatus
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		cur, err := g.JobStatusOf(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = cur
+		if terminal(cur.State) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for the migrated job to finish: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if final.State != serve.JobDone {
+		t.Fatalf("job state %q (error %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Outcome != "corrected" {
+		t.Fatalf("result %+v, want corrected", final.Result)
+	}
+	if final.Migrations != 1 {
+		t.Errorf("migrations = %d, want 1", final.Migrations)
+	}
+	if final.ResumeStep <= 0 {
+		t.Errorf("resume_step = %d, want > 0 (cold restart is a gate failure)", final.ResumeStep)
+	}
+	if final.Node == victim {
+		t.Errorf("final node %s is the killed worker", victim)
+	}
+	if final.RecoveryMS <= 0 {
+		t.Errorf("recovery_ms = %v, want > 0", final.RecoveryMS)
+	}
+	if got := g.m.Migrations.Value(); got != 1 {
+		t.Errorf("metrics migrations = %d, want 1", got)
+	}
+	if got := g.m.CheckpointsStored.Value(); got < 1 {
+		t.Errorf("metrics checkpoints_stored = %d, want >= 1", got)
+	}
+	if g.m.RecoveryMSSum.Value() <= 0 {
+		t.Error("metrics recovery_ms_sum not recorded")
+	}
+
+	// The error bus carried the fault story: the gateway published its own
+	// node_death for the killed worker.
+	var seen []serve.Event
+	waitFor(t, "node_death on the gateway bus", func() bool {
+		for {
+			select {
+			case e := <-events:
+				seen = append(seen, e)
+			default:
+				for _, e := range seen {
+					if e.Type == serve.EventNodeDeath && e.Node == victim {
+						return true
+					}
+				}
+				return false
+			}
+		}
+	})
+}
+
+// TestLongJobEventRelay: a healthy single-node long job's fault-path
+// events (job_resumed, checkpoint_committed, job_done) arrive on the
+// gateway bus stamped with the worker's node ID.
+func TestLongJobEventRelay(t *testing.T) {
+	nd := startRestartable(t, "")
+	g := longTestGateway(t, NodeConfig{ID: "w0", BaseURL: "http://" + nd.addr})
+
+	st, err := g.SubmitJob(serve.Request{Kernel: "cg", NX: 12, NY: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "long job to finish", func() bool {
+		cur, err := g.JobStatusOf(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return terminal(cur.State)
+	})
+	final, _ := g.JobStatusOf(st.ID)
+	if final.State != serve.JobDone || final.Result == nil || final.Result.Outcome != "corrected" {
+		t.Fatalf("final %+v, want done/corrected", final)
+	}
+	if final.Checkpoints < 1 || final.Step < 1 {
+		t.Errorf("no checkpoints retained: %+v", final)
+	}
+
+	// Relay is asynchronous; wait for the terminal event to appear.
+	waitFor(t, "job_done relayed onto the gateway bus", func() bool {
+		for _, e := range g.Bus().Recent(0) {
+			if e.Type == serve.EventJobDone && e.Job == st.ID && e.Node == "w0" {
+				return true
+			}
+		}
+		return false
+	})
+	var sawResume, sawCkpt bool
+	for _, e := range g.Bus().Recent(0) {
+		if e.Node != "w0" {
+			continue
+		}
+		switch e.Type {
+		case serve.EventJobResumed:
+			sawResume = true
+		case serve.EventCheckpoint:
+			sawCkpt = true
+		}
+	}
+	if !sawResume || !sawCkpt {
+		t.Errorf("relay missed events: job_resumed=%v checkpoint_committed=%v", sawResume, sawCkpt)
+	}
+}
+
+// TestAcceptCheckpointEpochAndStepGuards: a zombie incarnation's PUTs
+// (old epoch) and non-advancing steps are discarded; fresh state lands.
+func TestAcceptCheckpointEpochAndStepGuards(t *testing.T) {
+	rec := &jobRecord{id: "j1"}
+	rec.long.epoch = 2
+	buf := checkpoint.Encode(checkpoint.Snapshot{Step: 4})
+
+	if ok, _ := rec.acceptCheckpoint(1, 4, 0, buf); ok {
+		t.Error("stale-epoch PUT accepted")
+	}
+	if ok, _ := rec.acceptCheckpoint(2, 4, 1, buf); !ok {
+		t.Fatal("current-epoch PUT rejected")
+	}
+	if rec.status.Step != 4 || rec.status.Checkpoints != 1 || rec.status.RestartsUsed != 1 {
+		t.Fatalf("status not updated: %+v", rec.status)
+	}
+	if ok, _ := rec.acceptCheckpoint(2, 4, 1, buf); ok {
+		t.Error("non-advancing step accepted")
+	}
+	if ok, _ := rec.acceptCheckpoint(2, 8, 1, buf); !ok {
+		t.Error("advancing step rejected")
+	}
+	if rec.status.Checkpoints != 2 {
+		t.Errorf("checkpoints = %d, want 2", rec.status.Checkpoints)
+	}
+}

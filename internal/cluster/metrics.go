@@ -43,6 +43,24 @@ type Metrics struct {
 	Reconstructions expvar.Int
 	BlockRecomputes expvar.Int
 
+	// Long jobs (step-granular CG solves) and the error bus.
+	JobsLong expvar.Int // jobs dispatched on the long path
+	// Migrations counts long-job reschedules onto a new node after a
+	// worker died mid-solve; the SIGKILL-mid-CG chaos gate requires
+	// Migrations >= 1 with zero wrong answers.
+	Migrations        expvar.Int
+	CheckpointsStored expvar.Int   // checkpoint PUTs accepted and retained
+	CheckpointsStale  expvar.Int   // checkpoint PUTs discarded (old epoch or step)
+	EventsRelayed     expvar.Int   // node events re-published on the gateway bus
+	NodeDeaths        expvar.Int   // established event streams that dropped
+	RecoveryMSSum     expvar.Float // fault→resumed latency summed over migrations
+
+	// bus, when set by New, surfaces gateway error-bus counters.
+	bus interface {
+		Published() uint64
+		Dropped() int64
+	}
+
 	mu    sync.Mutex
 	nodes map[string]*NodeMetrics
 }
@@ -111,6 +129,18 @@ func (m *Metrics) Snapshot() map[string]any {
 		"checksum_tasks":         m.ChecksumTasks.Value(),
 		"reconstructions":        m.Reconstructions.Value(),
 		"block_recomputes":       m.BlockRecomputes.Value(),
+
+		"jobs_long":          m.JobsLong.Value(),
+		"migrations":         m.Migrations.Value(),
+		"checkpoints_stored": m.CheckpointsStored.Value(),
+		"checkpoints_stale":  m.CheckpointsStale.Value(),
+		"events_relayed":     m.EventsRelayed.Value(),
+		"node_deaths":        m.NodeDeaths.Value(),
+		"recovery_ms_sum":    m.RecoveryMSSum.Value(),
+	}
+	if m.bus != nil {
+		snap["events_published"] = m.bus.Published()
+		snap["events_dropped"] = m.bus.Dropped()
 	}
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.nodes))

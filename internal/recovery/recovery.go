@@ -74,11 +74,31 @@ type Report struct {
 	Degradations int    // notified→full verification fallbacks
 	OSPanics     uint64 // Case 4 entries
 	Restarts     int
-	Case3        int // restarts triggered by ABFT/verification failure
-	Case4        int // restarts triggered by OS panic mode
-	StepsLost    int
-	Err          error // why the run Aborted (nil otherwise)
+	// RestartsTotal is the cumulative rollback count including the budget
+	// carried in by Resume — the number the MaxRestarts cap is enforced
+	// against, across migrations.
+	RestartsTotal int
+	Case3         int // restarts triggered by ABFT/verification failure
+	Case4         int // restarts triggered by OS panic mode
+	StepsLost     int
+	// ResumedFrom is the step a Resume snapshot installed (0 fresh start).
+	ResumedFrom int
+	Checkpoints int
+	Err         error // why the run Aborted (nil otherwise)
 }
+
+// Ladder event kinds delivered to OnEvent — the in-process feed the serving
+// layer republishes on its error bus.
+const (
+	// EventFault: a run leg failed (ABFT escalation or OS panic) before
+	// any rollback decision.
+	EventFault = "fault"
+	// EventEscalation: the ladder rolled back to a checkpoint and will
+	// replay from the reported step.
+	EventEscalation = "escalation"
+	// EventCheckpoint: a checkpoint was committed at the reported step.
+	EventCheckpoint = "checkpoint"
+)
 
 // errStillWrong marks an oracle failure that survived degraded verification.
 var errStillWrong = errors.New("recovery: result fails verification after full sweep")
@@ -111,6 +131,20 @@ type Coordinator struct {
 	// computing (or escalating) further. Deadline-bound serving uses this
 	// to propagate request deadlines into kernel execution.
 	Ctx context.Context
+	// Resume, when non-nil, seeds the run from a decoded checkpoint
+	// snapshot (possibly taken on another node) instead of a fresh start:
+	// the workload's registered state is installed, execution begins at the
+	// snapshot's step, and the snapshot's consumed restart budget counts
+	// against MaxRestarts.
+	Resume *checkpoint.Snapshot
+	// OnCheckpoint, when set, observes every committed checkpoint as a
+	// wire-ready snapshot — the hook long-job serving uses to stream
+	// checkpoints off-node. It runs on the kernel's step boundary; slow
+	// observers should hand off asynchronously.
+	OnCheckpoint func(checkpoint.Snapshot)
+	// OnEvent, when set, observes ladder transitions (EventFault,
+	// EventEscalation, EventCheckpoint) as they happen.
+	OnEvent func(kind string, step int, detail string)
 
 	ck          *checkpoint.Checkpointer
 	tick        int
@@ -138,6 +172,17 @@ func (c *Coordinator) Run() Report {
 	c.W.SetHook(c.onStep)
 
 	step := 0
+	if c.Resume != nil {
+		if err := c.ck.Install(*c.Resume); err != nil {
+			c.rep.Outcome = Aborted
+			c.rep.Err = err
+			c.finalize()
+			return c.rep
+		}
+		step = c.Resume.Step
+		c.rep.ResumedFrom = step
+		c.lastStep = step
+	}
 	for {
 		runErr := c.runStep(step)
 		if errors.Is(runErr, ErrCancelled) {
@@ -163,6 +208,7 @@ func (c *Coordinator) Run() Report {
 		}
 		// Case 3 (ABFT/verification failure) or Case 4 (OS panic): roll
 		// back to the last checkpoint and replay.
+		c.emit(EventFault, c.lastStep, runErr.Error())
 		if errors.Is(runErr, errOSPanic) {
 			c.rep.Case4++
 		} else {
@@ -176,6 +222,7 @@ func (c *Coordinator) Run() Report {
 			return c.rep
 		}
 		c.rep.Restarts++
+		c.emit(EventEscalation, resume, fmt.Sprintf("rollback %d: replay from step %d", c.rep.Restarts, resume))
 		c.cleanSlate()
 		step = resume
 	}
@@ -211,6 +258,12 @@ func (c *Coordinator) onStep(step int) {
 	c.lastStep = step
 	if c.tick%c.CheckpointEvery == 0 {
 		c.ck.Checkpoint(step)
+		c.emit(EventCheckpoint, step, "")
+		if c.OnCheckpoint != nil {
+			if snap, err := c.ck.Snapshot(); err == nil {
+				c.OnCheckpoint(snap)
+			}
+		}
 	}
 	targets := c.W.InjectTargets()
 	injected := false
@@ -296,6 +349,13 @@ func (c *Coordinator) cleanSlate() {
 	c.RT.M.OS.ClearPanic()
 }
 
+// emit delivers a ladder event to the optional observer.
+func (c *Coordinator) emit(kind string, step int, detail string) {
+	if c.OnEvent != nil {
+		c.OnEvent(kind, step, detail)
+	}
+}
+
 // finalize snapshots platform counters into the report.
 func (c *Coordinator) finalize() {
 	c.rep.HWCorrected = c.RT.M.Ctl.Stats().CorrectedErrors
@@ -303,5 +363,8 @@ func (c *Coordinator) finalize() {
 	c.rep.Notified = os.ExposedToABFT
 	c.rep.OSPanics = os.Panics
 	c.rep.Corrections = c.W.Corrections()
-	c.rep.StepsLost = c.ck.Stats().StepsLost
+	st := c.ck.Stats()
+	c.rep.StepsLost = st.StepsLost
+	c.rep.RestartsTotal = st.Restarts
+	c.rep.Checkpoints = st.Checkpoints
 }

@@ -1,0 +1,124 @@
+package recovery
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"coopabft/internal/checkpoint"
+	"coopabft/internal/core"
+)
+
+// TestCoordinatorResumeFromSnapshot: a snapshot streamed out of one run via
+// OnCheckpoint, round-tripped through the wire codec, seeds a second
+// coordinator that resumes at the snapshot's step instead of replaying from
+// scratch.
+func TestCoordinatorResumeFromSnapshot(t *testing.T) {
+	rtA := newRT(t, core.WholeChipkill)
+	envA := rtA.Env()
+	const steps = 6
+	fA := &fakeWork{
+		data:    make([]float64, steps),
+		reg:     envA.Alloc("fake.data", steps, false),
+		steps:   steps,
+		badStep: -1,
+	}
+	var snaps []checkpoint.Snapshot
+	coA := &Coordinator{RT: rtA, W: fA, CheckpointEvery: 2,
+		OnCheckpoint: func(s checkpoint.Snapshot) { snaps = append(snaps, s) }}
+	if rep := coA.Run(); rep.Outcome != Corrected {
+		t.Fatalf("first run outcome = %v (err %v)", rep.Outcome, rep.Err)
+	}
+	// Checkpoints land at ticks 0, 2, 4 → the last snapshot is step 4.
+	if len(snaps) != 3 || snaps[2].Step != 4 {
+		t.Fatalf("streamed %d snapshots, last step %d; want 3 ending at 4", len(snaps), snaps[len(snaps)-1].Step)
+	}
+
+	dec, err := checkpoint.Decode(checkpoint.Encode(snaps[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB := newRT(t, core.WholeChipkill)
+	envB := rtB.Env()
+	fB := &fakeWork{
+		data:    make([]float64, steps), // cold state; the snapshot must fill it
+		reg:     envB.Alloc("fake.data", steps, false),
+		steps:   steps,
+		badStep: -1,
+	}
+	coB := &Coordinator{RT: rtB, W: fB, CheckpointEvery: 2, Resume: &dec}
+	rep := coB.Run()
+	if rep.Outcome != Corrected {
+		t.Fatalf("resumed outcome = %v (err %v)", rep.Outcome, rep.Err)
+	}
+	if rep.ResumedFrom != 4 {
+		t.Errorf("ResumedFrom = %d, want 4", rep.ResumedFrom)
+	}
+	// Steps 0–3 must come from the installed snapshot, not recomputation:
+	// fakeWork.Check verifies every element, and the resumed run only
+	// executes steps 4 and 5.
+}
+
+// TestCoordinatorResumeMismatchAborts: a snapshot from a different workload
+// shape must end Aborted with the typed mismatch error, never install.
+func TestCoordinatorResumeMismatchAborts(t *testing.T) {
+	rt := newRT(t, core.WholeChipkill)
+	env := rt.Env()
+	f := &fakeWork{data: make([]float64, 4), reg: env.Alloc("fake.data", 4, false), steps: 4, badStep: -1}
+	bad := &checkpoint.Snapshot{Step: 2, Regions: []checkpoint.SnapRegion{
+		{Name: "other", Data: []float64{1, 2, 3, 4}}}}
+	co := &Coordinator{RT: rt, W: f, Resume: bad}
+	rep := co.Run()
+	if rep.Outcome != Aborted || !errors.Is(rep.Err, checkpoint.ErrSnapshotMismatch) {
+		t.Fatalf("outcome = %v, err = %v; want Aborted with ErrSnapshotMismatch", rep.Outcome, rep.Err)
+	}
+}
+
+// TestCGMigratesAcrossRuntimes is the in-process model of worker death and
+// migration: a CG solve is cancelled mid-run (the SIGKILL stand-in) after
+// streaming checkpoints, and a second runtime — fresh machine, fresh
+// workload, same problem — resumes from the last streamed snapshot and
+// converges without re-running the completed iterations.
+func TestCGMigratesAcrossRuntimes(t *testing.T) {
+	rtA := newRT(t, core.WholeChipkill)
+	wA, err := NewCGWorkload(rtA, 12, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var snaps []checkpoint.Snapshot
+	coA := &Coordinator{RT: rtA, W: wA, CheckpointEvery: 4, Ctx: ctx,
+		OnCheckpoint: func(s checkpoint.Snapshot) {
+			snaps = append(snaps, s)
+			if len(snaps) == 3 {
+				cancel() // die mid-solve, after checkpoints left the node
+			}
+		}}
+	rep := coA.Run()
+	if rep.Outcome != Aborted || !errors.Is(rep.Err, ErrCancelled) {
+		t.Fatalf("victim outcome = %v (err %v), want cancelled Abort", rep.Outcome, rep.Err)
+	}
+	last := snaps[len(snaps)-1]
+	if last.Step == 0 {
+		t.Fatal("no mid-solve checkpoint was streamed")
+	}
+
+	dec, err := checkpoint.Decode(checkpoint.Encode(last))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB := newRT(t, core.WholeChipkill)
+	wB, err := NewCGWorkload(rtB, 12, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coB := &Coordinator{RT: rtB, W: wB, CheckpointEvery: 4, Resume: &dec}
+	repB := coB.Run()
+	if repB.Outcome != Corrected {
+		t.Fatalf("resumed outcome = %v (err %v), want Corrected", repB.Outcome, repB.Err)
+	}
+	if repB.ResumedFrom != last.Step {
+		t.Errorf("ResumedFrom = %d, want %d", repB.ResumedFrom, last.Step)
+	}
+}

@@ -153,13 +153,15 @@ func (w *cholWork) Check() error         { return w.c.CheckResult(w.orig) }
 // ---- FT-CG ----
 
 type cgWork struct {
-	c  *abft.CG
-	b0 []float64
+	c    *abft.CG
+	b0   []float64
+	last abft.CGOutcome
 }
 
 // NewCGWorkload builds an FT-CG workload in notified mode. CG's restart is
-// algorithmic: restoring x (and b) and re-running rebuilds the remaining
-// iteration state, so RunFrom ignores the step argument.
+// algorithmic: restoring x (and b) rebuilds the remaining iteration state
+// (r, z, p, ρ), and RunFrom resumes the iteration count at the restored
+// step, so replayed work is exactly the steps since the last checkpoint.
 func NewCGWorkload(rt *core.Runtime, nx, ny int, seed uint64) (Workload, error) {
 	c := rt.NewCG(nx, ny, seed)
 	c.Mode = abft.NotifiedVerify
@@ -173,8 +175,9 @@ func (w *cgWork) Steps() int                { return 32 }
 func (w *cgWork) SetHook(fn func(step int)) { w.c.OnIteration = fn }
 func (w *cgWork) Corrections() int          { return len(w.c.Corrections) }
 
-func (w *cgWork) RunFrom(int) error {
-	out, err := w.c.Run()
+func (w *cgWork) RunFrom(step int) error {
+	out, err := w.c.RunFrom(step)
+	w.last = out
 	if err != nil {
 		return err
 	}
@@ -184,6 +187,10 @@ func (w *cgWork) RunFrom(int) error {
 	}
 	return nil
 }
+
+// Solve reports the last RunFrom leg's solver outcome (iterations,
+// residual) — the long-job serving layer surfaces it in job status.
+func (w *cgWork) Solve() abft.CGOutcome { return w.last }
 
 func (w *cgWork) CheckpointSet() []State {
 	x, _ := w.c.VecFor("x")

@@ -24,6 +24,8 @@ type errorBody struct {
 //	POST /v1/cholesky  run FT-Cholesky
 //	POST /v1/cg        run FT-CG
 //	POST /v1/block     run one sharded-job block task
+//	POST /v1/longjob   run one long-task incarnation (CG, checkpoint-streaming)
+//	GET  /v1/events    stream the error bus as NDJSON (?replay=N)
 //	GET  /healthz      liveness + queue snapshot
 //
 // Debug endpoints (/debug/vars, /debug/pprof) are the daemon's business —
@@ -34,6 +36,8 @@ func NewHandler(s *Service) http.Handler {
 		mux.HandleFunc("POST /v1/"+k.String(), s.handleKernel(k.String()))
 	}
 	mux.HandleFunc("POST /v1/block", s.handleBlock)
+	mux.HandleFunc("POST /v1/longjob", s.handleLongJob)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -97,6 +101,42 @@ func (s *Service) handleBlock(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
 	}
+}
+
+// longMaxBodyBytes bounds long-task bodies: a shipped snapshot carries the
+// CG state vectors (x and b), so the limit scales with MaxJobN²/16 grid
+// areas rather than interactive requests.
+const longMaxBodyBytes = 64 << 20
+
+// handleLongJob decodes and runs one long-task incarnation, mapping the
+// same typed errors onto the same status codes as the other routes.
+func (s *Service) handleLongJob(w http.ResponseWriter, r *http.Request) {
+	var task LongTask
+	dec := json.NewDecoder(io.LimitReader(r.Body, longMaxBodyBytes))
+	if err := dec.Decode(&task); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	res, err := s.DoLong(r.Context(), task)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrBadRequest):
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, ErrQueueTimeout):
+		writeErr(w, http.StatusServiceUnavailable, "queue_timeout", err.Error())
+	case errors.Is(err, ErrClosed):
+		w.Header().Set("Connection", "close")
+		writeErr(w, http.StatusServiceUnavailable, "closed", err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// handleEvents streams the service's error bus (push-on-fault: the gateway
+// holds one of these open per node instead of relying on probe cadence).
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ServeEventStream(w, r, s.bus, s.quit)
 }
 
 // handleHealthz reports liveness with a small load snapshot, so probes and

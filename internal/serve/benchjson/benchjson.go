@@ -104,9 +104,64 @@ func FromResult(res *loadgen.Result) File {
 	return f
 }
 
+// RecoverFile is the BENCH_recover.json artifact: one cold full-restart
+// baseline solve against one SIGKILL-mid-solve chaos run, the pair the CI
+// gate compares to prove step-granular migration beats starting over.
+type RecoverFile struct {
+	Bench     string `json:"bench"` // always "recover"
+	Seed      uint64 `json:"seed"`
+	When      string `json:"when"` // RFC3339
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	NX              int `json:"nx"`
+	NY              int `json:"ny"`
+	CheckpointEvery int `json:"checkpoint_every"`
+
+	// ColdWallMS is the undisturbed submit-to-done wall time — the cost a
+	// full restart would pay again from step zero.
+	ColdWallMS float64 `json:"cold_wall_ms"`
+	ColdSteps  int     `json:"cold_steps"`
+
+	// Chaos-run fields: wall time with a worker killed mid-solve, the step
+	// the replacement resumed from, and the gateway-measured fault-to-
+	// resumed latency the gate holds strictly under ColdWallMS.
+	KillWallMS  float64 `json:"kill_wall_ms"`
+	ResumeStep  int     `json:"resume_step"`
+	Migrations  int     `json:"migrations"`
+	RecoveryMS  float64 `json:"recovery_ms"`
+	Checkpoints int     `json:"checkpoints"`
+	Outcome     string  `json:"outcome"`
+}
+
+// NewRecoverFile stamps the host fields shared with File.
+func NewRecoverFile(seed uint64) RecoverFile {
+	return RecoverFile{
+		Bench:     "recover",
+		Seed:      seed,
+		When:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
 // Write marshals the artifact and renames it into place atomically.
 func Write(path string, f File) error {
-	data, err := json.MarshalIndent(f, "", "  ")
+	return writeAtomic(path, f)
+}
+
+// WriteRecover writes BENCH_recover.json with the same atomicity contract
+// as Write.
+func WriteRecover(path string, f RecoverFile) error {
+	return writeAtomic(path, f)
+}
+
+func writeAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -133,12 +188,24 @@ func Write(path string, f File) error {
 // Read loads an artifact (for baseline comparisons in future PRs).
 func Read(path string) (File, error) {
 	var f File
+	err := readJSON(path, &f)
+	return f, err
+}
+
+// ReadRecover loads a BENCH_recover.json artifact.
+func ReadRecover(path string) (RecoverFile, error) {
+	var f RecoverFile
+	err := readJSON(path, &f)
+	return f, err
+}
+
+func readJSON(path string, v any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return f, err
+		return err
 	}
-	if err := json.Unmarshal(data, &f); err != nil {
-		return f, fmt.Errorf("benchjson: %s: %w", path, err)
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("benchjson: %s: %w", path, err)
 	}
-	return f, nil
+	return nil
 }

@@ -82,3 +82,30 @@ func TestReadMissing(t *testing.T) {
 		t.Fatal("expected error for missing file")
 	}
 }
+
+// TestRecoverRoundTrip: BENCH_recover.json writes atomically and reads
+// back intact.
+func TestRecoverRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_recover.json")
+	f := NewRecoverFile(11)
+	f.NX, f.NY, f.CheckpointEvery = 48, 48, 4
+	f.ColdWallMS, f.ColdSteps = 920.5, 210
+	f.KillWallMS, f.ResumeStep, f.Migrations = 1100.25, 96, 1
+	f.RecoveryMS, f.Checkpoints, f.Outcome = 87.5, 24, "corrected"
+	if err := WriteRecover(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != "recover" || got.Seed != 11 || got.GoVersion == "" || got.When == "" {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if got.ResumeStep != 96 || got.Migrations != 1 || got.RecoveryMS != 87.5 {
+		t.Errorf("chaos fields: %+v", got)
+	}
+	if got.ColdWallMS != 920.5 || got.Outcome != "corrected" {
+		t.Errorf("baseline fields: %+v", got)
+	}
+}

@@ -72,4 +72,28 @@ type JobStatus struct {
 	// QueueMS and RunMS time the job end to end at the gateway.
 	QueueMS float64 `json:"queue_ms"`
 	RunMS   float64 `json:"run_ms"`
+
+	// Long-job fields (step-granular CG jobs only; absent otherwise).
+
+	// Long reports the execution path: the job runs as a checkpoint-
+	// streaming long task and may migrate between nodes mid-solve.
+	Long bool `json:"long,omitempty"`
+	// Node is the worker currently (or last) executing the job.
+	Node string `json:"node,omitempty"`
+	// Step is the newest checkpointed step the gateway holds; Checkpoints
+	// counts snapshots retained with the job record.
+	Step        int `json:"step,omitempty"`
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// Migrations counts reschedules onto a new node after a worker died
+	// mid-solve; ResumeStep is the step the latest migration resumed from
+	// (> 0 means the solve continued instead of starting over).
+	Migrations int `json:"migrations,omitempty"`
+	ResumeStep int `json:"resume_step,omitempty"`
+	// RestartsUsed is the cumulative checkpoint-rollback budget consumed
+	// across all nodes the job has run on.
+	RestartsUsed int `json:"restarts_used,omitempty"`
+	// RecoveryMS sums fault→resumed latency over the job's migrations:
+	// from the gateway observing the worker's death to the replacement
+	// worker's first signal (checkpoint PUT or terminal result).
+	RecoveryMS float64 `json:"recovery_ms,omitempty"`
 }

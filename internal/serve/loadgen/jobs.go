@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
 	"coopabft/internal/abft"
+	"coopabft/internal/campaign"
 	"coopabft/internal/mat"
 	"coopabft/internal/serve"
 )
@@ -23,6 +25,17 @@ import (
 // ErrJobFailed reports a job that reached a terminal state other than
 // done, or a done job whose result failed local verification.
 var ErrJobFailed = fmt.Errorf("loadgen: job failed")
+
+// shedError marks a 429 from the jobs API, carrying the server's (capped)
+// Retry-After hint so the poll loop can back off as told instead of
+// failing the job.
+type shedError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *shedError) Error() string { return e.err.Error() }
+func (e *shedError) Unwrap() error { return e.err }
 
 // SubmitJob posts a request to /v1/jobs and returns the accepted job's
 // initial status.
@@ -83,7 +96,10 @@ func (h *HTTPClient) jobCall(ctx context.Context, method, path string, body []by
 	case http.StatusBadRequest:
 		return serve.JobStatus{}, fmt.Errorf("%w: %s", serve.ErrBadRequest, wireError(payload))
 	case http.StatusTooManyRequests:
-		return serve.JobStatus{}, fmt.Errorf("%w: %s", serve.ErrOverloaded, wireError(payload))
+		return serve.JobStatus{}, &shedError{
+			err:   fmt.Errorf("%w: %s", serve.ErrOverloaded, wireError(payload)),
+			after: parseRetryAfter(hresp.Header.Get("Retry-After"), h.retryAfterCap()),
+		}
 	case http.StatusNotFound:
 		return serve.JobStatus{}, fmt.Errorf("loadgen: unknown job: %s", wireError(payload))
 	default:
@@ -95,19 +111,31 @@ func (h *HTTPClient) jobCall(ctx context.Context, method, path string, body []by
 type JobsConfig struct {
 	// Jobs is how many jobs to run, sequentially (default 1).
 	Jobs int
+	// Kernel selects what each job runs: "gemm" (default; shards across
+	// the pool past the gateway's threshold) or "cg" (rides the gateway's
+	// long path: checkpoint streaming and step-granular migration).
+	Kernel string
 	// N is the GEMM dimension (default 256) and Seed the base seed; job
 	// number j submits Seed+j so successive jobs are distinct but
 	// reproducible.
 	N    int
 	Seed uint64
+	// NX, NY size the CG grid for Kernel "cg" (default 48×48).
+	NX, NY int
 	// Timeout bounds each job end to end, submit through terminal state
 	// (default 2 minutes).
 	Timeout time.Duration
-	// Poll is the status poll interval (default 50ms).
+	// Poll is the initial status poll interval (default 50ms). Polls that
+	// observe no progress back off exponentially with deterministic jitter
+	// up to PollMax; any progress — state, blocks, steps, checkpoints,
+	// migrations — resets the interval, and a shed poll (429) honors the
+	// gateway's Retry-After instead of failing the job.
 	Poll time.Duration
+	// PollMax caps the backed-off poll interval (default 1s).
+	PollMax time.Duration
 	// Verify recomputes the reference product locally and compares bit
 	// digests — the end-to-end correctness gate. Costs an n³ GEMM per
-	// distinct (n, seed) on the client.
+	// distinct (n, seed) on the client. GEMM jobs only.
 	Verify bool
 	// OnProgress observes every polled status. The chaos smoke uses the
 	// first observation with BlocksDone >= 1 to SIGKILL a worker while
@@ -119,14 +147,29 @@ func (c JobsConfig) withDefaults() JobsConfig {
 	if c.Jobs <= 0 {
 		c.Jobs = 1
 	}
+	if c.Kernel == "" {
+		c.Kernel = "gemm"
+	}
 	if c.N <= 0 {
 		c.N = 256
+	}
+	if c.NX <= 0 {
+		c.NX = 48
+	}
+	if c.NY <= 0 {
+		c.NY = 48
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Minute
 	}
 	if c.Poll <= 0 {
 		c.Poll = 50 * time.Millisecond
+	}
+	if c.PollMax <= 0 {
+		c.PollMax = time.Second
+	}
+	if c.PollMax < c.Poll {
+		c.PollMax = c.Poll
 	}
 	return c
 }
@@ -152,6 +195,12 @@ type JobsReport struct {
 	Reconstructions int          `json:"reconstructions"`
 	Recomputes      int          `json:"recomputes"`
 	DigestMismatch  int          `json:"digest_mismatch"`
+	// Long-path tallies: jobs that rode the checkpoint-streaming path, how
+	// many times the gateway moved one to a new worker mid-solve, and how
+	// many finished from a resumed step rather than a cold start.
+	LongJobs   int `json:"long_jobs"`
+	Migrations int `json:"migrations"`
+	Resumed    int `json:"resumed"`
 }
 
 // Gate returns nil iff every job finished done and, when verification was
@@ -168,7 +217,7 @@ func (r JobsReport) Gate() error {
 	return nil
 }
 
-// RunJobs submits cfg.Jobs GEMM jobs one at a time, polls each to a
+// RunJobs submits cfg.Jobs jobs one at a time, polls each to a
 // terminal state, and tallies the sweep. Per-job errors (submit rejected,
 // poll timeout) mark the job failed in the report rather than aborting the
 // sweep; only ctx cancellation stops it early.
@@ -193,6 +242,13 @@ func RunJobs(ctx context.Context, h *HTTPClient, cfg JobsConfig) (JobsReport, er
 		if st.Sharded {
 			rep.Sharded++
 		}
+		if st.Long {
+			rep.LongJobs++
+		}
+		rep.Migrations += st.Migrations
+		if st.ResumeStep > 0 {
+			rep.Resumed++
+		}
 		rep.Reconstructions += st.Reconstructions
 		rep.Recomputes += st.Recomputes
 		if out.DigestMismatch {
@@ -210,19 +266,42 @@ func runOneJob(ctx context.Context, h *HTTPClient, cfg JobsConfig, seed uint64) 
 	jctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 	t0 := time.Now()
-	st, err := h.SubmitJob(jctx, serve.Request{Kernel: "gemm", N: cfg.N, Seed: seed})
+	req := serve.Request{Kernel: cfg.Kernel, Seed: seed}
+	if cfg.Kernel == "cg" {
+		req.NX, req.NY = cfg.NX, cfg.NY
+	} else {
+		req.N = cfg.N
+	}
+	st, err := h.SubmitJob(jctx, req)
 	if err != nil {
 		return JobOutcome{Status: serve.JobStatus{State: serve.JobFailed, Error: err.Error()}}, err
 	}
+	delay := cfg.Poll
 	for !terminalJobState(st.State) {
-		if err := sleepCtx(jctx, cfg.Poll); err != nil {
+		if err := sleepCtx(jctx, delay); err != nil {
 			st.State, st.Error = serve.JobFailed, "poll timeout: "+err.Error()
 			break
 		}
 		next, err := h.JobStatus(jctx, st.ID)
 		if err != nil {
+			var shed *shedError
+			if errors.As(err, &shed) {
+				// Shed polls aren't failures: the gateway is busy, not broken.
+				// Wait at least as long as it asked, then keep polling.
+				if shed.after > delay {
+					delay = shed.after
+				} else {
+					delay = nextPollDelay(delay, cfg, seed)
+				}
+				continue
+			}
 			st.State, st.Error = serve.JobFailed, err.Error()
 			break
+		}
+		if jobProgressed(st, next) {
+			delay = cfg.Poll
+		} else {
+			delay = nextPollDelay(delay, cfg, seed)
 		}
 		st = next
 		if cfg.OnProgress != nil {
@@ -237,6 +316,39 @@ func runOneJob(ctx context.Context, h *HTTPClient, cfg JobsConfig, seed uint64) 
 		}
 	}
 	return out, nil
+}
+
+// jobProgressed reports whether a newly polled status shows visible
+// forward motion — the signal that keeps the poll interval tight. A job
+// parked in the same state with identical counters is idling from the
+// client's perspective, so its polls back off.
+func jobProgressed(prev, next serve.JobStatus) bool {
+	return next.State != prev.State ||
+		next.BlocksDone != prev.BlocksDone ||
+		next.Reconstructions != prev.Reconstructions ||
+		next.Recomputes != prev.Recomputes ||
+		next.Step != prev.Step ||
+		next.Checkpoints != prev.Checkpoints ||
+		next.Migrations != prev.Migrations ||
+		next.Node != prev.Node
+}
+
+// nextPollDelay doubles the interval with ±25% deterministic jitter
+// (keyed on the job seed and the current delay, so repeated sweeps
+// replay the exact cadence) and clamps to [Poll, PollMax].
+func nextPollDelay(cur time.Duration, cfg JobsConfig, seed uint64) time.Duration {
+	next := 2 * cur
+	jitter := campaign.Splitmix64(seed ^ uint64(cur))
+	// Map the hash onto [-25%, +25%) of the doubled interval.
+	frac := float64(jitter>>11)/float64(1<<53)*0.5 - 0.25
+	next += time.Duration(float64(next) * frac)
+	if next > cfg.PollMax {
+		next = cfg.PollMax
+	}
+	if next < cfg.Poll {
+		next = cfg.Poll
+	}
+	return next
 }
 
 func terminalJobState(s string) bool {

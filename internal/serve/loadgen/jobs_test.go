@@ -175,3 +175,57 @@ func TestKernelCaseNormalized(t *testing.T) {
 		t.Errorf("dialed %v, want /v1/gemm", got)
 	}
 }
+
+// TestShedPollBacksOffAndRecovers: 429s from the status route are shed
+// signals, not failures — the loop waits out the Retry-After hint and the
+// job still finishes done.
+func TestShedPollBacksOffAndRecovers(t *testing.T) {
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.JobStatus{ID: "j000001", State: serve.JobQueued, Kernel: "gemm", N: 16})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if polls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "admission queue full", "kind": "overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(serve.JobStatus{ID: "j000001", State: serve.JobDone, Kernel: "gemm", N: 16})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := RunJobs(context.Background(), &HTTPClient{Base: ts.URL},
+		JobsConfig{N: 16, Poll: time.Millisecond, PollMax: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("RunJobs: %v", err)
+	}
+	if rep.Done != 1 || rep.Failed != 0 {
+		t.Fatalf("report %+v, want the shed job to finish done", rep)
+	}
+	if got := polls.Load(); got < 3 {
+		t.Errorf("polls = %d, want >= 3 (two sheds plus the terminal)", got)
+	}
+}
+
+// TestNextPollDelay: backoff roughly doubles, is deterministic for a given
+// seed, and clamps into [Poll, PollMax].
+func TestNextPollDelay(t *testing.T) {
+	cfg := JobsConfig{Poll: 10 * time.Millisecond, PollMax: 100 * time.Millisecond}.withDefaults()
+	d := nextPollDelay(cfg.Poll, cfg, 7)
+	if d < 15*time.Millisecond || d > 25*time.Millisecond {
+		t.Errorf("first backoff %v outside 2x±25%% of 10ms", d)
+	}
+	if again := nextPollDelay(cfg.Poll, cfg, 7); again != d {
+		t.Errorf("backoff not deterministic: %v then %v", d, again)
+	}
+	for i := 0; i < 10; i++ {
+		d = nextPollDelay(d, cfg, 7)
+	}
+	if d != cfg.PollMax {
+		t.Errorf("backoff settled at %v, want clamp at PollMax %v", d, cfg.PollMax)
+	}
+}

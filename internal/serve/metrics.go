@@ -49,6 +49,17 @@ type Metrics struct {
 	BlockRejected expvar.Int   // malformed block tasks (400s)
 	BlockShed     expvar.Int   // block tasks that found no slot in budget (503s)
 	BlockRunMSSum expvar.Float // block execution time sum
+
+	// Long tasks (the /v1/longjob path) and checkpoint streaming.
+	LongTasks           expvar.Int   // long tasks classified
+	LongRejected        expvar.Int   // malformed long tasks (400s)
+	LongShed            expvar.Int   // long tasks that found no slot in budget (503s)
+	LongRunMSSum        expvar.Float // long-task execution time sum
+	CheckpointsStreamed expvar.Int   // snapshots successfully PUT off-node
+	CheckpointPutErrors expvar.Int   // failed checkpoint PUTs (non-fatal)
+
+	// bus, when set by New, surfaces error-bus counters in Snapshot.
+	bus *Bus
 }
 
 var publishOnce sync.Once
@@ -63,7 +74,7 @@ func (m *Metrics) Publish() {
 
 // Snapshot renders the counters as a flat map (the /debug/vars payload).
 func (m *Metrics) Snapshot() map[string]any {
-	return map[string]any{
+	out := map[string]any{
 		"accepted":         m.Accepted.Value(),
 		"rejected":         m.Rejected.Value(),
 		"queue_timeouts":   m.QueueTimeouts.Value(),
@@ -87,4 +98,15 @@ func (m *Metrics) Snapshot() map[string]any {
 		"block_shed":       m.BlockShed.Value(),
 		"block_run_ms_sum": m.BlockRunMSSum.Value(),
 	}
+	out["long_tasks"] = m.LongTasks.Value()
+	out["long_rejected"] = m.LongRejected.Value()
+	out["long_shed"] = m.LongShed.Value()
+	out["long_run_ms_sum"] = m.LongRunMSSum.Value()
+	out["checkpoints_streamed"] = m.CheckpointsStreamed.Value()
+	out["checkpoint_put_errors"] = m.CheckpointPutErrors.Value()
+	if m.bus != nil {
+		out["events_published"] = m.bus.Published()
+		out["events_dropped"] = m.bus.Dropped()
+	}
+	return out
 }

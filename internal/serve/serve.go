@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,8 +67,21 @@ type Config struct {
 	// MaxConcurrency).
 	BlockConcurrency int
 	// MaxRestarts is the per-request checkpoint-restart budget handed to
-	// the coordinator (default 3).
+	// the coordinator (default 3). For long jobs the budget is cumulative
+	// across migrations: a resumed task's snapshot carries the restarts
+	// already consumed.
 	MaxRestarts int
+	// LongConcurrency bounds simultaneously executing long tasks (CG
+	// solves) on their own semaphore (default 1).
+	LongConcurrency int
+	// CheckpointEvery is the default step interval between streamed
+	// checkpoints for long tasks that do not specify one (default 8).
+	CheckpointEvery int
+	// EventBuffer sizes the error bus's replay ring (default 256).
+	EventBuffer int
+	// CheckpointClient issues checkpoint PUTs to the gateway; nil gets a
+	// client with a 10s timeout.
+	CheckpointClient *http.Client
 	// Parallelism, when > 0, sets the process-global mat worker count at
 	// New time. Serving throughput comes from request concurrency, so the
 	// daemon defaults this to 1.
@@ -103,6 +117,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlockConcurrency <= 0 {
 		c.BlockConcurrency = c.MaxConcurrency
+	}
+	if c.LongConcurrency <= 0 {
+		c.LongConcurrency = 1
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	if c.CheckpointClient == nil {
+		c.CheckpointClient = &http.Client{Timeout: 10 * time.Second}
 	}
 	if c.Metrics == nil {
 		c.Metrics = &Metrics{}
@@ -143,10 +169,13 @@ type Service struct {
 	cfg Config
 	m   *Metrics
 
-	queue    chan *job
-	sem      chan struct{}
-	blockSem chan struct{}
-	quit     chan struct{}
+	queue      chan *job
+	sem        chan struct{}
+	blockSem   chan struct{}
+	longSem    chan struct{}
+	quit       chan struct{}
+	bus        *Bus
+	ckptClient *http.Client
 
 	dispatchWG sync.WaitGroup
 	execWG     sync.WaitGroup
@@ -160,14 +189,18 @@ func New(cfg Config) *Service {
 		mat.SetParallelism(cfg.Parallelism)
 	}
 	s := &Service{
-		cfg:      cfg,
-		m:        cfg.Metrics,
-		queue:    make(chan *job, cfg.QueueDepth),
-		sem:      make(chan struct{}, cfg.MaxConcurrency),
-		blockSem: make(chan struct{}, cfg.BlockConcurrency),
-		quit:     make(chan struct{}),
+		cfg:        cfg,
+		m:          cfg.Metrics,
+		queue:      make(chan *job, cfg.QueueDepth),
+		sem:        make(chan struct{}, cfg.MaxConcurrency),
+		blockSem:   make(chan struct{}, cfg.BlockConcurrency),
+		longSem:    make(chan struct{}, cfg.LongConcurrency),
+		quit:       make(chan struct{}),
+		bus:        NewBus(cfg.EventBuffer),
+		ckptClient: cfg.CheckpointClient,
 	}
 	s.m.QueueCap.Set(int64(cfg.QueueDepth))
+	s.m.bus = s.bus
 	s.dispatchWG.Add(1)
 	go s.dispatch()
 	return s
@@ -175,6 +208,11 @@ func New(cfg Config) *Service {
 
 // Metrics returns the service's counters.
 func (s *Service) Metrics() *Metrics { return s.m }
+
+// Bus returns the service's error bus — the in-process fault-event stream
+// that /v1/events exports and in-process embedders (the gateway, tests)
+// subscribe to directly.
+func (s *Service) Bus() *Bus { return s.bus }
 
 // Close stops admission, fails queued-but-unstarted requests with
 // ErrClosed, and waits for running batches to finish. In-flight requests
