@@ -189,3 +189,66 @@ kill -INT "$c1" 2>/dev/null || true
 kill -INT "$c2" 2>/dev/null || true
 wait "$c1" || true
 wait "$c2" || true
+
+# Lying-node vote gate: three workers behind the gateway, the third one
+# Byzantine (-byzantine-lie 1.0: every integrity-tier answer is a
+# well-formed, internally consistent, WRONG product). A 64-request seeded
+# integrity=vote sweep must deliver zero answers from the liar
+# (-forbid-node makes abftload exit nonzero on any), reach quorum on every
+# election (two honest replicas outvote one liar, so quorum_fail stays 0
+# even while the liar's breaker cycles), and charge the liar's suspect
+# tally until its breaker trips on lost elections alone — the Byzantine
+# signal transport-level breakers cannot see.
+"$tmp/abftd" -addr 127.0.0.1:18461 &
+v1=$!
+"$tmp/abftd" -addr 127.0.0.1:18462 &
+v2=$!
+"$tmp/abftd" -addr 127.0.0.1:18463 -byzantine-lie 1.0 -byzantine-seed 99 &
+v3=$!
+"$tmp/abftgate" -addr 127.0.0.1:18460 \
+	-nodes "http://127.0.0.1:18461,http://127.0.0.1:18462,http://127.0.0.1:18463" \
+	-vote-replicas 3 -suspect-trip 3 \
+	-probe-interval 150ms -breaker-cooldown 500ms -seed 19 &
+vgate=$!
+"$tmp/abftload" -addr http://127.0.0.1:18460 -wait 10s \
+	-kernels gemm -integrity vote -requests 64 -rates 40 -n 48 \
+	-seed 19 -retry-429 2 -forbid-node 127.0.0.1:18463
+
+# Cross-check from the gateway's own counters: elections happened, every
+# one reached quorum, and the liar (and only the liar) accumulated
+# suspects and a suspect-trip. The global suspect_trips key collides with
+# the per-node one under grep, so the per-node assertions go through jq.
+vvars=$(curl -s http://127.0.0.1:18460/debug/vars)
+echo "$vvars" | grep -q '"quorum_fail":0[,}]'
+if echo "$vvars" | grep -q '"votes_total":0[,}]'; then
+	echo "gateway metrics report zero vote elections" >&2
+	exit 1
+fi
+if echo "$vvars" | grep -q '"suspects_total":0[,}]'; then
+	echo "gateway metrics report zero suspects" >&2
+	exit 1
+fi
+test "$(echo "$vvars" | jq '.cluster.nodes["127.0.0.1:18463"].suspects')" -ge 3
+test "$(echo "$vvars" | jq '.cluster.nodes["127.0.0.1:18463"].suspect_trips')" -ge 1
+test "$(echo "$vvars" | jq '.cluster.nodes["127.0.0.1:18461"].suspects')" -eq 0
+test "$(echo "$vvars" | jq '.cluster.nodes["127.0.0.1:18462"].suspects')" -eq 0
+
+# Verify-vote phase against the same pool: the DCRFT-style mode must bank
+# cheap O(n^2) verification passes (verify_vote_cheap_hits > 0) and still
+# never deliver the liar's product — elections where the liar is primary
+# end in a typed abort, which abftload counts as a classified outcome.
+"$tmp/abftload" -addr http://127.0.0.1:18460 -wait 10s \
+	-kernels gemm -integrity verify-vote -requests 32 -rates 40 -n 48 \
+	-seed 23 -retry-429 2 -forbid-node 127.0.0.1:18463
+wvars=$(curl -s http://127.0.0.1:18460/debug/vars)
+if echo "$wvars" | grep -q '"verify_vote_cheap_hits":0[,}]'; then
+	echo "gateway metrics report zero cheap verification hits" >&2
+	exit 1
+fi
+
+kill -INT "$vgate"
+wait "$vgate"
+kill -INT "$v1" "$v2" "$v3"
+wait "$v1"
+wait "$v2"
+wait "$v3"

@@ -54,6 +54,8 @@ func run() error {
 		blockConc    = flag.Int("block-concurrency", 0, "simultaneously executing block tasks (default max-concurrency)")
 		parallelism  = flag.Int("parallelism", 1, "mat worker count per kernel (throughput comes from request concurrency)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		byzLie       = flag.Float64("byzantine-lie", 0, "chaos fixture: fraction of integrity-tier requests this node answers with a well-formed wrong answer (0 disables)")
+		byzSeed      = flag.Uint64("byzantine-seed", 0, "seed for the lying lottery (pure function of it and the request seed)")
 	)
 	flag.Parse()
 
@@ -72,8 +74,13 @@ func run() error {
 		MaxJobN:          *maxJobN,
 		BlockConcurrency: *blockConc,
 		Parallelism:      *parallelism,
+		LieFraction:      *byzLie,
+		LieSeed:          *byzSeed,
 		Metrics:          m,
 	})
+	if *byzLie > 0 {
+		log.Printf("abftd: BYZANTINE CHAOS FIXTURE ACTIVE: lying on %.0f%% of integrity-tier requests", *byzLie*100)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewHandler(svc))

@@ -87,6 +87,8 @@ func run() error {
 		selfURL         = flag.String("self-url", "", "externally reachable base URL of this gateway; workers stream long-job checkpoints back to it (default http://<addr>)")
 		checkpointEvery = flag.Int("checkpoint-every", 8, "steps between long-job checkpoint uploads")
 		maxMigrations   = flag.Int("max-migrations", 3, "long-job reschedules before the job fails")
+		voteReplicas    = flag.Int("vote-replicas", 3, "default replica count R for integrity=vote|verify-vote requests")
+		suspectTrip     = flag.Int("suspect-trip", 3, "lost vote elections that open a node's breaker")
 	)
 	flag.Parse()
 
@@ -118,6 +120,8 @@ func run() error {
 		JobRetention:    *jobRetention,
 		CheckpointEvery: *checkpointEvery,
 		MaxMigrations:   *maxMigrations,
+		VoteReplicas:    *voteReplicas,
+		SuspectTrip:     *suspectTrip,
 	})
 	if err != nil {
 		return err

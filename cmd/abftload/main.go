@@ -1,6 +1,6 @@
 // Command abftload is the open-loop load generator for abftd: it sweeps
-// request rate × kernel × ECC strategy × verify mode against a live
-// daemon, injects
+// request rate × kernel × ECC strategy × verify mode × integrity mode
+// against a live daemon, injects
 // faults on a seeded fraction of requests, and reports p50/p95/p99 latency
 // plus the full outcome taxonomy per cell. Because the loop is open,
 // overload surfaces as typed 429/503 counts instead of silently slowing
@@ -9,6 +9,9 @@
 // The sweep fails (exit 1) if any completed request reports an outcome
 // outside the ladder's corrected/restarted/aborted taxonomy — the
 // zero-wrong-answers acceptance gate — or if transport errors occurred.
+// Against a gateway, -integrity vote,verify-vote exercises the
+// replica-voting tier, and -forbid-node fails the sweep if any answer
+// was delivered by a named node (the lying-node gate).
 // With -bench-out, the per-cell aggregates are written as a
 // machine-readable JSON baseline (BENCH_serve.json).
 //
@@ -56,6 +59,9 @@ func run() error {
 		kernels    = flag.String("kernels", "gemm", "comma-separated kernels (gemm,cholesky,cg)")
 		strategies = flag.String("strategies", serve.DefaultStrategy.String(), "comma-separated ECC strategies (paper labels)")
 		modes      = flag.String("verify-modes", "notified", "comma-separated verify modes (full,notified,fused); fused pairs only with gemm")
+		integs     = flag.String("integrity", "none", "comma-separated integrity modes (none,vote,verify-vote); verify-vote pairs only with gemm")
+		replicas   = flag.Int("replicas", 0, "vote width R for non-none integrity requests (0 = gateway default)")
+		forbidNode = flag.String("forbid-node", "", "comma-separated node IDs that must never deliver an answer (lying-node gate; any hit fails the sweep)")
 		duration   = flag.Duration("duration", 2*time.Second, "send window per cell")
 		requests   = flag.Int("requests", 0, "fixed request count per cell (replayable mode; 0 = send for -duration)")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-request budget")
@@ -122,6 +128,15 @@ func run() error {
 		}
 		cfg.Modes = append(cfg.Modes, m)
 	}
+	for _, name := range splitList(*integs) {
+		i, err := serve.ParseIntegrity(name)
+		if err != nil {
+			return err
+		}
+		cfg.Integrities = append(cfg.Integrities, i)
+	}
+	cfg.Replicas = *replicas
+	cfg.ForbidNodes = splitList(*forbidNode)
 	if cfg.FaultKind, err = parseKind(*kindName); err != nil {
 		return err
 	}
@@ -175,6 +190,9 @@ func run() error {
 	totals := res.Totals()
 	if totals.Unclassified > 0 {
 		return fmt.Errorf("%d wrong-answer outcomes (outside corrected/restarted/aborted)", totals.Unclassified)
+	}
+	if totals.ForbiddenNode > 0 {
+		return fmt.Errorf("%d answers delivered by a forbidden node", totals.ForbiddenNode)
 	}
 	if totals.Errors > 0 {
 		return fmt.Errorf("%d transport/internal errors", totals.Errors)

@@ -247,22 +247,13 @@ func UnpackBlock(r, c int, b []byte) (*mat.Matrix, error) {
 // BitDigest hashes a matrix's exact bit patterns (row-major FNV-1a over
 // the PackBlock encoding) — the job-level answer fingerprint clients
 // compare against a locally computed reference to assert bit-identity over
-// the wire.
+// the wire. It is the matrix-shaped view of the canonical AnswerSig, so a
+// job digest and a vote signature over the same answer are the same
+// string.
 func BitDigest(m *mat.Matrix) string {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	var buf [8]byte
+	chunks := make([][]float64, m.Rows)
 	for i := 0; i < m.Rows; i++ {
-		for _, v := range m.Row(i) {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-			for _, b := range buf {
-				h ^= uint64(b)
-				h *= prime64
-			}
-		}
+		chunks[i] = m.Row(i)
 	}
-	return fmt.Sprintf("%016x", h)
+	return AnswerSig(chunks...)
 }

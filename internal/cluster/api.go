@@ -17,7 +17,8 @@ const maxBodyBytes = 1 << 16
 type errorBody struct {
 	Error string `json:"error"`
 	// Kind is a stable machine-readable discriminator:
-	// bad_request|overloaded|unavailable|no_nodes|internal|unknown_node.
+	// bad_request|overloaded|unavailable|no_nodes|no_quorum|internal|
+	// unknown_node.
 	Kind string `json:"kind"`
 }
 
@@ -76,6 +77,11 @@ func (g *Gateway) handleKernel(kernel string) http.HandlerFunc {
 			writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())
 		case errors.Is(err, ErrNoNodes):
 			writeErr(w, http.StatusServiceUnavailable, "no_nodes", err.Error())
+		case errors.Is(err, ErrNoQuorum):
+			// Quorum insufficiency is transient capacity, not shape: tell
+			// the client when to come back, like an overload.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "no_quorum", err.Error())
 		case errors.Is(err, ErrUnavailable):
 			writeErr(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 		default:

@@ -49,17 +49,26 @@ type breaker struct {
 	ringN int    // filled entries
 	ringI int    // next write slot
 
-	failLimit int
-	cooldown  time.Duration
-	abortTrip float64
+	// Cumulative minority-vote count for the integrity tier's suspect
+	// trip. Deliberately NOT reset by honest deliveries: a Byzantine node
+	// answers most requests plausibly (transport-healthy, oracle-typed),
+	// so consecutive-style accounting would let interleaved honest work
+	// launder its lies forever.
+	suspects int
+
+	failLimit   int
+	cooldown    time.Duration
+	abortTrip   float64
+	suspectTrip int
 }
 
-func newBreaker(failLimit int, cooldown time.Duration, abortWindow int, abortTrip float64) *breaker {
+func newBreaker(failLimit int, cooldown time.Duration, abortWindow int, abortTrip float64, suspectTrip int) *breaker {
 	return &breaker{
-		failLimit: failLimit,
-		cooldown:  cooldown,
-		ring:      make([]bool, abortWindow),
-		abortTrip: abortTrip,
+		failLimit:   failLimit,
+		cooldown:    cooldown,
+		ring:        make([]bool, abortWindow),
+		abortTrip:   abortTrip,
+		suspectTrip: suspectTrip,
 	}
 }
 
@@ -124,6 +133,23 @@ func (b *breaker) onFailure(now time.Time) bool {
 	defer b.mu.Unlock()
 	b.consecFails++
 	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecFails >= b.failLimit) {
+		b.trip(now)
+		return true
+	}
+	return false
+}
+
+// onSuspect records a vote election this node lost — it delivered a
+// well-formed answer the replica majority proved wrong. The tally is
+// cumulative across deliveries (see the field comment) and trips the
+// breaker at suspectTrip, resetting only then. Returns true when this
+// suspect tripped the breaker.
+func (b *breaker) onSuspect(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.suspects++
+	if b.suspects >= b.suspectTrip {
+		b.suspects = 0
 		b.trip(now)
 		return true
 	}

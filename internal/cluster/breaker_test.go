@@ -6,7 +6,7 @@ import (
 )
 
 func testBreaker() *breaker {
-	return newBreaker(3, time.Second, 4, 0.75)
+	return newBreaker(3, time.Second, 4, 0.75, 3)
 }
 
 // TestBreakerConsecutiveFailuresOpen: the failure threshold opens the

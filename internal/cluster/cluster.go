@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"coopabft/internal/campaign"
+	"coopabft/internal/cluster/vote"
 	"coopabft/internal/core"
 	"coopabft/internal/serve"
 )
@@ -44,6 +45,12 @@ var (
 	// ErrUnknownNode reports an admin operation against an ID the gateway
 	// does not manage.
 	ErrUnknownNode = errors.New("cluster: unknown node")
+	// ErrNoQuorum means an integrity-tier request could not assemble its
+	// answer-signature majority at admission: fewer eligible distinct nodes
+	// than replicas requested. (Vote-time quorum loss is delivered as a
+	// typed aborted classification instead — see doVote.) Wraps the vote
+	// package's sentinel so errors.Is works against either.
+	ErrNoQuorum = fmt.Errorf("cluster: %w", vote.ErrNoQuorum)
 )
 
 // NodeConfig describes one backend worker.
@@ -91,6 +98,15 @@ type Config struct {
 	// AbortTripFraction aborted, the breaker opens (defaults 20, 0.9).
 	AbortWindow       int
 	AbortTripFraction float64
+
+	// VoteReplicas is the default replica count R for integrity-tier
+	// requests that do not specify one (default 3: tolerates one lying or
+	// lost replica).
+	VoteReplicas int
+	// SuspectTrip is the cumulative minority-vote count that opens a
+	// node's breaker (default 3). Suspect tallies do not reset on honest
+	// deliveries — see breaker.onSuspect.
+	SuspectTrip int
 
 	// ShardThreshold is the GEMM size at which a job submitted via the
 	// jobs API splits into checksum-block tasks across the pool instead of
@@ -174,6 +190,15 @@ func (c Config) withDefaults() Config {
 	if c.AbortTripFraction <= 0 || c.AbortTripFraction > 1 {
 		c.AbortTripFraction = 0.9
 	}
+	if c.VoteReplicas <= 0 {
+		c.VoteReplicas = 3
+	}
+	if c.VoteReplicas > serve.MaxReplicas {
+		c.VoteReplicas = serve.MaxReplicas
+	}
+	if c.SuspectTrip <= 0 {
+		c.SuspectTrip = 3
+	}
 	if c.ShardThreshold <= 0 {
 		c.ShardThreshold = 256
 	}
@@ -241,6 +266,20 @@ func (nd *node) release() {
 	nd.m.Inflight.Add(-1)
 }
 
+// acquire blocks until a window slot frees or ctx ends. The voting path
+// uses this instead of tryAcquire: a vote needs R specific distinct
+// nodes, so spilling to the next-ranked replica on a momentarily full
+// window would silently shrink the electorate.
+func (nd *node) acquire(ctx context.Context) error {
+	select {
+	case nd.window <- struct{}{}:
+		nd.m.Inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
 // Gateway is the cluster front-end: capability-filtered rendezvous
 // placement, bounded per-node windows, breakers, probes, failover.
 type Gateway struct {
@@ -306,7 +345,7 @@ func New(cfg Config) (*Gateway, error) {
 			hash:   fnv64a(id),
 			window: make(chan struct{}, cfg.Window),
 			br: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown,
-				cfg.AbortWindow, cfg.AbortTripFraction),
+				cfg.AbortWindow, cfg.AbortTripFraction, cfg.SuspectTrip),
 			m: g.m.Node(id),
 		}
 		if len(nc.Strategies) > 0 {
@@ -413,6 +452,12 @@ func (g *Gateway) Do(ctx context.Context, req serve.Request) (serve.Response, er
 	if err != nil {
 		g.m.BadRequests.Add(1)
 		return serve.Response{}, fmt.Errorf("%w: %w", serve.ErrBadRequest, err)
+	}
+
+	// Integrity-tier requests leave the single-placement path here: they
+	// are elections over distinct nodes, not failover chains.
+	if p.Integrity != serve.IntegrityNone {
+		return g.doIntegrity(ctx, p, wire, body, ranked)
 	}
 
 	forwards := 0
@@ -585,6 +630,9 @@ type NodeStatus struct {
 	Breaker    string `json:"breaker"`
 	Inflight   int64  `json:"inflight"`
 	QueueDepth int64  `json:"queue_depth"` // node-reported, from the last probe
+	// Suspects counts vote elections this node lost (its well-formed
+	// answer was outvoted by the replica majority).
+	Suspects int64 `json:"suspects"`
 }
 
 // Status snapshots every node in configuration order.
@@ -599,6 +647,7 @@ func (g *Gateway) Status() []NodeStatus {
 			Breaker:    state.String(),
 			Inflight:   nd.m.Inflight.Value(),
 			QueueDepth: nd.m.QueueDepth.Value(),
+			Suspects:   nd.m.Suspects.Value(),
 		})
 	}
 	return out

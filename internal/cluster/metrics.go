@@ -55,6 +55,17 @@ type Metrics struct {
 	NodeDeaths        expvar.Int   // established event streams that dropped
 	RecoveryMSSum     expvar.Float // fault→resumed latency summed over migrations
 
+	// Integrity tier (replica voting).
+	VotesTotal expvar.Int // vote/verify-vote elections decided (delivered or typed-aborted)
+	// QuorumFail counts elections that could not deliver: ballots split or
+	// lost below the majority bar, or a primary refuted by its verifiers.
+	// The lying-node CI gate requires this to stay 0 while a Byzantine
+	// minority is outvoted.
+	QuorumFail          expvar.Int
+	VerifyVoteCheapHits expvar.Int // O(n²) verification passes that stood in for full replicas
+	SuspectsTotal       expvar.Int // minority ballots charged to nodes across all elections
+	SuspectTrips        expvar.Int // breaker trips caused by accumulated suspects
+
 	// bus, when set by New, surfaces gateway error-bus counters.
 	bus interface {
 		Published() uint64
@@ -78,6 +89,8 @@ type NodeMetrics struct {
 	Inflight        expvar.Int // gauge: outstanding requests on this node
 	Healthy         expvar.Int // gauge (0/1): last probe verdict
 	QueueDepth      expvar.Int // gauge: node-reported queue depth (probe)
+	Suspects        expvar.Int // vote elections this node lost
+	SuspectTrips    expvar.Int // breaker trips from accumulated suspects
 }
 
 // Node returns (lazily creating) the per-node metrics for id.
@@ -130,6 +143,12 @@ func (m *Metrics) Snapshot() map[string]any {
 		"reconstructions":        m.Reconstructions.Value(),
 		"block_recomputes":       m.BlockRecomputes.Value(),
 
+		"votes_total":            m.VotesTotal.Value(),
+		"quorum_fail":            m.QuorumFail.Value(),
+		"verify_vote_cheap_hits": m.VerifyVoteCheapHits.Value(),
+		"suspects_total":         m.SuspectsTotal.Value(),
+		"suspect_trips":          m.SuspectTrips.Value(),
+
 		"jobs_long":          m.JobsLong.Value(),
 		"migrations":         m.Migrations.Value(),
 		"checkpoints_stored": m.CheckpointsStored.Value(),
@@ -149,6 +168,7 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	sort.Strings(ids)
 	nodes := make(map[string]any, len(ids))
+	suspectsPerNode := make(map[string]any, len(ids))
 	for _, id := range ids {
 		nm := m.nodes[id]
 		nodes[id] = map[string]any{
@@ -163,9 +183,13 @@ func (m *Metrics) Snapshot() map[string]any {
 			"inflight":         nm.Inflight.Value(),
 			"healthy":          nm.Healthy.Value(),
 			"queue_depth":      nm.QueueDepth.Value(),
+			"suspects":         nm.Suspects.Value(),
+			"suspect_trips":    nm.SuspectTrips.Value(),
 		}
+		suspectsPerNode[id] = nm.Suspects.Value()
 	}
 	m.mu.Unlock()
 	snap["nodes"] = nodes
+	snap["suspects_per_node"] = suspectsPerNode
 	return snap
 }

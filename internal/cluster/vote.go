@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"coopabft/internal/cluster/vote"
+	"coopabft/internal/serve"
+)
+
+// This file is the gateway half of the replica-voting integrity tier: the
+// scheduling, transport, and bookkeeping around the pure election logic
+// in internal/cluster/vote. Two modes, after the FTMR lineage:
+//
+//   - vote (FRFT-style): R replicas of the whole request on distinct
+//     nodes; deliver the ⌈(R+1)/2⌉ answer-signature majority. Catches a
+//     node that lies anywhere — ladder, control flow, wire encoding —
+//     because the only thing trusted is agreement between independent
+//     machines.
+//   - verify-vote (DCRFT-style): one primary computes the O(n³) product,
+//     R−1 verifiers replicate only the O(n²) checksum-verification pass
+//     against the primary's shipped bytes. Roughly the cost of one
+//     computation instead of R, in exchange for weaker coverage: a
+//     corruption that survives the probe algebra (crafted to keep both
+//     probe projections, not a hardware-fault shape) would not be caught.
+//
+// Either way, delivery without a majority is structurally impossible:
+// the no-quorum path returns a typed aborted classification (or a typed
+// 503 at admission), never a guess.
+
+// candidateIter hands out the ranked placement order one node at a time,
+// each node at most once — the distinctness guarantee. Draining,
+// unhealthy, and breaker-open nodes are skipped at take time (admission
+// deliberately ignored breaker state; scheduling must not, or an open
+// breaker would still receive traffic).
+type candidateIter struct {
+	mu     sync.Mutex
+	ranked []*node
+	next   int
+}
+
+func (it *candidateIter) take(now time.Time) *node {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	for it.next < len(it.ranked) {
+		nd := it.ranked[it.next]
+		it.next++
+		if nd.draining.Load() || !nd.healthy.Load() {
+			continue
+		}
+		if !nd.br.allow(now) {
+			nd.m.BreakerSkips.Add(1)
+			continue
+		}
+		return nd
+	}
+	return nil
+}
+
+// replicaResult is one replica worker's terminal state.
+type replicaResult struct {
+	nd   *node
+	resp serve.Response
+	err  error // non-nil when no candidate delivered
+	bad  error // non-nil on a node-validated 400 (global, deterministic)
+}
+
+// doIntegrity admits and dispatches one integrity-tier request. ranked is
+// the capability-filtered rendezvous order the single-placement path
+// computed; body is the marshalled request every replica receives
+// verbatim (same seed → same answer on honest nodes).
+func (g *Gateway) doIntegrity(ctx context.Context, p serve.Parsed, wire string, body []byte, ranked []*node) (serve.Response, error) {
+	r := p.Replicas
+	if r == 0 {
+		r = g.cfg.VoteReplicas
+	}
+	// Admission counts distinct schedulable nodes ignoring breaker state:
+	// breakers are transient (a cooldown away from a trial), so an open
+	// one narrows this election's electorate without shrinking the pool
+	// the client was promised. Quorum stays over R, so fewer live ballots
+	// only ever makes delivery harder, never easier.
+	eligible := 0
+	for _, nd := range ranked {
+		if !nd.draining.Load() && nd.healthy.Load() {
+			eligible++
+		}
+	}
+	if eligible < r {
+		g.m.QuorumFail.Add(1)
+		return serve.Response{}, fmt.Errorf("%w: integrity %s needs %d distinct healthy capable nodes, have %d",
+			ErrNoQuorum, p.Integrity, r, eligible)
+	}
+	if p.Integrity == serve.IntegrityVerifyVote {
+		return g.doVerifyVote(ctx, p, body, ranked, r)
+	}
+	return g.doVote(ctx, p, wire, body, ranked, r)
+}
+
+// voteReplica drives one replica to a terminal state: walk the shared
+// candidate order, blocking-acquire the node's window (a vote needs this
+// specific node; spilling would shrink the electorate), forward, and fail
+// over to the next candidate on sheds and transport faults.
+func (g *Gateway) voteReplica(ctx context.Context, it *candidateIter, wire string, body []byte) replicaResult {
+	var lastErr error
+	for {
+		nd := it.take(time.Now())
+		if nd == nil {
+			if lastErr == nil {
+				lastErr = errors.New("no distinct candidate left")
+			}
+			return replicaResult{err: lastErr}
+		}
+		if err := nd.acquire(ctx); err != nil {
+			return replicaResult{err: err}
+		}
+		resp, class, err := g.forward(ctx, nd, wire, body)
+		nd.release()
+		switch class {
+		case fcDelivered:
+			if tripped := nd.br.onDelivered(time.Now(), resp.Outcome == "aborted"); tripped {
+				nd.m.BreakerTrips.Add(1)
+			}
+			nd.m.Delivered.Add(1)
+			return replicaResult{nd: nd, resp: resp}
+		case fcBadRequest:
+			return replicaResult{bad: err}
+		case fcShed:
+			nd.m.Rejected429.Add(1)
+			lastErr = err
+		case fcFailed:
+			if tripped := nd.br.onFailure(time.Now()); tripped {
+				nd.m.BreakerTrips.Add(1)
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return replicaResult{err: lastErr}
+			}
+		}
+	}
+}
+
+// suspect charges one minority node: its well-formed answer lost an
+// election with a reached majority, which is exactly the Byzantine signal
+// transport-level breakers cannot see.
+func (g *Gateway) suspect(nd *node, now time.Time) {
+	nd.m.Suspects.Add(1)
+	g.m.SuspectsTotal.Add(1)
+	if nd.br.onSuspect(now) {
+		nd.m.SuspectTrips.Add(1)
+		nd.m.BreakerTrips.Add(1)
+		g.m.SuspectTrips.Add(1)
+	}
+}
+
+// abortedResponse builds the typed no-quorum classification — the
+// integrity tier's analogue of the ladder's Aborted: a delivered,
+// honest "we could not establish this answer".
+func abortedResponse(p serve.Parsed, r, agree int, why string) serve.Response {
+	return serve.Response{
+		Kernel:       p.Kernel.String(),
+		N:            p.Size(),
+		Strategy:     p.Strategy.String(),
+		VerifyMode:   p.Mode.String(),
+		Outcome:      "aborted",
+		Error:        why,
+		Integrity:    p.Integrity.String(),
+		VoteReplicas: r,
+		VoteAgree:    agree,
+	}
+}
+
+// doVote runs the FRFT-style election: R concurrent replica workers over
+// the shared candidate order, then one count.
+func (g *Gateway) doVote(ctx context.Context, p serve.Parsed, wire string, body []byte, ranked []*node, r int) (serve.Response, error) {
+	it := &candidateIter{ranked: ranked}
+	results := make([]replicaResult, r)
+	var wg sync.WaitGroup
+	for i := 0; i < r; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = g.voteReplica(ctx, it, wire, body)
+		}(i)
+	}
+	wg.Wait()
+
+	ballots := make([]vote.Ballot, 0, r)
+	slots := make([]int, 0, r) // ballot index -> results index
+	var lastErr error
+	for i, res := range results {
+		switch {
+		case res.bad != nil:
+			// Admission is deterministic across honest nodes: one node's
+			// 400 is every node's 400.
+			g.m.BadRequests.Add(1)
+			return serve.Response{}, res.bad
+		case res.err != nil:
+			lastErr = res.err
+		default:
+			ballots = append(ballots, vote.Ballot{Node: res.nd.id, Outcome: res.resp.Outcome, Sig: res.resp.AnswerSig})
+			slots = append(slots, i)
+		}
+	}
+	if len(ballots) == 0 {
+		g.m.Unavailable.Add(1)
+		return serve.Response{}, fmt.Errorf("%w: no vote replica delivered: %v", ErrUnavailable, lastErr)
+	}
+
+	d := vote.Decide(r, ballots)
+	g.m.VotesTotal.Add(1)
+	g.m.Delivered.Add(1)
+	if !d.Reached {
+		g.m.QuorumFail.Add(1)
+		g.m.Aborted.Add(1)
+		return abortedResponse(p, r, d.Best,
+			fmt.Sprintf("%v: best agreement %d of %d replicas (quorum %d)",
+				vote.ErrNoQuorum, d.Best, r, vote.Quorum(r))), nil
+	}
+
+	now := time.Now()
+	for _, si := range d.Suspects {
+		g.suspect(results[slots[si]].nd, now)
+	}
+	win := results[slots[d.Winner]]
+	resp := win.resp
+	resp.Node = win.nd.id
+	resp.Answer = nil // never ship payload bytes to voting clients
+	resp.VoteReplicas = r
+	resp.VoteAgree = len(d.Agree)
+	switch resp.Outcome {
+	case "corrected":
+		g.m.Corrected.Add(1)
+	case "restarted":
+		g.m.Restarted.Add(1)
+	case "aborted":
+		g.m.Aborted.Add(1)
+	}
+	return resp, nil
+}
+
+// doVerifyVote runs the DCRFT-style election: one primary computes, R−1
+// distinct verifiers replicate the cheap verification pass against its
+// shipped product. The primary's own ballot counts (it signed its
+// answer), so acceptance needs Quorum(R)−1 passing verifiers.
+func (g *Gateway) doVerifyVote(ctx context.Context, p serve.Parsed, body []byte, ranked []*node, r int) (serve.Response, error) {
+	it := &candidateIter{ranked: ranked}
+	pri := g.voteReplica(ctx, it, "gemm", body)
+	switch {
+	case pri.bad != nil:
+		g.m.BadRequests.Add(1)
+		return serve.Response{}, pri.bad
+	case pri.err != nil:
+		g.m.Unavailable.Add(1)
+		return serve.Response{}, fmt.Errorf("%w: verify-vote primary: %v", ErrUnavailable, pri.err)
+	}
+
+	resp := pri.resp
+	resp.Node = pri.nd.id
+	resp.VoteReplicas = r
+	if resp.Outcome == "aborted" {
+		// An honest abort carries no answer to verify; it is already the
+		// typed "no answer" classification, delivered as such.
+		g.m.VotesTotal.Add(1)
+		g.m.Delivered.Add(1)
+		g.m.Aborted.Add(1)
+		resp.VoteAgree = 1
+		return resp, nil
+	}
+	if resp.AnswerSig == "" || len(resp.Answer) == 0 {
+		// A non-aborted primary that did not play the protocol cannot be
+		// verified, hence cannot be delivered.
+		g.m.VotesTotal.Add(1)
+		g.m.QuorumFail.Add(1)
+		g.m.Delivered.Add(1)
+		g.m.Aborted.Add(1)
+		return abortedResponse(p, r, 1,
+			fmt.Sprintf("%v: primary %s returned no verifiable answer", vote.ErrNoQuorum, pri.nd.id)), nil
+	}
+
+	task := serve.VerifyTask{
+		Kernel: "gemm",
+		N:      p.N,
+		Seed:   p.Seed,
+		Sig:    resp.AnswerSig,
+		Answer: resp.Answer,
+	}
+	tbody, err := json.Marshal(task)
+	if err != nil {
+		g.m.Unavailable.Add(1)
+		return serve.Response{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+
+	verdicts := make([]*verdictResult, r-1)
+	var wg sync.WaitGroup
+	for i := 0; i < r-1; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i] = g.verifyReplica(ctx, it, tbody)
+		}(i)
+	}
+	wg.Wait()
+
+	approvals := 1 // the primary backs its own signature
+	cheapHits := 0
+	var refuters []*node
+	for _, v := range verdicts {
+		if v == nil {
+			continue // no verifier reachable for this slot; quorum bar unchanged
+		}
+		if v.ok {
+			approvals++
+			cheapHits++
+		} else {
+			refuters = append(refuters, v.nd)
+		}
+	}
+
+	g.m.VotesTotal.Add(1)
+	g.m.Delivered.Add(1)
+	now := time.Now()
+	if approvals < vote.Quorum(r) {
+		// The verifier majority refuted the primary's product: the primary
+		// is the proven liar, and there is no answer to deliver.
+		g.suspect(pri.nd, now)
+		g.m.QuorumFail.Add(1)
+		g.m.Aborted.Add(1)
+		return abortedResponse(p, r, approvals,
+			fmt.Sprintf("%v: replicated verification refuted primary %s (%d of %d approvals, quorum %d)",
+				vote.ErrNoQuorum, pri.nd.id, approvals, r, vote.Quorum(r))), nil
+	}
+	// Accepted: a refuting minority voted against a reached majority.
+	for _, nd := range refuters {
+		g.suspect(nd, now)
+	}
+	g.m.VerifyVoteCheapHits.Add(int64(cheapHits))
+	resp.Answer = nil
+	resp.VoteAgree = approvals
+	switch resp.Outcome {
+	case "corrected":
+		g.m.Corrected.Add(1)
+	case "restarted":
+		g.m.Restarted.Add(1)
+	}
+	return resp, nil
+}
+
+// verifyReplica drives one verifier slot to a verdict (or nil when no
+// distinct candidate could be reached): same candidate discipline as
+// voteReplica, POSTing /v1/verify instead of a kernel route.
+func (g *Gateway) verifyReplica(ctx context.Context, it *candidateIter, tbody []byte) *verdictResult {
+	for {
+		nd := it.take(time.Now())
+		if nd == nil {
+			return nil
+		}
+		if err := nd.acquire(ctx); err != nil {
+			return nil
+		}
+		res, class := g.forwardVerify(ctx, nd, tbody)
+		nd.release()
+		switch class {
+		case fcDelivered:
+			if tripped := nd.br.onDelivered(time.Now(), false); tripped {
+				nd.m.BreakerTrips.Add(1)
+			}
+			nd.m.Delivered.Add(1)
+			return &verdictResult{nd: nd, ok: res.OK}
+		case fcBadRequest:
+			// A verifier calling the task malformed while the primary
+			// produced it is itself a disagreement; treat as a refusal.
+			return &verdictResult{nd: nd, ok: false}
+		case fcFailed:
+			if tripped := nd.br.onFailure(time.Now()); tripped {
+				nd.m.BreakerTrips.Add(1)
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
+		case fcShed:
+			nd.m.Rejected429.Add(1)
+		}
+	}
+}
+
+type verdictResult struct {
+	nd *node
+	ok bool
+}
+
+// forwardVerify sends one verification task to one node and classifies
+// the transport result, mirroring forward's taxonomy.
+func (g *Gateway) forwardVerify(ctx context.Context, nd *node, body []byte) (serve.VerifyResult, forwardClass) {
+	nd.m.Forwarded.Add(1)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		nd.base+"/v1/verify", bytes.NewReader(body))
+	if err != nil {
+		return serve.VerifyResult{}, fcFailed
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := g.cfg.Client.Do(hreq)
+	if err != nil {
+		nd.m.TransportErrors.Add(1)
+		return serve.VerifyResult{}, fcFailed
+	}
+	defer hresp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	if err != nil {
+		nd.m.TransportErrors.Add(1)
+		return serve.VerifyResult{}, fcFailed
+	}
+	switch hresp.StatusCode {
+	case http.StatusOK:
+		var res serve.VerifyResult
+		if err := json.Unmarshal(payload, &res); err != nil {
+			nd.m.TransportErrors.Add(1)
+			return serve.VerifyResult{}, fcFailed
+		}
+		return res, fcDelivered
+	case http.StatusBadRequest:
+		return serve.VerifyResult{}, fcBadRequest
+	case http.StatusTooManyRequests:
+		return serve.VerifyResult{}, fcShed
+	default:
+		nd.m.Failed503.Add(1)
+		return serve.VerifyResult{}, fcFailed
+	}
+}

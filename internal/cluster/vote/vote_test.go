@@ -1,0 +1,105 @@
+package vote
+
+import "testing"
+
+func TestQuorum(t *testing.T) {
+	for _, tc := range []struct{ r, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {7, 4}, {9, 5},
+	} {
+		if got := Quorum(tc.r); got != tc.want {
+			t.Errorf("Quorum(%d) = %d, want %d", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestDecideUnanimous(t *testing.T) {
+	d := Decide(3, []Ballot{
+		{Node: "a", Outcome: "corrected", Sig: "s1"},
+		{Node: "b", Outcome: "corrected", Sig: "s1"},
+		{Node: "c", Outcome: "corrected", Sig: "s1"},
+	})
+	if !d.Reached || d.Winner != 0 || len(d.Agree) != 3 || len(d.Suspects) != 0 || d.Best != 3 {
+		t.Errorf("unanimous decision = %+v", d)
+	}
+}
+
+func TestDecideMajorityWithSuspect(t *testing.T) {
+	d := Decide(3, []Ballot{
+		{Node: "a", Outcome: "corrected", Sig: "s1"},
+		{Node: "liar", Outcome: "corrected", Sig: "wrong"},
+		{Node: "c", Outcome: "corrected", Sig: "s1"},
+	})
+	if !d.Reached || d.Winner != 0 || d.Best != 2 {
+		t.Fatalf("majority decision = %+v", d)
+	}
+	if len(d.Suspects) != 1 || d.Suspects[0] != 1 {
+		t.Errorf("suspects = %v, want [1] (the liar)", d.Suspects)
+	}
+}
+
+// TestDecideSplitNoQuorum: a three-way split indicts nobody — without a
+// majority there is no ground truth to charge the minority against.
+func TestDecideSplitNoQuorum(t *testing.T) {
+	d := Decide(3, []Ballot{
+		{Node: "a", Outcome: "corrected", Sig: "s1"},
+		{Node: "b", Outcome: "corrected", Sig: "s2"},
+		{Node: "c", Outcome: "corrected", Sig: "s3"},
+	})
+	if d.Reached || d.Winner != -1 || d.Best != 1 {
+		t.Errorf("split decision = %+v", d)
+	}
+	if len(d.Suspects) != 0 {
+		t.Errorf("no-quorum election charged suspects %v", d.Suspects)
+	}
+}
+
+// TestDecideAbortsAgree: honest deterministic aborts carry the same typed
+// outcome and an empty signature, so they form one ballot class and can
+// win an election — a delivered "no answer" beats a lone liar's answer.
+func TestDecideAbortsAgree(t *testing.T) {
+	d := Decide(3, []Ballot{
+		{Node: "a", Outcome: "aborted"},
+		{Node: "liar", Outcome: "corrected", Sig: "forged"},
+		{Node: "c", Outcome: "aborted"},
+	})
+	if !d.Reached || d.Winner != 0 || len(d.Agree) != 2 {
+		t.Fatalf("abort election = %+v", d)
+	}
+	if len(d.Suspects) != 1 || d.Suspects[0] != 1 {
+		t.Errorf("suspects = %v, want [1]", d.Suspects)
+	}
+	// But an abort must not collide with an answer class: same empty sig,
+	// different outcome.
+	d = Decide(3, []Ballot{
+		{Node: "a", Outcome: "aborted"},
+		{Node: "b", Outcome: "corrected"},
+		{Node: "c", Outcome: "aborted"},
+	})
+	if !d.Reached || len(d.Agree) != 2 || d.Agree[0] != 0 {
+		t.Errorf("abort-vs-empty-answer election = %+v", d)
+	}
+}
+
+// TestDecideQuorumOverRequested: the bar is a majority of the REQUESTED
+// replica count — two agreeing ballots out of five requested are not a
+// quorum even if they are all that arrived.
+func TestDecideQuorumOverRequested(t *testing.T) {
+	ballots := []Ballot{
+		{Node: "a", Outcome: "corrected", Sig: "s1"},
+		{Node: "b", Outcome: "corrected", Sig: "s1"},
+	}
+	if d := Decide(5, ballots); d.Reached {
+		t.Errorf("2 of 5 requested reached quorum: %+v", d)
+	}
+	// The same two ballots ARE a quorum when only three were requested:
+	// lost replicas raise the bar relatively, never lower it.
+	if d := Decide(3, ballots); !d.Reached || len(d.Agree) != 2 {
+		t.Errorf("2 of 3 requested: %+v", d)
+	}
+	if d := Decide(1, ballots[:1]); !d.Reached || d.Winner != 0 {
+		t.Errorf("vote of one: %+v", d)
+	}
+	if d := Decide(3, nil); d.Reached || d.Winner != -1 || d.Best != 0 {
+		t.Errorf("empty election: %+v", d)
+	}
+}

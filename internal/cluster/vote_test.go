@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"coopabft/internal/serve"
+)
+
+// byzNode starts a serve node with the Byzantine lie fixture active: it
+// answers integrity-tier requests with a well-formed, internally
+// consistent, wrong answer on a seeded fraction of requests.
+func byzNode(t *testing.T, fraction float64, lieSeed uint64) string {
+	t.Helper()
+	svc := serve.New(serve.Config{MaxConcurrency: 2, QueueDepth: 64, QueueTimeout: 30 * time.Second,
+		LieFraction: fraction, LieSeed: lieSeed})
+	ts := httptest.NewServer(serve.NewHandler(svc))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts.URL
+}
+
+// voteGateway is testGateway with the integrity-tier knobs pinned.
+func voteGateway(t *testing.T, replicas, suspectTrip int, nodes ...NodeConfig) *Gateway {
+	t.Helper()
+	g, err := New(Config{
+		Nodes:           nodes,
+		Window:          8,
+		Retries:         3,
+		RetryBackoff:    time.Millisecond,
+		ProbeInterval:   -1,
+		BreakerFailures: 3,
+		BreakerCooldown: 50 * time.Millisecond,
+		Seed:            7,
+		VoteReplicas:    replicas,
+		SuspectTrip:     suspectTrip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// TestVoteAdmission: unknown integrity modes are typed 400s, and a vote
+// wider than the healthy capable pool is a typed 503 with Retry-After —
+// the client asked for more independence than the cluster can sell.
+func TestVoteAdmission(t *testing.T) {
+	g := voteGateway(t, 3, 3,
+		NodeConfig{ID: "n0", BaseURL: serveNode(t)},
+		NodeConfig{ID: "n1", BaseURL: serveNode(t)},
+	)
+	ts := httptest.NewServer(NewHandler(g))
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, errorBody) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/gemm", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorBody
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		return resp, e
+	}
+
+	resp, e := post(`{"n": 32, "seed": 1, "integrity": "paxos"}`)
+	if resp.StatusCode != http.StatusBadRequest || e.Kind != "bad_request" {
+		t.Errorf("unknown integrity: status %d kind %q", resp.StatusCode, e.Kind)
+	}
+	resp, e = post(`{"n": 32, "seed": 1, "replicas": 3}`)
+	if resp.StatusCode != http.StatusBadRequest || e.Kind != "bad_request" {
+		t.Errorf("replicas without integrity: status %d kind %q", resp.StatusCode, e.Kind)
+	}
+
+	// Two healthy nodes cannot seat a three-replica election.
+	resp, e = post(`{"n": 32, "seed": 1, "integrity": "vote", "replicas": 3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || e.Kind != "no_quorum" {
+		t.Errorf("R beyond pool: status %d kind %q", resp.StatusCode, e.Kind)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("no-quorum 503 without Retry-After")
+	}
+	if _, err := g.Do(context.Background(),
+		serve.Request{Kernel: "gemm", N: 32, Seed: 1, Integrity: "vote", Replicas: 3}); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("Do: err = %v, want ErrNoQuorum", err)
+	}
+	if g.m.QuorumFail.Value() != 2 {
+		t.Errorf("quorum_fail = %d, want 2", g.m.QuorumFail.Value())
+	}
+
+	// R=2 fits the pool and delivers on unanimity.
+	resp, _ = post(`{"n": 32, "seed": 1, "integrity": "vote", "replicas": 2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("R=2 vote: status %d", resp.StatusCode)
+	}
+}
+
+// TestVoteOfOnePassthrough: R=1 is a passthrough election — the single
+// ballot is its own quorum, and the classified answer matches what the
+// same node returns with integrity=none, with the signature on top.
+func TestVoteOfOnePassthrough(t *testing.T) {
+	g := voteGateway(t, 3, 3, NodeConfig{ID: "n0", BaseURL: serveNode(t)})
+	ctx := context.Background()
+
+	plain, err := g.Do(ctx, serve.Request{Kernel: "gemm", N: 48, Seed: 5, Faults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	voted, err := g.Do(ctx, serve.Request{Kernel: "gemm", N: 48, Seed: 5, Faults: 1, Integrity: "vote", Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voted.Outcome != plain.Outcome || voted.Corrections != plain.Corrections ||
+		voted.Injected != plain.Injected || voted.Node != plain.Node {
+		t.Errorf("vote-of-1 diverged from none:\n  none %+v\n  vote %+v", plain, voted)
+	}
+	if voted.VoteReplicas != 1 || voted.VoteAgree != 1 || voted.AnswerSig == "" {
+		t.Errorf("vote-of-1 stamps = %+v", voted)
+	}
+	if voted.Answer != nil {
+		t.Error("vote response shipped payload bytes to the client")
+	}
+	if g.m.VotesTotal.Value() != 1 || g.m.QuorumFail.Value() != 0 {
+		t.Errorf("votes_total=%d quorum_fail=%d", g.m.VotesTotal.Value(), g.m.QuorumFail.Value())
+	}
+}
+
+// TestByzantineSweep is the headline zero-wrong-answers contract: a
+// three-node cluster with one always-lying node serves a 64-request seeded
+// sweep under integrity=vote, and the liar never wins an election, every
+// delivery reaches quorum, the liar's suspect tally grows, and its breaker
+// trips on lost elections alone.
+func TestByzantineSweep(t *testing.T) {
+	g := voteGateway(t, 3, 3,
+		NodeConfig{ID: "n0", BaseURL: serveNode(t)},
+		NodeConfig{ID: "n1", BaseURL: serveNode(t)},
+		NodeConfig{ID: "liar", BaseURL: byzNode(t, 1, 99)},
+	)
+	ctx := context.Background()
+	sigs := map[uint64]string{}
+	for i := 0; i < 64; i++ {
+		seed := uint64(1000 + i)
+		resp, err := g.Do(ctx, serve.Request{Kernel: "gemm", N: 32, Seed: seed, Integrity: "vote"})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Outcome == "aborted" {
+			t.Fatalf("request %d aborted: %s", i, resp.Error)
+		}
+		if resp.Node == "liar" {
+			t.Fatalf("request %d: the lying node delivered the winning answer", i)
+		}
+		if resp.VoteAgree < 2 {
+			t.Fatalf("request %d: delivered with agreement %d < quorum 2", i, resp.VoteAgree)
+		}
+		sigs[seed] = resp.AnswerSig
+		// Replay determinism: the same seed elects the same signature.
+		if i%16 == 0 {
+			again, err := g.Do(ctx, serve.Request{Kernel: "gemm", N: 32, Seed: seed, Integrity: "vote"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.AnswerSig != sigs[seed] {
+				t.Fatalf("seed %d re-elected %s, was %s", seed, again.AnswerSig, sigs[seed])
+			}
+		}
+	}
+	if got := g.m.QuorumFail.Value(); got != 0 {
+		t.Errorf("quorum_fail = %d, want 0 — two honest nodes always outvote one liar", got)
+	}
+	// The liar is suspected whenever it was seated and lost; with its
+	// breaker periodically open it sits out some elections, but over 64
+	// requests the tally and at least one suspect trip must land.
+	if got := g.m.Node("liar").Suspects.Value(); got < 3 {
+		t.Errorf("liar suspects = %d, want >= 3", got)
+	}
+	if g.m.Node("liar").SuspectTrips.Value() < 1 || g.m.SuspectTrips.Value() < 1 {
+		t.Error("lost elections never tripped the liar's breaker")
+	}
+	if g.m.Node("n0").Suspects.Value() != 0 || g.m.Node("n1").Suspects.Value() != 0 {
+		t.Error("honest nodes were suspected")
+	}
+	snap := g.m.Snapshot()
+	per, ok := snap["suspects_per_node"].(map[string]any)
+	if !ok || per["liar"] == int64(0) {
+		t.Errorf("snapshot suspects_per_node = %v", snap["suspects_per_node"])
+	}
+}
+
+// TestVoteSplitNoQuorum: three nodes that each return a different answer
+// (three independent lying lotteries) can never assemble a majority — the
+// gateway delivers a typed aborted classification, never a guess.
+func TestVoteSplitNoQuorum(t *testing.T) {
+	g := voteGateway(t, 3, 3,
+		NodeConfig{ID: "a", BaseURL: byzNode(t, 1, 1)},
+		NodeConfig{ID: "b", BaseURL: byzNode(t, 1, 2)},
+		NodeConfig{ID: "c", BaseURL: serveNode(t)},
+	)
+	resp, err := g.Do(context.Background(),
+		serve.Request{Kernel: "gemm", N: 32, Seed: 7, Integrity: "vote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != "aborted" || resp.VoteAgree != 1 {
+		t.Fatalf("split election delivered %+v", resp)
+	}
+	if g.m.QuorumFail.Value() != 1 {
+		t.Errorf("quorum_fail = %d, want 1", g.m.QuorumFail.Value())
+	}
+	// Nobody held a majority, so nobody can be indicted.
+	for _, id := range []string{"a", "b", "c"} {
+		if g.m.Node(id).Suspects.Value() != 0 {
+			t.Errorf("node %s suspected without a reached majority", id)
+		}
+	}
+}
+
+// TestVerifyVoteHonest: the DCRFT-style mode delivers on one computation
+// plus two cheap verification passes, strips the payload, and counts the
+// cheap hits the cost model banks on.
+func TestVerifyVoteHonest(t *testing.T) {
+	g := voteGateway(t, 3, 3,
+		NodeConfig{ID: "n0", BaseURL: serveNode(t)},
+		NodeConfig{ID: "n1", BaseURL: serveNode(t)},
+		NodeConfig{ID: "n2", BaseURL: serveNode(t)},
+	)
+	resp, err := g.Do(context.Background(),
+		serve.Request{Kernel: "gemm", N: 48, Seed: 3, Integrity: "verify-vote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome == "aborted" {
+		t.Fatalf("honest verify-vote aborted: %s", resp.Error)
+	}
+	if resp.VoteReplicas != 3 || resp.VoteAgree != 3 || resp.AnswerSig == "" {
+		t.Errorf("verify-vote stamps = %+v", resp)
+	}
+	if resp.Answer != nil {
+		t.Error("verify-vote response shipped the payload to the client")
+	}
+	if got := g.m.VerifyVoteCheapHits.Value(); got != 2 {
+		t.Errorf("verify_vote_cheap_hits = %d, want 2", got)
+	}
+	if g.m.QuorumFail.Value() != 0 {
+		t.Errorf("quorum_fail = %d, want 0", g.m.QuorumFail.Value())
+	}
+}
+
+// TestVerifyVoteRefutesLyingPrimary: when every node lies, the primary's
+// internally consistent wrong product is refuted by the replicated
+// checksum pass — typed abort, primary suspected, nothing delivered.
+func TestVerifyVoteRefutesLyingPrimary(t *testing.T) {
+	g := voteGateway(t, 3, 3,
+		NodeConfig{ID: "l0", BaseURL: byzNode(t, 1, 10)},
+		NodeConfig{ID: "l1", BaseURL: byzNode(t, 1, 11)},
+		NodeConfig{ID: "l2", BaseURL: byzNode(t, 1, 12)},
+	)
+	resp, err := g.Do(context.Background(),
+		serve.Request{Kernel: "gemm", N: 48, Seed: 9, Integrity: "verify-vote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != "aborted" || resp.VoteAgree != 1 {
+		t.Fatalf("lying primary delivered: %+v", resp)
+	}
+	if resp.Answer != nil || len(resp.AnswerSig) != 0 {
+		t.Errorf("aborted verify-vote leaked answer fields: %+v", resp)
+	}
+	if g.m.QuorumFail.Value() != 1 {
+		t.Errorf("quorum_fail = %d, want 1", g.m.QuorumFail.Value())
+	}
+	if g.m.SuspectsTotal.Value() != 1 {
+		t.Errorf("suspects_total = %d, want 1 (the refuted primary)", g.m.SuspectsTotal.Value())
+	}
+}
+
+// TestVoteDistinctNodes: an election never seats the same node twice —
+// with exactly R nodes, all R ballots come from different machines.
+func TestVoteDistinctNodes(t *testing.T) {
+	urls := map[string]string{}
+	var nodes []NodeConfig
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("n%d", i)
+		urls[id] = serveNode(t)
+		nodes = append(nodes, NodeConfig{ID: id, BaseURL: urls[id]})
+	}
+	g := voteGateway(t, 3, 3, nodes...)
+	resp, err := g.Do(context.Background(),
+		serve.Request{Kernel: "gemm", N: 32, Seed: 2, Integrity: "vote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.VoteAgree != 3 {
+		t.Fatalf("unanimity expected on honest pool, got agree=%d", resp.VoteAgree)
+	}
+	for id := range urls {
+		if g.m.Node(id).Delivered.Value() != 1 {
+			t.Errorf("node %s delivered %d ballots, want exactly 1",
+				id, g.m.Node(id).Delivered.Value())
+		}
+	}
+}

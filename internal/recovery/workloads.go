@@ -52,6 +52,18 @@ type Workload interface {
 	Corrections() int
 }
 
+// Answerer is the optional interface workloads implement to expose their
+// user-visible answer for canonical fingerprinting (replica voting at the
+// cluster gateway). It is deliberately not part of Workload: fingerprinting
+// is a serving concern, and the coordinator never needs it.
+type Answerer interface {
+	// AnswerData returns the answer's float64 chunks in canonical order —
+	// the exact bits abft.AnswerSig hashes. All honest replicas of the
+	// same request produce bit-identical chunks under the determinism
+	// contract (same seed → same data, same faults, same repairs).
+	AnswerData() [][]float64
+}
+
 // ---- FT-DGEMM ----
 
 type dgemmWork struct {
@@ -94,6 +106,17 @@ func (w *dgemmWork) InjectTargets() []InjectTarget {
 func (w *dgemmWork) DrainNotified() error { return w.d.VerifyNotified() }
 func (w *dgemmWork) FullVerify() error    { return w.d.VerifyFull() }
 func (w *dgemmWork) Check() error         { return w.d.CheckResult() }
+
+// AnswerData is the n×n result view's rows — the user-visible product,
+// excluding the checksum row/column (an encoding detail, not the answer).
+func (w *dgemmWork) AnswerData() [][]float64 {
+	c := w.d.C()
+	chunks := make([][]float64, c.Rows)
+	for i := 0; i < c.Rows; i++ {
+		chunks[i] = c.Row(i)
+	}
+	return chunks
+}
 
 // ---- FT-Cholesky ----
 
@@ -150,6 +173,17 @@ func (w *cholWork) DrainNotified() error { return w.c.VerifyNotified() }
 func (w *cholWork) FullVerify() error    { return w.c.VerifyL(w.c.N) }
 func (w *cholWork) Check() error         { return w.c.CheckResult(w.orig) }
 
+// AnswerData is the factor L's rows — the user-visible answer of a
+// Cholesky request.
+func (w *cholWork) AnswerData() [][]float64 {
+	l := w.c.L()
+	chunks := make([][]float64, l.Rows)
+	for i := 0; i < l.Rows; i++ {
+		chunks[i] = l.Row(i)
+	}
+	return chunks
+}
+
 // ---- FT-CG ----
 
 type cgWork struct {
@@ -191,6 +225,9 @@ func (w *cgWork) RunFrom(step int) error {
 // Solve reports the last RunFrom leg's solver outcome (iterations,
 // residual) — the long-job serving layer surfaces it in job status.
 func (w *cgWork) Solve() abft.CGOutcome { return w.last }
+
+// AnswerData is the solution vector x as a single chunk.
+func (w *cgWork) AnswerData() [][]float64 { return [][]float64{w.c.X()} }
 
 func (w *cgWork) CheckpointSet() []State {
 	x, _ := w.c.VecFor("x")

@@ -24,6 +24,7 @@ type errorBody struct {
 //	POST /v1/cholesky  run FT-Cholesky
 //	POST /v1/cg        run FT-CG
 //	POST /v1/block     run one sharded-job block task
+//	POST /v1/verify    run one replicated verification pass (verify-vote)
 //	POST /v1/longjob   run one long-task incarnation (CG, checkpoint-streaming)
 //	GET  /v1/events    stream the error bus as NDJSON (?replay=N)
 //	GET  /healthz      liveness + queue snapshot
@@ -36,6 +37,7 @@ func NewHandler(s *Service) http.Handler {
 		mux.HandleFunc("POST /v1/"+k.String(), s.handleKernel(k.String()))
 	}
 	mux.HandleFunc("POST /v1/block", s.handleBlock)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/longjob", s.handleLongJob)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -88,6 +90,36 @@ func (s *Service) handleBlock(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.DoBlock(r.Context(), task)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrBadRequest):
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, ErrQueueTimeout):
+		writeErr(w, http.StatusServiceUnavailable, "queue_timeout", err.Error())
+	case errors.Is(err, ErrClosed):
+		w.Header().Set("Connection", "close")
+		writeErr(w, http.StatusServiceUnavailable, "closed", err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// verifyMaxBodyBytes bounds verification-task bodies: the claimed answer
+// is n·n·8 bytes (base64 in JSON), so the limit scales with the
+// interactive MaxN rather than the tiny kernel-request bodies.
+const verifyMaxBodyBytes = 4 << 20
+
+// handleVerify decodes and runs one replicated verification pass, mapping
+// the same typed errors onto the same status codes as the other routes.
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var task VerifyTask
+	dec := json.NewDecoder(io.LimitReader(r.Body, verifyMaxBodyBytes))
+	if err := dec.Decode(&task); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	res, err := s.DoVerify(r.Context(), task)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)

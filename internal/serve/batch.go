@@ -11,9 +11,13 @@ import (
 // coalesced group back-to-back on one concurrency slot with warm packing
 // buffers. Mixing verify modes in a batch would make batch latency depend
 // on queue interleaving, so fused and notified requests never coalesce.
+// Integrity modes must match too: a vote replica carries signature work
+// (and verify-vote a payload copy) a plain request does not, so
+// coalescing across integrity tiers would couple their latencies.
 func compatible(a, b Parsed) bool {
 	return a.Kernel == KernelGEMM && b.Kernel == KernelGEMM &&
-		a.N == b.N && a.Strategy == b.Strategy && a.Mode == b.Mode
+		a.N == b.N && a.Strategy == b.Strategy && a.Mode == b.Mode &&
+		a.Integrity == b.Integrity
 }
 
 // dispatch is the scheduling loop: pull the next job, optionally hold a

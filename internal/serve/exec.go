@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"time"
 
+	"coopabft/internal/abft"
 	"coopabft/internal/campaign"
 	"coopabft/internal/core"
 	"coopabft/internal/machine"
@@ -19,7 +22,7 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 	defer s.m.Running.Add(-1)
 
 	start := time.Now()
-	rep := s.runLadder(j)
+	rep, w := s.runLadder(j)
 	run := time.Since(start)
 
 	resp := Response{
@@ -40,6 +43,7 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 	if rep.Err != nil {
 		resp.Error = rep.Err.Error()
 	}
+	s.stampIntegrity(&resp, j.req, rep, w)
 
 	switch rep.Outcome {
 	case recovery.Corrected:
@@ -59,18 +63,20 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 
 // runLadder builds runtime + workload + injection plan and drives the
 // coordinator under a panic guard: a kernel panic becomes an Aborted
-// classification, never a crashed worker.
-func (s *Service) runLadder(j *job) (rep recovery.Report) {
+// classification, never a crashed worker. The workload is returned
+// alongside the report so the integrity tier can fingerprint its answer
+// state; it is nil when construction failed or the kernel panicked.
+func (s *Service) runLadder(j *job) (rep recovery.Report, w recovery.Workload) {
 	defer func() {
 		if p := recover(); p != nil {
 			rep = recovery.Report{Outcome: recovery.Aborted,
 				Err: fmt.Errorf("serve: kernel panicked: %v", p)}
+			w = nil
 		}
 	}()
 
 	p := j.req
 	rt := core.NewRuntime(machine.ScaledConfig(32), p.Strategy, int64(p.Seed))
-	var w recovery.Workload
 	var err error
 	switch p.Kernel {
 	case KernelCholesky:
@@ -81,7 +87,7 @@ func (s *Service) runLadder(j *job) (rep recovery.Report) {
 		w, err = recovery.NewDGEMMWorkload(rt, p.N, p.Seed, p.Mode)
 	}
 	if err != nil {
-		return recovery.Report{Outcome: recovery.Aborted, Err: err}
+		return recovery.Report{Outcome: recovery.Aborted, Err: err}, nil
 	}
 
 	co := &recovery.Coordinator{
@@ -91,7 +97,88 @@ func (s *Service) runLadder(j *job) (rep recovery.Report) {
 		MaxRestarts: s.cfg.MaxRestarts,
 		Ctx:         j.ctx,
 	}
-	return co.Run()
+	return co.Run(), w
+}
+
+// stampIntegrity attaches the canonical answer signature (and, for
+// verify-vote, the packed answer itself) to a non-aborted response of an
+// integrity-tier request. Requests with integrity=none skip all of this —
+// the hot path computes no signatures. The Byzantine lie fixture lives
+// here: a lying node corrupts the copy it fingerprints, so the wire
+// response is well-formed and internally consistent (signature matches the
+// shipped answer) but wrong — exactly the adversary replica voting exists
+// to out-vote.
+func (s *Service) stampIntegrity(resp *Response, p Parsed, rep recovery.Report, w recovery.Workload) {
+	if p.Integrity == IntegrityNone || rep.Outcome == recovery.Aborted {
+		return
+	}
+	aw, ok := w.(recovery.Answerer)
+	if !ok {
+		// Structurally unreachable: every served kernel implements
+		// Answerer. Deliver as aborted rather than as an unsigned answer.
+		resp.Outcome = recovery.Aborted.String()
+		resp.Error = fmt.Sprintf("serve: %s workload exposes no answer data for integrity %s", p.Kernel, p.Integrity)
+		return
+	}
+	chunks := aw.AnswerData()
+	if s.lies(p.Seed) {
+		chunks = corruptAnswer(chunks, s.cfg.LieSeed)
+		s.m.ByzantineLies.Add(1)
+	}
+	resp.Integrity = p.Integrity.String()
+	resp.AnswerSig = abft.AnswerSig(chunks...)
+	if p.Integrity == IntegrityVerifyVote {
+		// Ship the claimed product so verifier nodes can replicate the
+		// O(n²) check against these exact bytes (gemm-only by admission).
+		resp.Answer = packChunks(chunks)
+	}
+}
+
+// lies draws the Byzantine lottery for one request: a pure function of
+// (LieSeed, request seed), so a lying node lies identically on replay and
+// distinct requests draw independently.
+func (s *Service) lies(seed uint64) bool {
+	if s.cfg.LieFraction <= 0 {
+		return false
+	}
+	draw := campaign.Splitmix64(s.cfg.LieSeed ^ seed ^ 0x9e3779b97f4a7c15)
+	return float64(draw)/float64(^uint64(0)) < s.cfg.LieFraction
+}
+
+// corruptAnswer deep-copies the answer chunks and perturbs one element —
+// a plausible, finite, well-formed wrong answer (not NaN garbage a client
+// would spot without voting). The perturbation magnitude derives from the
+// node's LieSeed, so independent liars tell different lies: two Byzantine
+// nodes only outvote an honest one by actually colluding (same LieSeed),
+// never by accident of the fixture.
+func corruptAnswer(chunks [][]float64, lieSeed uint64) [][]float64 {
+	out := make([][]float64, len(chunks))
+	for i, c := range chunks {
+		out[i] = append([]float64(nil), c...)
+	}
+	if len(out) > 0 && len(out[0]) > 0 {
+		out[0][0] = -(out[0][0] + 1.5 + float64(campaign.Splitmix64(lieSeed)%4096))
+	}
+	return out
+}
+
+// packChunks serializes answer chunks as little-endian IEEE-754 bit
+// patterns in chunk order — the same exact-bits encoding abft.PackBlock
+// uses, so for an n×n answer the bytes equal PackBlock of the matrix.
+func packChunks(chunks [][]float64) []byte {
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	out := make([]byte, 8*n)
+	off := 0
+	for _, c := range chunks {
+		for _, v := range c {
+			binary.LittleEndian.PutUint64(out[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return out
 }
 
 // injectionPlan derives the request's fault schedule from its seed — the

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"coopabft/internal/abft"
+)
+
+func testLimits() Limits { return Limits{MaxN: 192, MaxFaults: 8} }
+
+// TestParseIntegrityAdmission: the integrity wire fields share the single
+// ErrBadRequest taxonomy — unknown modes, verify-vote off gemm, and
+// replica counts without a mode (or beyond the cap) are all typed 400s.
+func TestParseIntegrityAdmission(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		ok   bool
+	}{
+		{"default none", Request{Kernel: "gemm", N: 48}, true},
+		{"vote gemm", Request{Kernel: "gemm", N: 48, Integrity: "vote", Replicas: 3}, true},
+		{"vote cg", Request{Kernel: "cg", NX: 8, NY: 8, Integrity: "vote"}, true},
+		{"verify-vote gemm", Request{Kernel: "gemm", N: 48, Integrity: "verify-vote"}, true},
+		{"unknown integrity", Request{Kernel: "gemm", N: 48, Integrity: "paxos"}, false},
+		{"verify-vote cholesky", Request{Kernel: "cholesky", N: 32, Integrity: "verify-vote"}, false},
+		{"verify-vote cg", Request{Kernel: "cg", NX: 8, NY: 8, Integrity: "verify-vote"}, false},
+		{"replicas without integrity", Request{Kernel: "gemm", N: 48, Replicas: 3}, false},
+		{"replicas beyond cap", Request{Kernel: "gemm", N: 48, Integrity: "vote", Replicas: MaxReplicas + 1}, false},
+		{"negative replicas", Request{Kernel: "gemm", N: 48, Integrity: "vote", Replicas: -1}, false},
+	}
+	for _, tc := range cases {
+		_, err := ParseRequest(testLimits(), tc.req)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+}
+
+// TestBatchNeverMixesIntegrity: requests in different integrity modes must
+// not coalesce — a voting request batched with a none request would either
+// compute signatures on the hot path or skip them for a voter.
+func TestBatchNeverMixesIntegrity(t *testing.T) {
+	base := Request{Kernel: "gemm", N: 48, Seed: 1}
+	none, err := ParseRequest(testLimits(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voted := base
+	voted.Integrity = "vote"
+	v, err := ParseRequest(testLimits(), voted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compatible(none, none) {
+		t.Fatal("identical requests must be batch-compatible")
+	}
+	if compatible(none, v) || compatible(v, none) {
+		t.Error("none and vote requests coalesced into one batch")
+	}
+}
+
+// TestIntegrityStamping: a voting request carries the canonical signature,
+// verify-vote additionally ships the packed answer, and the integrity=none
+// hot path carries neither.
+func TestIntegrityStamping(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 2, QueueDepth: 16, QueueTimeout: time.Minute})
+	ctx := context.Background()
+
+	plain, err := s.Do(ctx, Request{Kernel: "gemm", N: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.AnswerSig != "" || plain.Answer != nil || plain.Integrity != "" {
+		t.Errorf("integrity=none response carries integrity fields: %+v", plain)
+	}
+
+	vote, err := s.Do(ctx, Request{Kernel: "gemm", N: 48, Seed: 7, Integrity: "vote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vote.Integrity != "vote" || vote.AnswerSig == "" || vote.Answer != nil {
+		t.Errorf("vote response = %+v, want signature and no payload", vote)
+	}
+	if vote.Outcome != plain.Outcome {
+		t.Errorf("integrity changed the outcome: %q vs %q", vote.Outcome, plain.Outcome)
+	}
+
+	vv, err := s.Do(ctx, Request{Kernel: "gemm", N: 48, Seed: 7, Integrity: "verify-vote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vv.AnswerSig != vote.AnswerSig {
+		t.Errorf("same seed, different signatures: %s vs %s", vv.AnswerSig, vote.AnswerSig)
+	}
+	if len(vv.Answer) != 48*48*8 {
+		t.Fatalf("verify-vote answer = %d bytes, want %d", len(vv.Answer), 48*48*8)
+	}
+	// The shipped bytes must hash to the shipped signature (the binding
+	// verifiers check).
+	c, err := abft.UnpackBlock(48, 48, vv.Answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := abft.BitDigest(c); got != vv.AnswerSig {
+		t.Errorf("shipped answer hashes to %s, signature claims %s", got, vv.AnswerSig)
+	}
+
+	// Cholesky and CG sign too — vote covers every kernel.
+	for _, req := range []Request{
+		{Kernel: "cholesky", N: 32, Seed: 9, Integrity: "vote"},
+		{Kernel: "cg", NX: 8, NY: 8, Seed: 9, Integrity: "vote"},
+	} {
+		resp, err := s.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Outcome != "aborted" && resp.AnswerSig == "" {
+			t.Errorf("%s vote response unsigned: %+v", req.Kernel, resp)
+		}
+	}
+}
+
+// TestByzantineLieFixture: a lying node produces a well-formed, internally
+// consistent (signature matches payload) but WRONG answer — deterministic
+// per (LieSeed, request seed) — and never perturbs integrity=none traffic.
+func TestByzantineLieFixture(t *testing.T) {
+	honest := newTestService(t, Config{MaxConcurrency: 2, QueueDepth: 16, QueueTimeout: time.Minute})
+	liar := newTestService(t, Config{MaxConcurrency: 2, QueueDepth: 16, QueueTimeout: time.Minute,
+		LieFraction: 1, LieSeed: 42})
+	ctx := context.Background()
+	req := Request{Kernel: "gemm", N: 48, Seed: 13, Integrity: "verify-vote"}
+
+	h, err := honest.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := liar.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := liar.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abft.SameAnswer(l1.AnswerSig, h.AnswerSig) {
+		t.Error("liar's signature matches the honest answer — no lie happened")
+	}
+	if l1.AnswerSig != l2.AnswerSig {
+		t.Errorf("lie not deterministic on replay: %s vs %s", l1.AnswerSig, l2.AnswerSig)
+	}
+	// Internally consistent: the corrupted payload hashes to the corrupted
+	// signature, so only cross-node voting can catch it.
+	c, err := abft.UnpackBlock(48, 48, l1.Answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := abft.BitDigest(c); got != l1.AnswerSig {
+		t.Errorf("liar's payload hashes to %s, claims %s — lie is malformed, not Byzantine", got, l1.AnswerSig)
+	}
+	if liar.m.ByzantineLies.Value() != 2 {
+		t.Errorf("byzantine_lies = %d, want 2", liar.m.ByzantineLies.Value())
+	}
+
+	// integrity=none is never touched by the fixture: no signature is
+	// computed, so there is nothing to corrupt.
+	plain, err := liar.Do(ctx, Request{Kernel: "gemm", N: 48, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.AnswerSig != "" || plain.Answer != nil {
+		t.Errorf("lie fixture leaked into integrity=none: %+v", plain)
+	}
+}
+
+// TestDoVerify: the replicated verification pass accepts the primary's
+// honest product, refutes a payload that does not hash to the claimed
+// signature (binding), and refutes an internally consistent lie via the
+// checksum probes.
+func TestDoVerify(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 2, QueueDepth: 16, QueueTimeout: time.Minute})
+	ctx := context.Background()
+	resp, err := s.Do(ctx, Request{Kernel: "gemm", N: 48, Seed: 21, Integrity: "verify-vote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome == "aborted" {
+		t.Fatalf("fixture run aborted: %s", resp.Error)
+	}
+	task := VerifyTask{Kernel: "gemm", N: 48, Seed: 21, Sig: resp.AnswerSig, Answer: resp.Answer}
+
+	res, err := s.DoVerify(ctx, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Sig != resp.AnswerSig {
+		t.Fatalf("honest product refuted: %+v", res)
+	}
+
+	// Binding violation: flip a payload byte, keep the claimed signature.
+	bound := task
+	bound.Answer = append([]byte(nil), task.Answer...)
+	bound.Answer[0] ^= 0x01
+	res, err = s.DoVerify(ctx, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || res.Reason == "" {
+		t.Errorf("binding violation accepted: %+v", res)
+	}
+
+	// Internally consistent lie: corrupt the product ABOVE the probe
+	// tolerance AND re-sign it — the shape a lying primary actually ships.
+	// Only the probe algebra can catch this one.
+	lie := task
+	lie.Answer = append([]byte(nil), task.Answer...)
+	orig := math.Float64frombits(binary.LittleEndian.Uint64(lie.Answer[:8]))
+	binary.LittleEndian.PutUint64(lie.Answer[:8], math.Float64bits(-(orig + 2.5)))
+	c, err := abft.UnpackBlock(48, 48, lie.Answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lie.Sig = abft.BitDigest(c)
+	res, err = s.DoVerify(ctx, lie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || res.Reason == "" {
+		t.Errorf("consistent lie accepted: %+v", res)
+	}
+
+	// Admission taxonomy: non-gemm and malformed payloads are typed 400s.
+	if _, err := s.DoVerify(ctx, VerifyTask{Kernel: "cholesky", N: 32, Sig: "x"}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("cholesky verify task: err = %v, want ErrBadRequest", err)
+	}
+	short := task
+	short.Answer = task.Answer[:8]
+	if _, err := s.DoVerify(ctx, short); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("short payload: err = %v, want ErrBadRequest", err)
+	}
+	if got := s.m.VerifyRefuted.Value(); got != 2 {
+		t.Errorf("verify_refuted = %d, want 2", got)
+	}
+}

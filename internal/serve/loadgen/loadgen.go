@@ -52,6 +52,18 @@ type Config struct {
 	// FusedVerify is gemm-only: fused × non-gemm coordinates are skipped
 	// rather than sent, so a sweep never manufactures 400s.
 	Modes []abft.VerifyMode
+	// Integrities is the integrity-tier sweep axis (default
+	// {IntegrityNone}). IntegrityVerifyVote is gemm-only and skipped off
+	// other kernels, mirroring the fused rule.
+	Integrities []serve.Integrity
+	// Replicas is the vote width R stamped on non-none integrity requests
+	// (0 defers to the gateway default).
+	Replicas int
+	// ForbidNodes lists node IDs that must never deliver an answer — the
+	// lying-node assertion: a Byzantine replica may vote, but if its ballot
+	// ever wins an election the sweep records a ForbiddenNode hit, which
+	// the gates treat like a wrong answer.
+	ForbidNodes []string
 
 	// N sizes gemm/cholesky requests (default 48); NX, NY size CG.
 	N, NX, NY int
@@ -82,6 +94,9 @@ func (c *Config) defaults() {
 	if len(c.Modes) == 0 {
 		c.Modes = []abft.VerifyMode{abft.NotifiedVerify}
 	}
+	if len(c.Integrities) == 0 {
+		c.Integrities = []serve.Integrity{serve.IntegrityNone}
+	}
 	if c.N <= 0 {
 		c.N = 48
 	}
@@ -98,10 +113,11 @@ func (c *Config) defaults() {
 
 // Cell is one sweep coordinate.
 type Cell struct {
-	Rate     float64
-	Kernel   serve.Kernel
-	Strategy core.Strategy
-	Mode     abft.VerifyMode
+	Rate      float64
+	Kernel    serve.Kernel
+	Strategy  core.Strategy
+	Mode      abft.VerifyMode
+	Integrity serve.Integrity
 }
 
 // Outcomes tallies the terminal classification of every request sent.
@@ -119,6 +135,16 @@ type Outcomes struct {
 	// after failing over from at least one replica (gw_retries > 0).
 	// Always zero against a bare daemon.
 	Retried int
+	// Voted counts completed responses delivered through the integrity
+	// tier (vote_replicas > 0).
+	Voted int
+	// NoQuorum counts delivered aborts that carry a vote tally below
+	// quorum — the integrity tier's typed "could not establish".
+	NoQuorum int
+	// ForbiddenNode counts completed responses whose delivering node is in
+	// Config.ForbidNodes — a lying replica winning an election. Must
+	// always be zero, like Unclassified.
+	ForbiddenNode int
 }
 
 // CellResult is one cell's aggregate.
@@ -163,13 +189,18 @@ func Run(ctx context.Context, d Doer, cfg Config) (*Result, error) {
 					if mode == abft.FusedVerify && kernel != serve.KernelGEMM {
 						continue // fused is a DGEMM-only verify mode
 					}
-					if err := ctx.Err(); err != nil {
-						return res, err
+					for _, integ := range cfg.Integrities {
+						if integ == serve.IntegrityVerifyVote && kernel != serve.KernelGEMM {
+							continue // verify-vote replicates the gemm checksum pass
+						}
+						if err := ctx.Err(); err != nil {
+							return res, err
+						}
+						cell := Cell{Rate: rate, Kernel: kernel, Strategy: strat, Mode: mode, Integrity: integ}
+						cr, sent := runCell(ctx, d, cfg, cell, reqIndex)
+						reqIndex += sent
+						res.Cells = append(res.Cells, cr)
 					}
-					cell := Cell{Rate: rate, Kernel: kernel, Strategy: strat, Mode: mode}
-					cr, sent := runCell(ctx, d, cfg, cell, reqIndex)
-					reqIndex += sent
-					res.Cells = append(res.Cells, cr)
 				}
 			}
 		}
@@ -209,7 +240,18 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 			if resp.GatewayRetries > 0 {
 				cr.Retried++
 			}
+			if resp.VoteReplicas > 0 {
+				cr.Voted++
+				if resp.Outcome == "aborted" && resp.VoteAgree < (resp.VoteReplicas+2)/2 {
+					cr.NoQuorum++
+				}
+			}
 			if resp.Node != "" {
+				for _, forbidden := range cfg.ForbidNodes {
+					if resp.Node == forbidden {
+						cr.ForbiddenNode++
+					}
+				}
 				if cr.PerNode == nil {
 					cr.PerNode = make(map[string]int)
 				}
@@ -255,6 +297,10 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 			Strategy:   cell.Strategy.String(),
 			VerifyMode: cell.Mode.String(),
 			Seed:       seed,
+		}
+		if cell.Integrity != serve.IntegrityNone {
+			req.Integrity = cell.Integrity.String()
+			req.Replicas = cfg.Replicas
 		}
 		// Seeded fault lottery: the decision is a pure function of the
 		// request seed, so replays inject on the same requests.
@@ -319,6 +365,9 @@ func (r *Result) Totals() Outcomes {
 		t.Errors += c.Errors
 		t.Unclassified += c.Unclassified
 		t.Retried += c.Retried
+		t.Voted += c.Voted
+		t.NoQuorum += c.NoQuorum
+		t.ForbiddenNode += c.ForbiddenNode
 	}
 	return t
 }
@@ -358,18 +407,18 @@ func (r *Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serving sweep: %d cells, seed %d, %s/cell, fault fraction %.2f\n",
 		len(r.Cells), r.Cfg.Seed, r.Cfg.Duration, r.Cfg.FaultFraction)
-	fmt.Fprintf(&b, "%-9s %-12s %-9s %6s %6s %6s %5s %5s %5s %5s %5s %4s %8s %8s %8s %8s\n",
-		"kernel", "strategy", "verify", "rate", "sent", "done", "corr", "rst", "abrt", "429", "qto", "err",
+	fmt.Fprintf(&b, "%-9s %-12s %-9s %-11s %6s %6s %6s %5s %5s %5s %5s %5s %4s %8s %8s %8s %8s\n",
+		"kernel", "strategy", "verify", "integrity", "rate", "sent", "done", "corr", "rst", "abrt", "429", "qto", "err",
 		"p50", "p95", "p99", "rps")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "%-9s %-12s %-9s %6.1f %6d %6d %5d %5d %5d %5d %5d %4d %8s %8s %8s %8.1f\n",
-			c.Kernel, c.Strategy, c.Mode, c.Rate, c.Sent, c.Completed,
+		fmt.Fprintf(&b, "%-9s %-12s %-9s %-11s %6.1f %6d %6d %5d %5d %5d %5d %5d %4d %8s %8s %8s %8.1f\n",
+			c.Kernel, c.Strategy, c.Mode, c.Integrity, c.Rate, c.Sent, c.Completed,
 			c.Corrected, c.Restarted, c.Aborted, c.Overloaded, c.QueueTimeout, c.Errors,
 			round(c.P50), round(c.P95), round(c.P99), c.ThroughputRPS)
 	}
 	t := r.Totals()
-	fmt.Fprintf(&b, "totals: corrected %d, restarted %d, aborted %d, overloaded %d, queue-timeout %d, errors %d, unclassified %d, retried-elsewhere %d\n",
-		t.Corrected, t.Restarted, t.Aborted, t.Overloaded, t.QueueTimeout, t.Errors, t.Unclassified, t.Retried)
+	fmt.Fprintf(&b, "totals: corrected %d, restarted %d, aborted %d, overloaded %d, queue-timeout %d, errors %d, unclassified %d, retried-elsewhere %d, voted %d, no-quorum %d, forbidden-node %d\n",
+		t.Corrected, t.Restarted, t.Aborted, t.Overloaded, t.QueueTimeout, t.Errors, t.Unclassified, t.Retried, t.Voted, t.NoQuorum, t.ForbiddenNode)
 	if spread := r.PerNode(); len(spread) > 0 {
 		ids := make([]string, 0, len(spread))
 		for id := range spread {

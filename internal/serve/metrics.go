@@ -58,6 +58,15 @@ type Metrics struct {
 	CheckpointsStreamed expvar.Int   // snapshots successfully PUT off-node
 	CheckpointPutErrors expvar.Int   // failed checkpoint PUTs (non-fatal)
 
+	// Replicated verification tasks (the /v1/verify path, verify-vote) and
+	// the Byzantine chaos fixture.
+	VerifyTasks    expvar.Int   // verification tasks completed
+	VerifyRejected expvar.Int   // malformed verification tasks (400s)
+	VerifyShed     expvar.Int   // verification tasks that found no slot (503s)
+	VerifyRefuted  expvar.Int   // claimed products this node refuted
+	VerifyRunMSSum expvar.Float // verification execution time sum
+	ByzantineLies  expvar.Int   // answers this node deliberately corrupted (LieFraction fixture)
+
 	// bus, when set by New, surfaces error-bus counters in Snapshot.
 	bus *Bus
 }
@@ -98,6 +107,12 @@ func (m *Metrics) Snapshot() map[string]any {
 		"block_shed":       m.BlockShed.Value(),
 		"block_run_ms_sum": m.BlockRunMSSum.Value(),
 	}
+	out["verify_tasks"] = m.VerifyTasks.Value()
+	out["verify_rejected"] = m.VerifyRejected.Value()
+	out["verify_shed"] = m.VerifyShed.Value()
+	out["verify_refuted"] = m.VerifyRefuted.Value()
+	out["verify_run_ms_sum"] = m.VerifyRunMSSum.Value()
+	out["byzantine_lies"] = m.ByzantineLies.Value()
 	out["long_tasks"] = m.LongTasks.Value()
 	out["long_rejected"] = m.LongRejected.Value()
 	out["long_shed"] = m.LongShed.Value()

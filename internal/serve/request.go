@@ -113,6 +113,18 @@ type Request struct {
 	// the kernel-resident online checks and is gemm-only — requests pairing
 	// it with another kernel are rejected at admission.
 	VerifyMode string `json:"verify_mode,omitempty"`
+	// Integrity is none|vote|verify-vote (default none). Non-none modes
+	// buy Byzantine answer coverage at the cluster gateway: the request is
+	// replicated across distinct nodes and delivered only on an output-
+	// signature majority. Verify-vote is gemm-only — requests pairing it
+	// with another kernel are rejected at admission, mirroring the fused
+	// verify-mode rule. A bare node accepts non-none integrity too (it
+	// computes the answer signature the gateway votes on).
+	Integrity string `json:"integrity,omitempty"`
+	// Replicas is the vote's R (distinct nodes asked for the same answer);
+	// 0 defers to the gateway's configured default. Only meaningful with
+	// Integrity != none; capped at MaxReplicas.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // DefaultStrategy is used when a request does not pick one: relax ABFT
@@ -139,14 +151,16 @@ func (c Config) Limits() Limits { return Limits{MaxN: c.MaxN, MaxFaults: c.MaxFa
 // ParseRequest, shared by the daemon, the cluster gateway, and the
 // block-task path.
 type Parsed struct {
-	Kernel   Kernel
-	N        int // gemm/cholesky dimension
-	NX, NY   int // cg grid
-	Strategy core.Strategy
-	Seed     uint64
-	Faults   int
-	Kind     bifit.Kind
-	Mode     abft.VerifyMode
+	Kernel    Kernel
+	N         int // gemm/cholesky dimension
+	NX, NY    int // cg grid
+	Strategy  core.Strategy
+	Seed      uint64
+	Faults    int
+	Kind      bifit.Kind
+	Mode      abft.VerifyMode
+	Integrity Integrity
+	Replicas  int // requested vote width R; 0 = caller default
 }
 
 // Size returns the user-facing problem size (n, or the CG grid area).
@@ -216,6 +230,21 @@ func ParseRequest(l Limits, r Request) (Parsed, error) {
 		return p, fmt.Errorf("%w: verify mode %q requires kernel gemm, got %q",
 			ErrBadRequest, p.Mode, p.Kernel)
 	}
+	if p.Integrity, err = ParseIntegrity(r.Integrity); err != nil {
+		return p, err
+	}
+	if p.Integrity == IntegrityVerifyVote && p.Kernel != KernelGEMM {
+		return p, fmt.Errorf("%w: integrity %q replicates the gemm checksum pass and requires kernel gemm, got %q",
+			ErrBadRequest, p.Integrity, p.Kernel)
+	}
+	p.Replicas = r.Replicas
+	if p.Replicas < 0 || p.Replicas > MaxReplicas {
+		return p, fmt.Errorf("%w: replicas=%d outside [0, %d]", ErrBadRequest, p.Replicas, MaxReplicas)
+	}
+	if p.Replicas != 0 && p.Integrity == IntegrityNone {
+		return p, fmt.Errorf("%w: replicas=%d without an integrity mode (set integrity=vote|verify-vote)",
+			ErrBadRequest, p.Replicas)
+	}
 	return p, nil
 }
 
@@ -252,4 +281,17 @@ type Response struct {
 	// classification is never re-executed.
 	Node           string `json:"node,omitempty"`
 	GatewayRetries int    `json:"gw_retries,omitempty"`
+
+	// Integrity-tier fields, all absent on the integrity=none hot path.
+	// Integrity echoes the admitted mode; AnswerSig is the node-computed
+	// canonical output signature (abft.AnswerSig over the answer's
+	// IEEE-754 bits) the gateway votes on; Answer carries the packed
+	// output for verify-vote primaries (stripped by the gateway before
+	// delivery); VoteReplicas/VoteAgree are stamped by the gateway: how
+	// many replicas answered and how many signed the delivered answer.
+	Integrity    string `json:"integrity,omitempty"`
+	AnswerSig    string `json:"answer_sig,omitempty"`
+	Answer       []byte `json:"answer,omitempty"`
+	VoteReplicas int    `json:"vote_replicas,omitempty"`
+	VoteAgree    int    `json:"vote_agree,omitempty"`
 }

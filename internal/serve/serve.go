@@ -86,6 +86,16 @@ type Config struct {
 	// New time. Serving throughput comes from request concurrency, so the
 	// daemon defaults this to 1.
 	Parallelism int
+	// LieFraction is the Byzantine chaos fixture: the fraction of
+	// integrity-tier requests on which this node lies — it computes the
+	// honest answer, then corrupts the copy it signs (and ships, for
+	// verify-vote), producing a well-formed wrong answer. The draw is a
+	// pure function of (LieSeed, request seed), so a lying node lies
+	// identically on replay. 0 (the default) disables lying; requests with
+	// integrity=none are never affected because they carry no signature.
+	LieFraction float64
+	// LieSeed seeds the lying lottery (default 0).
+	LieSeed uint64
 	// Metrics receives counters; nil allocates a private set.
 	Metrics *Metrics
 }

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"coopabft/internal/abft"
+	"coopabft/internal/mat"
+)
+
+// VerifyTask is one replicated verification unit of the DCRFT-style
+// verify-vote integrity mode, in wire (JSON) form: the primary node
+// computed C = A·B (with the full ladder) and claims the product whose
+// exact bits are Answer with canonical signature Sig; the verifier
+// regenerates the operands from the seed — A = Random(n,n,seed),
+// B = Random(n,n,seed+1), the repo-wide determinism contract — and checks
+// the claim with the O(n²) probe pass instead of recomputing the O(n³)
+// product.
+type VerifyTask struct {
+	Kernel string `json:"kernel"`
+	N      int    `json:"n"`
+	Seed   uint64 `json:"seed"`
+	// Sig is the primary's claimed canonical answer signature.
+	Sig string `json:"sig"`
+	// Answer is the claimed product, row-major little-endian IEEE-754 bit
+	// patterns (the PackBlock encoding), n·n·8 bytes.
+	Answer    []byte `json:"answer"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// VerifyResult is the verifier's ballot: OK means the shipped bytes hash
+// to the claimed signature AND pass the checksum probes against the
+// regenerated operands. Sig is the signature this node computed over the
+// shipped bytes — the gateway counts it alongside the primary's.
+type VerifyResult struct {
+	OK     bool    `json:"ok"`
+	Sig    string  `json:"sig"`
+	Reason string  `json:"reason,omitempty"`
+	RunMS  float64 `json:"run_ms"`
+}
+
+// DoVerify admits and executes one verification task. Admission mirrors
+// DoBlock's taxonomy and shares the block semaphore: verification is an
+// offloaded O(n²) pass, much closer to a block task than to an
+// interactive ladder run, and must not starve the request path.
+func (s *Service) DoVerify(ctx context.Context, t VerifyTask) (VerifyResult, error) {
+	p, err := ParseRequest(s.cfg.Limits(), Request{Kernel: t.Kernel, N: t.N, Seed: t.Seed})
+	if err != nil {
+		s.m.VerifyRejected.Add(1)
+		return VerifyResult{}, err
+	}
+	if p.Kernel != KernelGEMM {
+		s.m.VerifyRejected.Add(1)
+		return VerifyResult{}, fmt.Errorf("%w: verify tasks support gemm only, got %s", ErrBadRequest, p.Kernel)
+	}
+	c, err := abft.UnpackBlock(p.N, p.N, t.Answer)
+	if err != nil {
+		s.m.VerifyRejected.Add(1)
+		return VerifyResult{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if t.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(t.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	wait := time.NewTimer(s.cfg.QueueTimeout)
+	defer wait.Stop()
+	select {
+	case s.blockSem <- struct{}{}:
+	case <-wait.C:
+		s.m.VerifyShed.Add(1)
+		return VerifyResult{}, fmt.Errorf("%w: no verify slot within %s", ErrQueueTimeout, s.cfg.QueueTimeout)
+	case <-ctx.Done():
+		s.m.VerifyShed.Add(1)
+		return VerifyResult{}, fmt.Errorf("%w: %w", ErrQueueTimeout, context.Cause(ctx))
+	case <-s.quit:
+		return VerifyResult{}, ErrClosed
+	}
+	defer func() { <-s.blockSem }()
+
+	start := time.Now()
+	res := VerifyResult{Sig: abft.BitDigest(c)}
+	switch {
+	case !abft.SameAnswer(res.Sig, t.Sig):
+		// Binding check: the shipped bytes must hash to the claimed
+		// signature, or the primary's ballot and payload diverge — a lie
+		// (or corruption in flight) either way.
+		res.Reason = fmt.Sprintf("claimed signature %s does not match shipped answer %s", t.Sig, res.Sig)
+	default:
+		a := mat.Random(p.N, p.N, p.Seed)
+		b := mat.Random(p.N, p.N, p.Seed+1)
+		if err := abft.CheckProduct(a, b, c, p.Seed, abft.BlockTol(p.N)); err != nil {
+			res.Reason = err.Error()
+		} else {
+			res.OK = true
+		}
+	}
+	if !res.OK {
+		s.m.VerifyRefuted.Add(1)
+	}
+	s.m.VerifyTasks.Add(1)
+	res.RunMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.m.VerifyRunMSSum.Add(res.RunMS)
+	return res, nil
+}
