@@ -34,6 +34,14 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 FUSED_BENCH=1 FUSED_BENCH_N=256 go test -timeout 10m \
 	-run 'TestFusedVsTwoPassGate' -v ./internal/abft/
 
+# Mixed-precision f32 ABFT gates: the variance-adaptive threshold must
+# detect every injected fault above its bound (no silent wrong answers)
+# and never fire on clean runs across adversarial magnitude/shape
+# distributions (no false-positive restarts).
+go test -race -timeout 5m \
+	-run 'TestGEMM32CleanSweepNoFalsePositives|TestGEMM32FaultAboveBoundAlwaysDetected|TestGEMM32BitFlipNeverSilent' \
+	./internal/abft/
+
 # Serving smoke gate: build abftd + abftload under the race detector,
 # start the daemon on loopback, drive a seeded fault-injected burst
 # through it, and assert zero wrong answers (abftload exits nonzero on
@@ -47,14 +55,33 @@ go build -race -o "$tmp/abftload" ./cmd/abftload
 abftd_pid=$!
 "$tmp/abftload" -addr http://127.0.0.1:18321 -wait 10s \
 	-rates 40 -kernels gemm,cholesky -strategies "w_ck,p_ck+p_sd" \
-	-verify-modes notified,fused \
+	-verify-modes notified,fused -dtypes f64,f32 \
 	-duration 2s -n 48 -fault-fraction 0.25 -fault-kind chip-failure \
 	-seed 7 -bench-out "$tmp/BENCH_serve.json"
 test -s "$tmp/BENCH_serve.json"
-# The fused sweep axis must have produced gemm cells in the baseline.
+# The fused sweep axis must have produced gemm cells in the baseline,
+# including the mixed-precision f32 fused cell.
 grep -q '"verify_mode": "fused"' "$tmp/BENCH_serve.json"
+grep -q '"dtype": "f32"' "$tmp/BENCH_serve.json"
 kill -INT "$abftd_pid"
 wait "$abftd_pid"
+
+# QoS chaos gate: one race-built daemon with per-tenant quotas (20 req/s,
+# burst 10), a protected tenant inside its quota against a speculative
+# flood at 5x the bucket rate, with fault injection still on. The run
+# fails unless the protected tenant completed >= 95% of what it sent, the
+# flood saw at least one typed throttle/shed rejection, and — abftload's
+# standing taxonomy gate — zero answers fell outside
+# corrected/restarted/aborted.
+"$tmp/abftd" -addr 127.0.0.1:18471 -tenant-rate 20 -tenant-burst 10 &
+qos_pid=$!
+"$tmp/abftload" -addr http://127.0.0.1:18471 -wait 10s \
+	-rates 25 -kernels gemm -duration 3s -n 48 \
+	-fault-fraction 0.25 -fault-kind chip-failure -seed 29 \
+	-tenants "gold=protected@10,flood=speculative@100" \
+	-tenant-min-complete "gold=0.95" -tenant-min-shed "flood=1"
+kill -INT "$qos_pid"
+wait "$qos_pid"
 
 # Cluster smoke gate: three abftd workers behind abftgate, a seeded
 # fault-injected sweep driven through the gateway, and one worker

@@ -56,6 +56,8 @@ func run() error {
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 		byzLie       = flag.Float64("byzantine-lie", 0, "chaos fixture: fraction of integrity-tier requests this node answers with a well-formed wrong answer (0 disables)")
 		byzSeed      = flag.Uint64("byzantine-seed", 0, "seed for the lying lottery (pure function of it and the request seed)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant admission token rate in req/s (0 disables tenant quotas)")
+		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant token bucket capacity (default 2x tenant-rate)")
 	)
 	flag.Parse()
 
@@ -76,6 +78,8 @@ func run() error {
 		Parallelism:      *parallelism,
 		LieFraction:      *byzLie,
 		LieSeed:          *byzSeed,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
 		Metrics:          m,
 	})
 	if *byzLie > 0 {

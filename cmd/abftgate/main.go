@@ -89,6 +89,9 @@ func run() error {
 		maxMigrations   = flag.Int("max-migrations", 3, "long-job reschedules before the job fails")
 		voteReplicas    = flag.Int("vote-replicas", 3, "default replica count R for integrity=vote|verify-vote requests")
 		suspectTrip     = flag.Int("suspect-trip", 3, "lost vote elections that open a node's breaker")
+		suspectDecay    = flag.Int("suspect-decay", 0, "honest deliveries that forgive one accumulated suspect (0 = default 16, <0 disables)")
+		tenantRate      = flag.Float64("tenant-rate", 0, "per-tenant admission token rate in req/s at the gateway door (0 disables)")
+		tenantBurst     = flag.Float64("tenant-burst", 0, "per-tenant token bucket capacity (default 2x tenant-rate)")
 	)
 	flag.Parse()
 
@@ -103,25 +106,28 @@ func run() error {
 	m := &cluster.Metrics{}
 	m.Publish()
 	g, err := cluster.New(cluster.Config{
-		Nodes:           nodeCfgs,
-		Window:          *window,
-		Retries:         *retries,
-		RetryBackoff:    *retryBackoff,
-		ProbeInterval:   *probeInterval,
-		ProbeTimeout:    *probeTimeout,
-		BreakerFailures: *breakerFailures,
-		BreakerCooldown: *breakerCooldown,
-		Seed:            *seed,
-		Metrics:         m,
-		ShardThreshold:  *shardThreshold,
-		ShardBlock:      *shardBlock,
-		MaxJobN:         *maxJobN,
-		MaxJobs:         *maxJobs,
-		JobRetention:    *jobRetention,
-		CheckpointEvery: *checkpointEvery,
-		MaxMigrations:   *maxMigrations,
-		VoteReplicas:    *voteReplicas,
-		SuspectTrip:     *suspectTrip,
+		Nodes:             nodeCfgs,
+		Window:            *window,
+		Retries:           *retries,
+		RetryBackoff:      *retryBackoff,
+		ProbeInterval:     *probeInterval,
+		ProbeTimeout:      *probeTimeout,
+		BreakerFailures:   *breakerFailures,
+		BreakerCooldown:   *breakerCooldown,
+		Seed:              *seed,
+		Metrics:           m,
+		ShardThreshold:    *shardThreshold,
+		ShardBlock:        *shardBlock,
+		MaxJobN:           *maxJobN,
+		MaxJobs:           *maxJobs,
+		JobRetention:      *jobRetention,
+		CheckpointEvery:   *checkpointEvery,
+		MaxMigrations:     *maxMigrations,
+		VoteReplicas:      *voteReplicas,
+		SuspectTrip:       *suspectTrip,
+		SuspectDecayEvery: *suspectDecay,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
 	})
 	if err != nil {
 		return err

@@ -62,6 +62,10 @@ func run() error {
 		integs     = flag.String("integrity", "none", "comma-separated integrity modes (none,vote,verify-vote); verify-vote pairs only with gemm")
 		replicas   = flag.Int("replicas", 0, "vote width R for non-none integrity requests (0 = gateway default)")
 		forbidNode = flag.String("forbid-node", "", "comma-separated node IDs that must never deliver an answer (lying-node gate; any hit fails the sweep)")
+		tenants    = flag.String("tenants", "", "comma-separated tenant streams name=priority@rate, e.g. gold=protected@10,flood=speculative@100 (empty = one anonymous default-tenant stream)")
+		dtypes     = flag.String("dtypes", "f64", "comma-separated element types (f64,f32); f32 pairs only with gemm and -verify-modes fused")
+		tenantDone = flag.String("tenant-min-complete", "", "comma-separated name=fraction gates: fail unless the tenant completed at least this fraction of what it sent")
+		tenantShed = flag.String("tenant-min-shed", "", "comma-separated name=count gates: fail unless the tenant saw at least this many throttled+shed rejections")
 		duration   = flag.Duration("duration", 2*time.Second, "send window per cell")
 		requests   = flag.Int("requests", 0, "fixed request count per cell (replayable mode; 0 = send for -duration)")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-request budget")
@@ -140,6 +144,24 @@ func run() error {
 	if cfg.FaultKind, err = parseKind(*kindName); err != nil {
 		return err
 	}
+	for _, name := range splitList(*dtypes) {
+		d, err := serve.ParseDtype(name)
+		if err != nil {
+			return err
+		}
+		cfg.Dtypes = append(cfg.Dtypes, d)
+	}
+	if cfg.Tenants, err = parseTenants(*tenants); err != nil {
+		return err
+	}
+	minComplete, err := parseTenantGates(*tenantDone)
+	if err != nil {
+		return err
+	}
+	minShed, err := parseTenantGates(*tenantShed)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -207,7 +229,80 @@ func run() error {
 				100*frac, res.Sent(), 100**minDone)
 		}
 	}
+	return tenantGates(res, minComplete, minShed)
+}
+
+// tenantGates applies the per-tenant QoS gates: a protected tenant must
+// keep completing its share, and a flooding tenant must actually have been
+// throttled or shed — silence on either side fails the run.
+func tenantGates(res *loadgen.Result, minComplete, minShed map[string]float64) error {
+	totals := res.TenantTotals()
+	for name, gate := range minComplete {
+		ts, ok := totals[name]
+		if !ok || ts.Sent == 0 {
+			return fmt.Errorf("tenant %q gate: no requests recorded", name)
+		}
+		got := float64(ts.Completed) / float64(ts.Sent)
+		if got < gate {
+			return fmt.Errorf("tenant %q completed %.1f%% of %d requests (gate %.1f%%)",
+				name, 100*got, ts.Sent, 100*gate)
+		}
+	}
+	for name, gate := range minShed {
+		ts, ok := totals[name]
+		if !ok {
+			return fmt.Errorf("tenant %q gate: no requests recorded", name)
+		}
+		if float64(ts.Throttled+ts.Shed) < gate {
+			return fmt.Errorf("tenant %q throttled+shed %d (gate >= %.0f)",
+				name, ts.Throttled+ts.Shed, gate)
+		}
+	}
 	return nil
+}
+
+// parseTenants reads the -tenants spec: "name=priority@rate,...". The
+// priority is mandatory; the rate is optional (0 inherits the cell rate).
+func parseTenants(spec string) ([]loadgen.TenantSpec, error) {
+	var out []loadgen.TenantSpec
+	for _, part := range splitList(spec) {
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" || rest == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name=priority@rate)", part)
+		}
+		prioName, rateStr, hasRate := strings.Cut(rest, "@")
+		prio, err := serve.ParsePriority(prioName, serve.DefaultStrategy)
+		if err != nil {
+			return nil, err
+		}
+		spec := loadgen.TenantSpec{Name: name, Priority: prio}
+		if hasRate {
+			r, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil || r <= 0 {
+				return nil, fmt.Errorf("bad rate in -tenants entry %q", part)
+			}
+			spec.Rate = r
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// parseTenantGates reads a "name=value,..." gate spec.
+func parseTenantGates(spec string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, part := range splitList(spec) {
+		name, valStr, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad gate entry %q (want name=value)", part)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad value in gate entry %q", part)
+		}
+		out[name] = v
+	}
+	return out, nil
 }
 
 // runJobs is the async-jobs mode: submit -jobs jobs, poll each to a

@@ -1,0 +1,352 @@
+package abft
+
+import (
+	"fmt"
+	"math"
+
+	"coopabft/internal/mat"
+)
+
+// GEMM32 is the mixed-precision fault-tolerant matrix multiplication: data
+// and arithmetic in float32 (the inference-serving precision), every
+// checksum in float64, and detection bounds derived per run from operand
+// variance/magnitude statistics (threshold.go) instead of a fixed epsilon.
+//
+// The checksum scheme is the classic two-sided encoding adapted to mixed
+// precision. At construction the pristine operands are encoded in float64:
+// aColSum = eᵀA and bRowSum = B·e. During the panel loop two maintained
+// float64 checksums track the true product using one pristine encoded
+// factor each:
+//
+//	rowCk[i] += Σ_p A[i][p]·bRowSum[p]   (pristine B encoding)
+//	colCk[j] += Σ_p aColSum[p]·B[p][j]   (pristine A encoding)
+//
+// so corruption of either operand, of the float32 product path, or of
+// previously written C desynchronizes at least one side. The fused float32
+// kernel (mat.MulAddIntoFused32) folds the actual output's row/column sums
+// (and absolute sums, the adaptive bound's magnitude input) at writeback,
+// and the panel-boundary comparison uses LineBound32 — per-line, per-run
+// adaptive. Detected result faults are repaired in place with a
+// refold-and-reverify loop; operand faults are detection-only and abort
+// with ErrUncorrectable (the caller rebuilds and restarts).
+//
+// GEMM32 is serving-native: it runs on plain memory with no simulator
+// metering (the trace/Env machinery is float64-word oriented), which is
+// exactly the deployment the mixed-precision tier targets.
+type GEMM32 struct {
+	M, K, N int
+
+	A *mat.Matrix32 // M×K
+	B *mat.Matrix32 // K×N
+	C *mat.Matrix32 // M×N
+
+	// Block is the k-panel width; every panel boundary verifies.
+	Block int
+
+	// OnPanel, if set, runs at the top of every k-panel — the hook fault
+	// injection uses. The panel index counts from 0 to Panels()-1.
+	OnPanel func(panel int)
+
+	Corrections []Correction
+	// Faults records every adaptive-threshold violation in detection order.
+	Faults []PanelFault
+
+	// Encoded checksums of the pristine operands (float64, set at init).
+	aColSum []float64 // len K: eᵀA
+	bRowSum []float64 // len K: B·e
+
+	// Maintained float64 checksums of the true product.
+	rowCk []float64 // len M
+	colCk []float64 // len N
+
+	// Accumulated operand statistics from the packing passes; kAcc is the
+	// number of k-products accumulated so far. Together they parameterize
+	// the adaptive bounds.
+	aMom, bMom mat.Moments
+	kAcc       int
+
+	fs   mat.FusedSums32
+	abuf []float64 // backing for per-panel ASums/BSums (len 2·Block)
+}
+
+// maxRepairRounds bounds the repair→refold→reverify loop at one panel
+// boundary. Two rounds suffice for any single corruption (a huge-magnitude
+// flip can absorb its line's float64 sum, so the first repair only removes
+// the bulk and the refolded second round lands exactly); more than that
+// means the pattern exceeds the encoding's reach.
+const maxRepairRounds = 4
+
+// NewGEMM32 builds a square n×n mixed-precision problem with deterministic
+// pseudo-random operands (A from seed, B from seed+1, matching NewDGEMM's
+// convention).
+func NewGEMM32(n int, seed uint64) (*GEMM32, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: GEMM32 size %d too small", ErrBadSize, n)
+	}
+	return NewGEMM32FromMatrices(mat.Random32(n, n, seed), mat.Random32(n, n, seed+1))
+}
+
+// NewGEMM32FromMatrices builds the problem over caller-supplied operands
+// (any compatible rectangular shape — tall-skinny and batched-small ML
+// shapes included). The operands are encoded as-is; they must be pristine.
+func NewGEMM32FromMatrices(a, b *mat.Matrix32) (*GEMM32, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: GEMM32 a %dx%d × b %dx%d", ErrBadSize, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.Rows < 2 || a.Cols < 2 || b.Cols < 2 {
+		return nil, fmt.Errorf("%w: GEMM32 %dx%dx%d too small", ErrBadSize, a.Rows, a.Cols, b.Cols)
+	}
+	g := &GEMM32{
+		M: a.Rows, K: a.Cols, N: b.Cols,
+		A: a, B: b, C: mat.New32(a.Rows, b.Cols),
+		Block: 32,
+	}
+	g.aColSum = make([]float64, g.K)
+	g.bRowSum = make([]float64, g.K)
+	for i := 0; i < g.M; i++ {
+		row := a.Row(i)
+		for p, v := range row {
+			g.aColSum[p] += float64(v)
+		}
+	}
+	for p := 0; p < g.K; p++ {
+		s := 0.0
+		for _, v := range b.Row(p) {
+			s += float64(v)
+		}
+		g.bRowSum[p] = s
+	}
+	g.rowCk = make([]float64, g.M)
+	g.colCk = make([]float64, g.N)
+	g.fs = mat.FusedSums32{
+		RowSums: make([]float64, g.M), ColSums: make([]float64, g.N),
+		AbsRowSums: make([]float64, g.M), AbsColSums: make([]float64, g.N),
+	}
+	g.abuf = make([]float64, 2*g.Block)
+	return g, nil
+}
+
+// Panels returns the number of k-panels a full run executes.
+func (g *GEMM32) Panels() int { return (g.K + g.Block - 1) / g.Block }
+
+// OperandMoments exposes the packing-pass operand statistics (valid after
+// Run): callers doing their own element-level oracle comparisons feed them
+// to ElementBound32.
+func (g *GEMM32) OperandMoments() (a, b mat.Moments) { return g.aMom, g.bMom }
+
+// Run computes C = A·B panel by panel with a verification at every panel
+// boundary. Detected result corruption is repaired in place; operand
+// corruption or an unrepairable pattern aborts with ErrUncorrectable.
+func (g *GEMM32) Run() error {
+	g.C.Zero()
+	clear(g.rowCk)
+	clear(g.colCk)
+	g.aMom, g.bMom = mat.Moments{}, mat.Moments{}
+	g.kAcc = 0
+	g.Corrections = g.Corrections[:0]
+	g.Faults = g.Faults[:0]
+	if len(g.abuf) < 2*g.Block {
+		g.abuf = make([]float64, 2*g.Block)
+	}
+	for panel := 0; panel < g.Panels(); panel++ {
+		if g.OnPanel != nil {
+			g.OnPanel(panel)
+		}
+		kk := panel * g.Block
+		kMax := min(kk+g.Block, g.K)
+		kb := kMax - kk
+		g.maintain(kk, kMax)
+		g.fs.ASums = g.abuf[:kb]
+		g.fs.BSums = g.abuf[g.Block : g.Block+kb]
+		mat.MulAddIntoFused32(g.C,
+			g.A.View(0, kk, g.M, kb), g.B.View(kk, 0, kb, g.N), &g.fs)
+		g.aMom.Merge(g.fs.AMoments)
+		g.bMom.Merge(g.fs.BMoments)
+		g.kAcc += kb
+		if err := g.verifyPanel(panel, kk, kb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maintain advances the float64 maintained checksums by one k-panel. Each
+// side pairs the live (possibly corrupted) copy of one operand with the
+// pristine encoding of the other, so single-operand corruption always
+// desynchronizes the opposite side's check.
+func (g *GEMM32) maintain(kk, kMax int) {
+	for i := 0; i < g.M; i++ {
+		row := g.A.Row(i)[kk:kMax]
+		s := 0.0
+		for p, v := range row {
+			s += float64(v) * g.bRowSum[kk+p]
+		}
+		g.rowCk[i] += s
+	}
+	for p := kk; p < kMax; p++ {
+		ac := g.aColSum[p]
+		brow := g.B.Row(p)
+		for j, v := range brow {
+			g.colCk[j] += ac * float64(v)
+		}
+	}
+}
+
+// verifyPanel runs the panel-boundary checks: operand checksums first
+// (detection-only), then the result line checks with repair.
+func (g *GEMM32) verifyPanel(panel, kk, kb int) error {
+	opA := OperandBound32(g.M, g.aMom)
+	opB := OperandBound32(g.N, g.bMom)
+	for p := 0; p < kb; p++ {
+		if delta := g.aColSum[kk+p] - g.fs.ASums[p]; math.Abs(delta) > opA {
+			g.Faults = append(g.Faults, PanelFault{Panel: panel, Source: FaultOperandA, Index: kk + p, Delta: delta})
+			return fmt.Errorf("%w: f32 check at panel %d: operand A column %d checksum off by %g",
+				ErrUncorrectable, panel, kk+p, delta)
+		}
+		if delta := g.bRowSum[kk+p] - g.fs.BSums[p]; math.Abs(delta) > opB {
+			g.Faults = append(g.Faults, PanelFault{Panel: panel, Source: FaultOperandB, Index: kk + p, Delta: delta})
+			return fmt.Errorf("%w: f32 check at panel %d: operand B row %d checksum off by %g",
+				ErrUncorrectable, panel, kk+p, delta)
+		}
+	}
+
+	for round := 0; ; round++ {
+		rowBad, rowDelta := g.scanLines(g.rowCk, g.fs.RowSums, g.fs.AbsRowSums, g.N)
+		colBad, colDelta := g.scanLines(g.colCk, g.fs.ColSums, g.fs.AbsColSums, g.M)
+		if len(rowBad) == 0 && len(colBad) == 0 {
+			return nil
+		}
+		if round >= maxRepairRounds {
+			return fmt.Errorf("%w: f32 check at panel %d: corruption persists after %d repair rounds",
+				ErrUncorrectable, panel, round)
+		}
+		for i, r := range rowBad {
+			g.Faults = append(g.Faults, PanelFault{Panel: panel, Source: FaultResultRow, Index: r, Delta: rowDelta[i]})
+		}
+		for i, c := range colBad {
+			g.Faults = append(g.Faults, PanelFault{Panel: panel, Source: FaultResultCol, Index: c, Delta: colDelta[i]})
+		}
+		if err := g.locateAndFix32(panel, rowBad, rowDelta, colBad, colDelta); err != nil {
+			return err
+		}
+		// A repair changed C, and a huge-magnitude corruption may have
+		// absorbed its line's float64 sums entirely (the folded sum carries
+		// no usable residue of the other elements). Refold the sums from
+		// the repaired output and re-check: the loop converges in one extra
+		// round for any single corruption.
+		g.refold()
+	}
+}
+
+// scanLines compares one maintained checksum vector against the folded sums
+// under the per-line adaptive bound, returning the flagged indices with
+// their deltas (maintained − folded, i.e. true − computed).
+func (g *GEMM32) scanLines(maintained, folded, absSums []float64, lineLen int) (bad []int, deltas []float64) {
+	for i, ck := range maintained {
+		tol := LineBound32(g.kAcc, lineLen, absSums[i], g.aMom, g.bMom)
+		if delta := ck - folded[i]; math.Abs(delta) > tol {
+			bad = append(bad, i)
+			deltas = append(deltas, delta)
+		}
+	}
+	return bad, deltas
+}
+
+// locateAndFix32 maps line mismatches to corrupted elements and repairs
+// every correctable pattern — the same case analysis as the float64
+// locateAndFix, with the magnitude pairing tolerance derived from the
+// adaptive bounds instead of a fixed Tol.
+func (g *GEMM32) locateAndFix32(panel int, rowBad []int, rowDelta []float64, colBad []int, colDelta []float64) error {
+	switch {
+	case len(rowBad) == 1 && len(colBad) >= 1:
+		r := rowBad[0]
+		for i, c := range colBad {
+			g.applyFix(r, c, colDelta[i])
+		}
+		return nil
+	case len(colBad) == 1 && len(rowBad) >= 1:
+		c := colBad[0]
+		for i, r := range rowBad {
+			g.applyFix(r, c, rowDelta[i])
+		}
+		return nil
+	case len(rowBad) == len(colBad):
+		// Pair row and column mismatches by magnitude; distinct rows and
+		// columns each carry a single error.
+		pairTol := 10 * (LineBound32(g.kAcc, g.N, g.fs.AbsRowSums[rowBad[0]], g.aMom, g.bMom) +
+			LineBound32(g.kAcc, g.M, g.fs.AbsColSums[colBad[0]], g.aMom, g.bMom))
+		used := make([]bool, len(colBad))
+		for ri, r := range rowBad {
+			best, bestDiff := -1, math.Inf(1)
+			for ci := range colBad {
+				if used[ci] {
+					continue
+				}
+				if diff := math.Abs(math.Abs(rowDelta[ri]) - math.Abs(colDelta[ci])); diff < bestDiff {
+					best, bestDiff = ci, diff
+				}
+			}
+			if best < 0 || (bestDiff > pairTol && bestDiff > 1e-6*math.Abs(rowDelta[ri])) {
+				return fmt.Errorf("%w: f32 check at panel %d: unmatchable row/column deltas", ErrUncorrectable, panel)
+			}
+			used[best] = true
+			g.applyFix(r, colBad[best], rowDelta[ri])
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: f32 check at panel %d: %d corrupted rows, %d corrupted columns",
+			ErrUncorrectable, panel, len(rowBad), len(colBad))
+	}
+}
+
+// applyFix repairs C[r][c] by the float64 line delta (true − computed),
+// rounding the repaired value back to float32.
+func (g *GEMM32) applyFix(r, c int, delta float64) {
+	old := g.C.At(r, c)
+	want := float64(old) + delta
+	g.C.Set(r, c, float32(want))
+	g.Corrections = append(g.Corrections, Correction{Structure: "C32", I: r, J: c, Delta: want - float64(old)})
+}
+
+// refold recomputes the folded output sums from the current (repaired) C —
+// a serial float64 sweep used only on the repair path.
+func (g *GEMM32) refold() {
+	clear(g.fs.RowSums)
+	clear(g.fs.ColSums)
+	clear(g.fs.AbsRowSums)
+	clear(g.fs.AbsColSums)
+	for i := 0; i < g.M; i++ {
+		row := g.C.Row(i)
+		rs, ars := 0.0, 0.0
+		for j, v := range row {
+			f := float64(v)
+			rs += f
+			g.fs.ColSums[j] += f
+			if f < 0 {
+				f = -f
+			}
+			ars += f
+			g.fs.AbsColSums[j] += f
+		}
+		g.fs.RowSums[i] = rs
+		g.fs.AbsRowSums[i] = ars
+	}
+}
+
+// CheckResult verifies the final product against a float64 reference under
+// the per-element adaptive bound (test/oracle helper; O(M·K·N)).
+func (g *GEMM32) CheckResult() error {
+	ref := mat.New(g.M, g.N)
+	mat.MulAddInto(ref, g.A.To64(), g.B.To64())
+	for i := 0; i < g.M; i++ {
+		row := g.C.Row(i)
+		refRow := ref.Row(i)
+		for j, v := range row {
+			if math.Abs(float64(v)-refRow[j]) > ElementBound32(g.K, refRow[j], g.aMom, g.bMom) {
+				return fmt.Errorf("abft: GEMM32 result differs from reference at (%d,%d): got %g want %g",
+					i, j, v, refRow[j])
+			}
+		}
+	}
+	return nil
+}

@@ -67,11 +67,15 @@ func (g *Gateway) handleKernel(kernel string) http.HandlerFunc {
 		req.Kernel = kernel
 
 		resp, err := g.Do(r.Context(), req)
+		var throttle *serve.ThrottleError
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusOK, resp)
 		case errors.Is(err, serve.ErrBadRequest):
 			writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		case errors.As(err, &throttle):
+			w.Header().Set("Retry-After", serve.RetryAfterSeconds(throttle.RetryAfter))
+			writeErr(w, http.StatusTooManyRequests, "throttled", err.Error())
 		case errors.Is(err, serve.ErrOverloaded):
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())

@@ -53,22 +53,31 @@ type breaker struct {
 	// trip. Deliberately NOT reset by honest deliveries: a Byzantine node
 	// answers most requests plausibly (transport-healthy, oracle-typed),
 	// so consecutive-style accounting would let interleaved honest work
-	// launder its lies forever.
-	suspects int
+	// launder its lies forever. It does DECAY — one suspect forgiven per
+	// suspectDecay consecutive honest deliveries — so a rare honest minority
+	// loss (replica set split across a marginal answer) cannot accumulate
+	// into a trip over weeks of clean traffic. Decay is far slower than any
+	// plausible lie rate: a liar gains at most 1/suspectDecay forgiveness
+	// per delivery, so it still trips in O(suspectTrip·suspectDecay)
+	// requests at the margin.
+	suspects     int
+	sinceSuspect int // honest deliveries since the last suspect/decay event
 
-	failLimit   int
-	cooldown    time.Duration
-	abortTrip   float64
-	suspectTrip int
+	failLimit    int
+	cooldown     time.Duration
+	abortTrip    float64
+	suspectTrip  int
+	suspectDecay int
 }
 
-func newBreaker(failLimit int, cooldown time.Duration, abortWindow int, abortTrip float64, suspectTrip int) *breaker {
+func newBreaker(failLimit int, cooldown time.Duration, abortWindow int, abortTrip float64, suspectTrip, suspectDecay int) *breaker {
 	return &breaker{
-		failLimit:   failLimit,
-		cooldown:    cooldown,
-		ring:        make([]bool, abortWindow),
-		abortTrip:   abortTrip,
-		suspectTrip: suspectTrip,
+		failLimit:    failLimit,
+		cooldown:     cooldown,
+		ring:         make([]bool, abortWindow),
+		abortTrip:    abortTrip,
+		suspectTrip:  suspectTrip,
+		suspectDecay: suspectDecay,
 	}
 }
 
@@ -92,18 +101,35 @@ func (b *breaker) allow(now time.Time) bool {
 	}
 }
 
-// onDelivered records a classified answer. Any delivery closes a half-open
-// breaker and clears the consecutive-failure count; aborted outcomes feed
-// the sliding rate window, which trips once it is full and the aborted
-// fraction reaches abortTrip. Returns true when this delivery tripped the
-// breaker.
+// onDelivered records a classified answer. A delivery closes a HALF-OPEN
+// breaker (it is the trial's verdict) and clears the consecutive-failure
+// count; aborted outcomes feed the sliding rate window, which trips once it
+// is full and the aborted fraction reaches abortTrip. Returns true when
+// this delivery tripped the breaker.
+//
+// A delivery landing on an OPEN breaker is ignored: it is an in-flight
+// request from before the trip, and letting it re-close the circuit would
+// bypass the cooldown entirely — in particular, a suspect-tripped breaker
+// (Byzantine quarantine) would be re-opened for traffic by the very node's
+// own concurrent answers. Only the half-open trial or a health probe may
+// close an open breaker.
 func (b *breaker) onDelivered(now time.Time, aborted bool) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consecFails = 0
-	if b.state != breakerClosed {
+	switch b.state {
+	case breakerHalfOpen:
 		b.state = breakerClosed
 		b.resetRing()
+	case breakerOpen:
+		return false
+	}
+	if b.suspects > 0 && b.suspectDecay > 0 {
+		b.sinceSuspect++
+		if b.sinceSuspect >= b.suspectDecay {
+			b.sinceSuspect = 0
+			b.suspects--
+		}
 	}
 	b.ring[b.ringI] = aborted
 	b.ringI = (b.ringI + 1) % len(b.ring)
@@ -148,6 +174,7 @@ func (b *breaker) onSuspect(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.suspects++
+	b.sinceSuspect = 0
 	if b.suspects >= b.suspectTrip {
 		b.suspects = 0
 		b.trip(now)

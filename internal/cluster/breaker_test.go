@@ -6,7 +6,7 @@ import (
 )
 
 func testBreaker() *breaker {
-	return newBreaker(3, time.Second, 4, 0.75, 3)
+	return newBreaker(3, time.Second, 4, 0.75, 3, 16)
 }
 
 // TestBreakerConsecutiveFailuresOpen: the failure threshold opens the
@@ -98,6 +98,69 @@ func TestBreakerHealthyAbortMixStaysClosed(t *testing.T) {
 	}
 	if st, trips := b.snapshot(); st != breakerClosed || trips != 0 {
 		t.Fatalf("state %v trips %d under 50%% aborts, want closed/0", st, trips)
+	}
+}
+
+// TestBreakerInFlightDeliveryDoesNotReclose: a delivery landing on an OPEN
+// breaker (an in-flight request from before the trip) must not close the
+// circuit — re-closing would bypass the cooldown, and for suspect trips it
+// would let a Byzantine node's own concurrent answers lift its quarantine.
+func TestBreakerInFlightDeliveryDoesNotReclose(t *testing.T) {
+	b := testBreaker()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		b.onSuspect(now) // suspect trip: quarantine
+	}
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatal("suspect accumulation did not trip")
+	}
+	b.onDelivered(now.Add(10*time.Millisecond), false) // in-flight honest answer
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatal("in-flight delivery re-closed an open breaker (cooldown bypass)")
+	}
+	if b.allow(now.Add(100 * time.Millisecond)) {
+		t.Fatal("quarantined node admitted traffic before cooldown")
+	}
+	// Recovery still works through the sanctioned path: half-open trial.
+	later := now.Add(2 * time.Second)
+	if !b.allow(later) {
+		t.Fatal("no trial after cooldown")
+	}
+	b.onDelivered(later, false)
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatal("successful trial did not close")
+	}
+}
+
+// TestBreakerSuspectDecay: honest deliveries forgive accumulated suspects
+// at one per suspectDecay, so sparse minority losses never build to a trip,
+// while a steady liar still trips.
+func TestBreakerSuspectDecay(t *testing.T) {
+	b := newBreaker(3, time.Second, 4, 0.75, 3, 4) // decay every 4 deliveries
+	now := time.Unix(1000, 0)
+	// Two suspects, then enough honest traffic to decay both.
+	b.onSuspect(now)
+	b.onSuspect(now)
+	for i := 0; i < 8; i++ {
+		b.onDelivered(now, false)
+	}
+	if b.suspects != 0 {
+		t.Fatalf("suspects = %d after decay traffic, want 0", b.suspects)
+	}
+	// A third suspect alone must not trip now.
+	if b.onSuspect(now) {
+		t.Fatal("tripped on a suspect that decay should have isolated")
+	}
+	// A steady liar outpaces decay: suspects arrive faster than one per
+	// four deliveries.
+	b2 := newBreaker(3, time.Second, 4, 0.75, 3, 4)
+	tripped := false
+	for i := 0; i < 6 && !tripped; i++ {
+		b2.onDelivered(now, false)
+		tripped = b2.onSuspect(now)
+	}
+	if !tripped {
+		t.Fatal("steady liar never tripped despite decay")
 	}
 }
 

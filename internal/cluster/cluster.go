@@ -30,6 +30,7 @@ import (
 	"coopabft/internal/cluster/vote"
 	"coopabft/internal/core"
 	"coopabft/internal/serve"
+	"coopabft/internal/serve/qos"
 )
 
 // Typed gateway errors; the HTTP layer maps them to status codes, and
@@ -107,6 +108,19 @@ type Config struct {
 	// node's breaker (default 3). Suspect tallies do not reset on honest
 	// deliveries — see breaker.onSuspect.
 	SuspectTrip int
+	// SuspectDecayEvery forgives one accumulated suspect per this many
+	// consecutive honest deliveries (default 16; <0 disables decay), so a
+	// rare honest minority loss cannot build into a quarantine over weeks
+	// of clean traffic while a steady liar still trips.
+	SuspectDecayEvery int
+
+	// TenantRate/TenantBurst enable per-tenant token-bucket quotas at the
+	// gateway door (requests/second and bucket depth; 0 disables). The
+	// gateway checks the bucket before placement, so a flooding tenant is
+	// rejected with a typed 429 and Retry-After instead of consuming node
+	// windows.
+	TenantRate  float64
+	TenantBurst float64
 
 	// ShardThreshold is the GEMM size at which a job submitted via the
 	// jobs API splits into checksum-block tasks across the pool instead of
@@ -199,6 +213,12 @@ func (c Config) withDefaults() Config {
 	if c.SuspectTrip <= 0 {
 		c.SuspectTrip = 3
 	}
+	if c.SuspectDecayEvery == 0 {
+		c.SuspectDecayEvery = 16
+	}
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = 2 * c.TenantRate
+	}
 	if c.ShardThreshold <= 0 {
 		c.ShardThreshold = 256
 	}
@@ -287,6 +307,7 @@ type Gateway struct {
 	m     *Metrics
 	nodes []*node
 	byID  map[string]*node
+	quota *qos.Quota // nil when TenantRate is 0 (quotas off)
 
 	quit      chan struct{}
 	probeWG   sync.WaitGroup
@@ -324,6 +345,9 @@ func New(cfg Config) (*Gateway, error) {
 		bus:        serve.NewBus(cfg.EventBuffer),
 		longClient: &http.Client{},
 	}
+	if cfg.TenantRate > 0 {
+		g.quota = qos.NewQuota(qos.Config{Rate: cfg.TenantRate, Burst: cfg.TenantBurst})
+	}
 	g.selfURL.Store(strings.TrimRight(cfg.SelfURL, "/"))
 	g.m.bus = g.bus
 	g.jobCtx, g.jobCancel = context.WithCancel(context.Background())
@@ -345,7 +369,7 @@ func New(cfg Config) (*Gateway, error) {
 			hash:   fnv64a(id),
 			window: make(chan struct{}, cfg.Window),
 			br: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown,
-				cfg.AbortWindow, cfg.AbortTripFraction, cfg.SuspectTrip),
+				cfg.AbortWindow, cfg.AbortTripFraction, cfg.SuspectTrip, cfg.SuspectDecayEvery),
 			m: g.m.Node(id),
 		}
 		if len(nc.Strategies) > 0 {
@@ -434,6 +458,17 @@ func (g *Gateway) Do(ctx context.Context, req serve.Request) (serve.Response, er
 	if err != nil {
 		g.m.BadRequests.Add(1)
 		return serve.Response{}, err
+	}
+	// Per-tenant quota at the cluster door: a flooding tenant is turned
+	// away before it consumes node windows or placement work. The nodes'
+	// own schedulers still apply their quotas/fair-queueing underneath.
+	if g.quota != nil {
+		if qerr := g.quota.Take(p.Tenant); qerr != nil {
+			var qe *qos.QuotaError
+			errors.As(qerr, &qe)
+			g.m.Throttled.Add(1)
+			return serve.Response{}, &serve.ThrottleError{Tenant: p.Tenant, RetryAfter: qe.RetryAfter}
+		}
 	}
 
 	capable := make([]*node, 0, len(g.nodes))

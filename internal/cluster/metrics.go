@@ -18,6 +18,7 @@ type Metrics struct {
 	// Terminal client-visible failures.
 	BadRequests expvar.Int // 400s (gateway parse or node validation)
 	Overloaded  expvar.Int // every eligible replica shed or window-full
+	Throttled   expvar.Int // tenant-over-quota rejections at the gateway door
 	Unavailable expvar.Int // retries exhausted on connection failures/503s
 	NoNodes     expvar.Int // no node advertises the requested strategy
 
@@ -127,6 +128,7 @@ func (m *Metrics) Snapshot() map[string]any {
 		"retries":      m.Retries.Value(),
 		"bad_requests": m.BadRequests.Value(),
 		"overloaded":   m.Overloaded.Value(),
+		"throttled":    m.Throttled.Value(),
 		"unavailable":  m.Unavailable.Value(),
 		"no_nodes":     m.NoNodes.Value(),
 		"corrected":    m.Corrected.Value(),

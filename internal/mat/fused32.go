@@ -1,0 +1,128 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fused online-ABFT float32 GEMM — the mixed-precision sibling of fused.go.
+//
+// MulAddIntoFused32 computes the same c += a·b as MulAddInto32 (bit-identical
+// float32 result, same determinism contract) while deriving everything the
+// adaptive-threshold verifier needs in float64:
+//
+//   - operand checksums (eᵀA, B·e) and operand magnitude statistics
+//     (Moments) ride the packing copy;
+//   - row/column sums AND absolute-value sums of the output are folded at
+//     the final k-block's writeback, while each value is still L1-hot.
+//
+// The absolute sums are what make the V-ABFT threshold per-line adaptive: a
+// row's detection bound scales with the magnitude that actually flowed
+// through it, not with a global worst case.
+//
+// Only c's float32 bits are parallelism-invariant. The float64 sums are
+// reduced in deterministic ascending-band order (reproducible for a fixed
+// worker count) but their rounding association varies with the band split —
+// consumers compare them against encoded checksums with a tolerance, never
+// for bit equality.
+
+// FusedSums32 receives the float64 checksums and statistics the fused
+// float32 kernel accumulates. All slices are required, are overwritten, and
+// must have the exact lengths noted.
+type FusedSums32 struct {
+	RowSums    []float64 // len a.Rows: Σ_j of the final c[i][j]
+	ColSums    []float64 // len c.Cols: Σ_i of the final c[i][j]
+	AbsRowSums []float64 // len a.Rows: Σ_j |final c[i][j]|
+	AbsColSums []float64 // len c.Cols: Σ_i |final c[i][j]|
+	ASums      []float64 // len a.Cols: Σ_i a[i][k] (eᵀA)
+	BSums      []float64 // len a.Cols: Σ_j b[k][j] (B·e)
+	AMoments   Moments   // magnitude statistics of a's packed elements
+	BMoments   Moments   // magnitude statistics of b's packed elements
+}
+
+// MulAddIntoFused32 computes c += a×b in float32 with float64 checksum and
+// statistics accumulation fused into the packing and writeback passes. c's
+// result is bit-identical to MulAddInto32 at any blocking or parallelism.
+func MulAddIntoFused32(c, a, b *Matrix32, fs *FusedSums32) {
+	checkShape32(c, a, b, "MulAddIntoFused32")
+	m, kdim, n := a.Rows, a.Cols, c.Cols
+	if fs == nil {
+		MulAddInto32(c, a, b)
+		return
+	}
+	checkSumLen32(fs.RowSums, m, "RowSums")
+	checkSumLen32(fs.ColSums, n, "ColSums")
+	checkSumLen32(fs.AbsRowSums, m, "AbsRowSums")
+	checkSumLen32(fs.AbsColSums, n, "AbsColSums")
+	checkSumLen32(fs.ASums, kdim, "ASums")
+	checkSumLen32(fs.BSums, kdim, "BSums")
+	clear(fs.RowSums)
+	clear(fs.ColSums)
+	clear(fs.AbsRowSums)
+	clear(fs.AbsColSums)
+	clear(fs.ASums)
+	clear(fs.BSums)
+	fs.AMoments = Moments{}
+	fs.BMoments = Moments{}
+	if m == 0 || n == 0 || kdim == 0 {
+		return
+	}
+	workers := workersFor(m, 2*m*n*kdim)
+	if workers <= 1 {
+		gemmSerial32(c, a, b, &fusedAcc32{
+			rs: fs.RowSums, cs: fs.ColSums, ars: fs.AbsRowSums, acs: fs.AbsColSums,
+			asum: fs.ASums, bsum: fs.BSums, amom: &fs.AMoments, bmom: &fs.BMoments,
+		})
+		return
+	}
+
+	// Parallel: each row band folds into disjoint RowSums/AbsRowSums rows
+	// directly and into pooled per-band column/operand partials; bands are
+	// reduced in ascending order so the sums depend only on (shape, workers).
+	// BSums/BMoments cover all of b in every band, so only band 0 derives
+	// them; AMoments is per-band (each band packs its own rows) and merged.
+	bands := rowBands(m, workers)
+	colParts := make([]*[]float64, len(bands)) // ColSums ++ AbsColSums
+	aParts := make([]*[]float64, len(bands))   // ASums
+	aMoms := make([]Moments, len(bands))
+	var wg sync.WaitGroup
+	for idx, bd := range bands {
+		colParts[idx] = getZeroBuf(2 * n)
+		aParts[idx] = getZeroBuf(kdim)
+		wg.Add(1)
+		go func(idx, lo, hi int) {
+			defer wg.Done()
+			part := *colParts[idx]
+			fa := &fusedAcc32{
+				rs: fs.RowSums[lo:hi], ars: fs.AbsRowSums[lo:hi],
+				cs: part[:n], acs: part[n:],
+				asum: *aParts[idx], amom: &aMoms[idx],
+			}
+			if idx == 0 {
+				fa.bsum = fs.BSums
+				fa.bmom = &fs.BMoments
+			}
+			gemmSerial32(c.View(lo, 0, hi-lo, n), a.View(lo, 0, hi-lo, kdim), b, fa)
+		}(idx, bd.lo, bd.hi)
+	}
+	wg.Wait()
+	for idx := range bands {
+		part := *colParts[idx]
+		for j := 0; j < n; j++ {
+			fs.ColSums[j] += part[j]
+			fs.AbsColSums[j] += part[n+j]
+		}
+		putBuf(colParts[idx])
+		for k, v := range *aParts[idx] {
+			fs.ASums[k] += v
+		}
+		putBuf(aParts[idx])
+		fs.AMoments.Merge(aMoms[idx])
+	}
+}
+
+func checkSumLen32(s []float64, want int, name string) {
+	if len(s) != want {
+		panic(fmt.Sprintf("mat: MulAddIntoFused32 %s length %d, want %d", name, len(s), want))
+	}
+}

@@ -1,0 +1,403 @@
+package mat
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Packed float32 GEMM micro-kernel layer — the mixed-precision sibling of
+// kernel.go. Data and arithmetic are float32 (the inference-serving
+// precision); every checksum and statistic the fused path derives is
+// accumulated in float64 (see fused32.go), so ABFT detection keeps double
+// precision over single-precision data.
+//
+// The machinery mirrors the float64 path: Goto-style packing into pooled
+// contiguous buffers, a 2×4 register micro-kernel, jc→pc→ic blocking, and
+// deterministic row-band parallelism. The determinism contract is the same:
+// every output element accumulates its k-products in ascending order in
+// float32, so the result is bit-identical to the scalar float32 reference
+// loop at any blocking or parallelism. Only C += A·B is provided (no alpha,
+// no transpose) — that is the serving path's only shape.
+
+// f32 packing buffers get their own size-classed pools (same scheme as
+// bufPools; see the comment there).
+var bufPools32 [maxPoolClass + 1]sync.Pool
+
+func getBuf32(n int) *[]float32 {
+	if n < 1 {
+		n = 1
+	}
+	class := bits.Len(uint(n - 1))
+	if class > maxPoolClass {
+		p := make([]float32, n)
+		return &p
+	}
+	if p, ok := bufPools32[class].Get().(*[]float32); ok {
+		*p = (*p)[:n]
+		return p
+	}
+	p := make([]float32, n, 1<<class)
+	return &p
+}
+
+func putBuf32(p *[]float32) {
+	c := cap(*p)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.Len(uint(c - 1))
+	if class > maxPoolClass {
+		return
+	}
+	*p = (*p)[:c]
+	bufPools32[class].Put(p)
+}
+
+// packA32 copies rows [i0, i0+m) × cols [k0, k0+kb) of a into buf as tm-row
+// micro-panels in k-major order, zero-padded to tm rows.
+//
+// When asum is non-nil (length kb) the copy also accumulates the panel's
+// float64 column checksums — asum[p] += Σ_rows a[i0+r][k0+p] — and when mom
+// is non-nil it folds every packed element into the operand's magnitude
+// statistics. Both ride the packing pass, so the V-ABFT threshold inputs
+// cost no traversal beyond the copy GEMM already pays.
+func packA32(buf []float32, a *Matrix32, i0, m, k0, kb, tm int, asum []float64, mom *Moments) {
+	idx := 0
+	for r0 := 0; r0 < m; r0 += tm {
+		rows := min(tm, m-r0)
+		base := (i0+r0)*a.Stride + k0
+		for p := 0; p < kb; p++ {
+			s := 0.0
+			for r := 0; r < rows; r++ {
+				v := a.Data[base+r*a.Stride+p]
+				buf[idx+r] = v
+				if asum != nil {
+					s += float64(v)
+					if mom != nil {
+						mom.Observe(float64(v))
+					}
+				}
+			}
+			for r := rows; r < tm; r++ {
+				buf[idx+r] = 0
+			}
+			if asum != nil {
+				asum[p] += s
+			}
+			idx += tm
+		}
+	}
+}
+
+// packB32 copies rows [k0, k0+kb) × cols [j0, j0+nw) of b into buf as
+// nr-column micro-panels in k-major order, zero-padded to nr columns,
+// accumulating the panel's float64 row checksums (bsum[p] += Σ_cols
+// b[k0+p][j0+c]) and magnitude statistics when requested.
+func packB32(buf []float32, b *Matrix32, k0, kb, j0, nw int, bsum []float64, mom *Moments) {
+	idx := 0
+	for c0 := 0; c0 < nw; c0 += nr {
+		cols := min(nr, nw-c0)
+		for p := 0; p < kb; p++ {
+			s := 0.0
+			src := b.Data[(k0+p)*b.Stride+j0+c0:]
+			for c := 0; c < cols; c++ {
+				v := src[c]
+				buf[idx+c] = v
+				if bsum != nil {
+					s += float64(v)
+					if mom != nil {
+						mom.Observe(float64(v))
+					}
+				}
+			}
+			for c := cols; c < nr; c++ {
+				buf[idx+c] = 0
+			}
+			if bsum != nil {
+				bsum[p] += s
+			}
+			idx += nr
+		}
+	}
+}
+
+// kern2x4f32 is the float32 full-tile micro-kernel: a 2×4 block of C gains
+// the kb-step product of an A micro-panel and a B micro-panel, k unrolled by
+// four. Accumulators are seeded from C and updated in ascending-k order in
+// float32 (the determinism contract).
+func kern2x4f32(kb int, ap, bp []float32, cd []float32, ldc int) {
+	c0 := cd[0*ldc : 0*ldc+4]
+	c1 := cd[1*ldc : 1*ldc+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	ap = ap[:mr*kb]
+	bp = bp[:nr*kb]
+	pa, pb := 0, 0
+	for ; pa+8 <= len(ap); pa, pb = pa+8, pb+16 {
+		a := ap[pa : pa+8]
+		b := bp[pb : pb+16]
+		a0, a1 := a[0], a[1]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = a[2], a[3]
+		b0, b1, b2, b3 = b[4], b[5], b[6], b[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = a[4], a[5]
+		b0, b1, b2, b3 = b[8], b[9], b[10], b[11]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = a[6], a[7]
+		b0, b1, b2, b3 = b[12], b[13], b[14], b[15]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+	}
+	for ; pa+2 <= len(ap); pa, pb = pa+2, pb+4 {
+		a0, a1 := ap[pa], ap[pa+1]
+		b := bp[pb : pb+4]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+}
+
+// kernEdge32 handles partial tiles at the right/bottom fringe with the same
+// per-element ascending-k float32 accumulation as the full-tile kernel.
+func kernEdge32(kb, rows, cols int, ap, bp, cd []float32, ldc, tm int) {
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			s := cd[r*ldc+c]
+			for p := 0; p < kb; p++ {
+				s += ap[p*tm+r] * bp[p*nr+c]
+			}
+			cd[r*ldc+c] = s
+		}
+	}
+}
+
+// fusedAcc32 is the per-band view of the float64 checksum accumulators the
+// fused float32 path fills: rs/cs are the output row/column sums, ars/acs
+// the matching absolute-value sums (the per-line magnitude the adaptive
+// threshold scales with), asum/bsum the operand checksums in k space, and
+// amom/bmom the operand magnitude statistics. Nil slices skip that
+// accumulation.
+type fusedAcc32 struct {
+	rs, cs     []float64
+	ars, acs   []float64
+	asum, bsum []float64
+	amom, bmom *Moments
+}
+
+// gemmPacked32 is the packed float32 driver. Loop order is jc→pc→ic like
+// gemmPackedTile, so k ascends for every output element. When fa is non-nil
+// the pack passes accumulate operand checksums and statistics (asum/amom
+// once per k-panel on the first column slab, bsum/bmom once per (j,k) slab
+// pair) and the final k-block's kernels fold each finished C value into
+// rs/cs/ars/acs — a value is folded exactly once, after its last update.
+func gemmPacked32(c, a, b *Matrix32, fa *fusedAcc32) {
+	m, kdim, n := a.Rows, a.Cols, c.Cols
+	bbuf := getBuf32(kcBlock * ncBlock)
+	abuf := getBuf32(mcBlock * kcBlock)
+	defer putBuf32(bbuf)
+	defer putBuf32(abuf)
+	for j0 := 0; j0 < n; j0 += ncBlock {
+		nw := min(ncBlock, n-j0)
+		for k0 := 0; k0 < kdim; k0 += kcBlock {
+			kb := min(kcBlock, kdim-k0)
+			var bsum []float64
+			var bmom *Moments
+			if fa != nil && fa.bsum != nil {
+				bsum = fa.bsum[k0 : k0+kb]
+				bmom = fa.bmom
+			}
+			packB32(*bbuf, b, k0, kb, j0, nw, bsum, bmom)
+			fuse := fa != nil && fa.rs != nil && fa.cs != nil && k0+kb == kdim
+			for i0 := 0; i0 < m; i0 += mcBlock {
+				mb := min(mcBlock, m-i0)
+				var asum []float64
+				var amom *Moments
+				if fa != nil && fa.asum != nil && j0 == 0 {
+					asum = fa.asum[k0 : k0+kb]
+					amom = fa.amom
+				}
+				packA32(*abuf, a, i0, mb, k0, kb, mr, asum, amom)
+				for jr := 0; jr < nw; jr += nr {
+					cols := min(nr, nw-jr)
+					bp := (*bbuf)[(jr/nr)*kb*nr:]
+					for ir := 0; ir < mb; ir += mr {
+						rows := min(mr, mb-ir)
+						ap := (*abuf)[(ir/mr)*kb*mr:]
+						cd := c.Data[(i0+ir)*c.Stride+j0+jr:]
+						full := rows == mr && cols == nr
+						if full {
+							kern2x4f32(kb, ap, bp, cd, c.Stride)
+						} else {
+							kernEdge32(kb, rows, cols, ap, bp, cd, c.Stride, mr)
+						}
+						if fuse {
+							foldTile32(cd, c.Stride, rows, cols,
+								fa.rs[i0+ir:], fa.cs[j0+jr:], fa.ars[i0+ir:], fa.acs[j0+jr:])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// foldTile32 adds a stored rows×cols float32 tile's final values (and their
+// magnitudes) into the running float64 row/column checksum accumulators.
+func foldTile32(cd []float32, ldc, rows, cols int, rs, cs, ars, acs []float64) {
+	for r := 0; r < rows; r++ {
+		row := cd[r*ldc : r*ldc+cols]
+		sum, asum := 0.0, 0.0
+		for c, v := range row {
+			f := float64(v)
+			sum += f
+			cs[c] += f
+			if f < 0 {
+				f = -f
+			}
+			asum += f
+			acs[c] += f
+		}
+		rs[r] += sum
+		ars[r] += asum
+	}
+}
+
+// gemmSimple32 is the unpacked blocked float32 loop for problems too small
+// to amortize panel copies. Same ascending-k-per-element order, same result
+// bits as the packed path.
+func gemmSimple32(c, a, b *Matrix32) {
+	n, kdim, m := a.Rows, a.Cols, c.Cols
+	for ii := 0; ii < n; ii += gemmBlock {
+		iMax := min(ii+gemmBlock, n)
+		for kk := 0; kk < kdim; kk += gemmBlock {
+			kMax := min(kk+gemmBlock, kdim)
+			for jj := 0; jj < m; jj += gemmBlock {
+				jMax := min(jj+gemmBlock, m)
+				for i := ii; i < iMax; i++ {
+					crow := c.Data[i*c.Stride : i*c.Stride+m]
+					arow := a.Data[i*a.Stride : i*a.Stride+kdim]
+					for p := kk; p < kMax; p++ {
+						av := arow[p]
+						brow := b.Data[p*b.Stride : p*b.Stride+m]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmSerial32 dispatches one row band to the packed or simple path by the
+// same size threshold as gemmSerial. When fa is non-nil the sub-threshold
+// path derives the sums in a post-pass (everything is L1-resident there).
+func gemmSerial32(c, a, b *Matrix32, fa *fusedAcc32) {
+	if 2*a.Rows*a.Cols*c.Cols < packMinFlops {
+		gemmSimple32(c, a, b)
+		if fa != nil {
+			foldSimple32(c, a, b, fa)
+		}
+		return
+	}
+	gemmPacked32(c, a, b, fa)
+}
+
+// foldSimple32 derives the fused sums for the sub-threshold path: one
+// post-pass over the small operands and output.
+func foldSimple32(c, a, b *Matrix32, fa *fusedAcc32) {
+	if fa.rs != nil && fa.cs != nil {
+		for i := 0; i < c.Rows; i++ {
+			foldTile32(c.Data[i*c.Stride:], c.Stride, 1, c.Cols,
+				fa.rs[i:], fa.cs, fa.ars[i:], fa.acs)
+		}
+	}
+	if fa.asum != nil {
+		for i := 0; i < a.Rows; i++ {
+			row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			for k, v := range row {
+				fa.asum[k] += float64(v)
+				if fa.amom != nil {
+					fa.amom.Observe(float64(v))
+				}
+			}
+		}
+	}
+	if fa.bsum != nil {
+		for k := 0; k < b.Rows; k++ {
+			row := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			s := 0.0
+			for _, v := range row {
+				s += float64(v)
+				if fa.bmom != nil {
+					fa.bmom.Observe(float64(v))
+				}
+			}
+			fa.bsum[k] += s
+		}
+	}
+}
+
+// MulAddInto32 computes c += a×b in float32, parallel over row bands when
+// the problem clears the threshold. Bit-identical to the scalar float32
+// reference loop at any parallelism.
+func MulAddInto32(c, a, b *Matrix32) {
+	checkShape32(c, a, b, "MulAddInto32")
+	m, kdim, n := a.Rows, a.Cols, c.Cols
+	if m == 0 || n == 0 || kdim == 0 {
+		return
+	}
+	workers := workersFor(m, 2*m*n*kdim)
+	if workers <= 1 {
+		gemmSerial32(c, a, b, nil)
+		return
+	}
+	runBands(rowBands(m, workers), func(lo, hi int) {
+		gemmSerial32(c.View(lo, 0, hi-lo, n), a.View(lo, 0, hi-lo, kdim), b, nil)
+	})
+}
+
+func checkShape32(c, a, b *Matrix32, name string) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch: c %dx%d += a %dx%d × b %dx%d",
+			name, c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

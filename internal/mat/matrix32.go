@@ -1,0 +1,177 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix32 is a dense row-major matrix of float32 — the storage type of the
+// mixed-precision serving path (ML-inference GEMM shapes). Arithmetic on it
+// runs in float32; the ABFT checksums guarding it are accumulated in float64
+// by the fused kernel (see fused32.go), so detection precision does not
+// degrade with the data precision.
+type Matrix32 struct {
+	Rows, Cols int
+	// Stride is the distance in elements between vertically adjacent
+	// elements. For a freshly allocated matrix Stride == Cols; views share
+	// the parent's stride.
+	Stride int
+	Data   []float32
+}
+
+// New32 returns a zeroed r×c float32 matrix.
+func New32(r, c int) *Matrix32 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Matrix32{Rows: r, Cols: c, Stride: c, Data: make([]float32, r*c)}
+}
+
+// FromSlice32 wraps data (row-major, len r*c) in a Matrix32 without copying.
+func FromSlice32(r, c int, data []float32) *Matrix32 {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice32: len(data)=%d, want %d", len(data), r*c))
+	}
+	return &Matrix32{Rows: r, Cols: c, Stride: c, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Stride+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Stride+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+// View returns an r×c submatrix starting at (i, j) sharing storage with m.
+func (m *Matrix32) View(i, j, r, c int) *Matrix32 {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("mat: View(%d,%d,%d,%d) out of bounds for %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Matrix32{Rows: r, Cols: c, Stride: m.Stride}
+	}
+	off := i*m.Stride + j
+	end := (i+r-1)*m.Stride + j + c
+	return &Matrix32{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off:end]}
+}
+
+// Clone returns a deep copy of m with a compact stride.
+func (m *Matrix32) Clone() *Matrix32 {
+	out := New32(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix32) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// MaxAbs returns the largest absolute value in m (0 for an empty matrix).
+func (m *Matrix32) MaxAbs() float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			if a := math.Abs(float64(v)); a > max {
+				max = a
+			}
+		}
+	}
+	return max
+}
+
+// To64 returns a float64 copy of m (the oracle-side representation).
+func (m *Matrix32) To64() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.Row(i), out.Row(i)
+		for j, v := range src {
+			dst[j] = float64(v)
+		}
+	}
+	return out
+}
+
+// Equal32 reports whether a and b have the same shape and elements within
+// tol (compared in float64).
+func Equal32(a, b *Matrix32, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if math.Abs(float64(ra[j])-float64(rb[j])) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Random32 returns an r×c float32 matrix with deterministic pseudo-random
+// entries in [0, 1), generated from seed with the same SplitMix64 stream as
+// Random — Random32(r, c, s) is elementwise float32(Random(r, c, s)).
+func Random32(r, c int, seed uint64) *Matrix32 {
+	m := New32(r, c)
+	s := seed
+	for i := range m.Data {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		m.Data[i] = float32(float64(z>>11) / float64(1<<53))
+	}
+	return m
+}
+
+// Moments are magnitude statistics of one operand, gathered in float64
+// during the packing pass of the fused float32 kernel. They are the inputs
+// of the V-ABFT-style adaptive detection threshold: the bound scales with
+// the root-mean-square of the operands (their variance proxy) instead of a
+// fixed epsilon, so low-magnitude panels get tight detection and
+// high-variance panels do not false-positive.
+type Moments struct {
+	Count  int     // elements observed
+	SumSq  float64 // Σ v²
+	MaxAbs float64 // max |v|
+}
+
+// Observe folds one value into the statistics.
+func (m *Moments) Observe(v float64) {
+	m.Count++
+	m.SumSq += v * v
+	if a := math.Abs(v); a > m.MaxAbs {
+		m.MaxAbs = a
+	}
+}
+
+// Merge folds another statistics block into m.
+func (m *Moments) Merge(o Moments) {
+	m.Count += o.Count
+	m.SumSq += o.SumSq
+	if o.MaxAbs > m.MaxAbs {
+		m.MaxAbs = o.MaxAbs
+	}
+}
+
+// MeanSq returns the mean square (0 for empty statistics).
+func (m Moments) MeanSq() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.SumSq / float64(m.Count)
+}
+
+// RMS returns the root-mean-square magnitude.
+func (m Moments) RMS() float64 { return math.Sqrt(m.MeanSq()) }

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // maxBodyBytes bounds request bodies; compute requests are tiny JSON.
@@ -14,8 +17,22 @@ const maxBodyBytes = 1 << 16
 type errorBody struct {
 	Error string `json:"error"`
 	// Kind is a stable machine-readable discriminator:
-	// bad_request|overloaded|queue_timeout|closed|internal.
+	// bad_request|throttled|shed|overloaded|queue_timeout|closed|internal.
+	// Throttled means the tenant exceeded its own quota (back off for
+	// Retry-After); shed means speculative work was sacrificed to overload
+	// (resubmit when load drops, or as protected); overloaded is the
+	// untyped legacy form.
 	Kind string `json:"kind"`
+}
+
+// RetryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func RetryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // NewHandler exposes the service's request path:
@@ -57,11 +74,19 @@ func (s *Service) handleKernel(kernel string) http.HandlerFunc {
 		req.Kernel = kernel
 
 		resp, err := s.Do(r.Context(), req)
+		var throttle *ThrottleError
+		var shed *ShedError
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusOK, resp)
 		case errors.Is(err, ErrBadRequest):
 			writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		case errors.As(err, &throttle):
+			w.Header().Set("Retry-After", RetryAfterSeconds(throttle.RetryAfter))
+			writeErr(w, http.StatusTooManyRequests, "throttled", err.Error())
+		case errors.As(err, &shed):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "shed", err.Error())
 		case errors.Is(err, ErrOverloaded):
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())

@@ -127,10 +127,10 @@ func TestAPIOverloadIs429(t *testing.T) {
 	release := make([]chan parked, 0, 2)
 	release = append(release, park())
 	// First job admitted and picked up by the dispatcher (queue drained).
-	waitFor(func() bool { return s.m.Accepted.Value() >= 1 && len(s.queue) == 0 })
+	waitFor(func() bool { return s.m.Accepted.Value() >= 1 && s.sched.Len() == 0 })
 	release = append(release, park())
 	// Second job admitted and parked in the depth-1 queue.
-	waitFor(func() bool { return s.m.Accepted.Value() >= 2 && len(s.queue) == 1 })
+	waitFor(func() bool { return s.m.Accepted.Value() >= 2 && s.sched.Len() == 1 })
 	rec := post(t, h, "/v1/gemm", `{"n": 16}`)
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429 (body %s)", rec.Code, rec.Body)

@@ -3,53 +3,54 @@ package serve
 import (
 	"fmt"
 	"time"
+
+	"coopabft/internal/serve/qos"
 )
 
 // compatible reports whether two requests may share an execution batch:
-// same kernel shape, same problem size, same ECC strategy, and same verify
-// mode — the serving analogue of GEMM batching, where a worker runs the
-// coalesced group back-to-back on one concurrency slot with warm packing
-// buffers. Mixing verify modes in a batch would make batch latency depend
-// on queue interleaving, so fused and notified requests never coalesce.
-// Integrity modes must match too: a vote replica carries signature work
-// (and verify-vote a payload copy) a plain request does not, so
-// coalescing across integrity tiers would couple their latencies.
+// same kernel shape, same problem size, same ECC strategy, same verify
+// mode, same precision, and same tenant — the serving analogue of GEMM
+// batching, where a worker runs the coalesced group back-to-back on one
+// concurrency slot with warm packing buffers. Mixing verify modes or dtypes
+// in a batch would make batch latency depend on queue interleaving, so
+// fused and notified — or f32 and f64 — requests never coalesce. Integrity
+// modes must match too: a vote replica carries signature work (and
+// verify-vote a payload copy) a plain request does not. Tenants never share
+// a batch: a batch runs on one concurrency slot, so coalescing across
+// tenants would let one tenant's work ride (and bill to) another's
+// scheduling decision, defeating fair queueing.
 func compatible(a, b Parsed) bool {
 	return a.Kernel == KernelGEMM && b.Kernel == KernelGEMM &&
 		a.N == b.N && a.Strategy == b.Strategy && a.Mode == b.Mode &&
-		a.Integrity == b.Integrity
+		a.Integrity == b.Integrity && a.Dtype == b.Dtype && a.Tenant == b.Tenant
 }
 
-// dispatch is the scheduling loop: pull the next job, optionally hold a
-// small-GEMM batch open for BatchWindow, then acquire a concurrency slot
+// dispatch is the scheduling loop: pop the fair-queue head, optionally hold
+// a small-GEMM batch open for BatchWindow, then acquire a concurrency slot
 // and hand the batch to an executor goroutine. Exactly one dispatcher runs
 // per service, so batch formation never races with itself.
 func (s *Service) dispatch() {
 	defer s.dispatchWG.Done()
-	var pending *job
 	for {
-		var first *job
-		if pending != nil {
-			first, pending = pending, nil
-		} else {
+		it, ok := s.sched.Pop()
+		if !ok {
 			select {
-			case first = <-s.queue:
+			case <-s.sched.Ready():
+				continue
 			case <-s.quit:
 				s.drain()
 				return
 			}
 		}
+		first := it.Value.(*job)
 		batch := []*job{first}
 		if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 && first.req.Kernel == KernelGEMM {
-			batch, pending = s.collect(first)
+			batch = s.collect(first)
 		}
 		select {
 		case s.sem <- struct{}{}:
 		case <-s.quit:
 			s.fail(batch)
-			if pending != nil {
-				s.fail([]*job{pending})
-			}
 			s.drain()
 			return
 		}
@@ -59,27 +60,28 @@ func (s *Service) dispatch() {
 }
 
 // collect holds first's batch open for BatchWindow, coalescing compatible
-// followers up to MaxBatch. The first incompatible job ends the window and
-// is returned as the next batch's head.
-func (s *Service) collect(first *job) (batch []*job, pending *job) {
-	batch = []*job{first}
+// followers up to MaxBatch. Only fair-queue heads are considered (PopWhere),
+// so batching can never reorder one tenant's requests; incompatible work
+// simply stays queued for the next dispatch round.
+func (s *Service) collect(first *job) []*job {
+	batch := []*job{first}
 	timer := time.NewTimer(s.cfg.BatchWindow)
 	defer timer.Stop()
+	match := func(it qos.Item) bool { return compatible(first.req, it.Value.(*job).req) }
 	for len(batch) < s.cfg.MaxBatch {
+		if it, ok := s.sched.PopWhere(match); ok {
+			batch = append(batch, it.Value.(*job))
+			continue
+		}
 		select {
-		case j := <-s.queue:
-			if compatible(first.req, j.req) {
-				batch = append(batch, j)
-			} else {
-				return batch, j
-			}
+		case <-s.sched.Ready():
 		case <-timer.C:
-			return batch, nil
+			return batch
 		case <-s.quit:
-			return batch, nil
+			return batch
 		}
 	}
-	return batch, nil
+	return batch
 }
 
 // runBatch executes a batch on one concurrency slot.
@@ -130,11 +132,10 @@ func (s *Service) fail(jobs []*job) {
 // drain flushes the queue at shutdown, failing everything still parked.
 func (s *Service) drain() {
 	for {
-		select {
-		case j := <-s.queue:
-			s.fail([]*job{j})
-		default:
+		it, ok := s.sched.Pop()
+		if !ok {
 			return
 		}
+		s.fail([]*job{it.Value.(*job)})
 	}
 }

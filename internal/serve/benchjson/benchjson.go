@@ -11,8 +11,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
+	"coopabft/internal/serve"
 	"coopabft/internal/serve/loadgen"
 )
 
@@ -21,6 +23,7 @@ type Cell struct {
 	Kernel     string  `json:"kernel"`
 	Strategy   string  `json:"strategy"`
 	VerifyMode string  `json:"verify_mode"`
+	Dtype      string  `json:"dtype,omitempty"` // "f32" on mixed-precision cells; empty = f64
 	RateRPS    float64 `json:"rate_rps"`
 
 	Sent         int `json:"sent"`
@@ -29,6 +32,8 @@ type Cell struct {
 	Restarted    int `json:"restarted"`
 	Aborted      int `json:"aborted"`
 	Overloaded   int `json:"overloaded"`
+	Throttled    int `json:"throttled"`
+	Shed         int `json:"shed"`
 	QueueTimeout int `json:"queue_timeout"`
 	Errors       int `json:"errors"`
 	Unclassified int `json:"unclassified"`
@@ -43,6 +48,23 @@ type Cell struct {
 	P95MS         float64 `json:"p95_ms"`
 	P99MS         float64 `json:"p99_ms"`
 	MaxMS         float64 `json:"max_ms"`
+
+	// Tenants is the per-tenant breakdown of a multi-tenant cell (absent
+	// on single-stream sweeps), sorted by tenant name for stable diffs.
+	Tenants []TenantCell `json:"tenants,omitempty"`
+}
+
+// TenantCell is one tenant's slice of a multi-tenant cell.
+type TenantCell struct {
+	Tenant    string  `json:"tenant"`
+	Priority  string  `json:"priority"`
+	Sent      int     `json:"sent"`
+	Completed int     `json:"completed"`
+	Throttled int     `json:"throttled"`
+	Shed      int     `json:"shed"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
 }
 
 // File is the whole artifact.
@@ -76,7 +98,7 @@ func FromResult(res *loadgen.Result) File {
 	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for _, c := range res.Cells {
-		f.Cells = append(f.Cells, Cell{
+		cell := Cell{
 			Kernel:        c.Kernel.String(),
 			Strategy:      c.Strategy.String(),
 			VerifyMode:    c.Mode.String(),
@@ -87,6 +109,8 @@ func FromResult(res *loadgen.Result) File {
 			Restarted:     c.Restarted,
 			Aborted:       c.Aborted,
 			Overloaded:    c.Overloaded,
+			Throttled:     c.Throttled,
+			Shed:          c.Shed,
 			QueueTimeout:  c.QueueTimeout,
 			Errors:        c.Errors,
 			Unclassified:  c.Unclassified,
@@ -99,7 +123,30 @@ func FromResult(res *loadgen.Result) File {
 			P95MS:         ms(c.P95),
 			P99MS:         ms(c.P99),
 			MaxMS:         ms(c.Max),
-		})
+		}
+		if c.Dtype == serve.DtypeF32 {
+			cell.Dtype = c.Dtype.String()
+		}
+		names := make([]string, 0, len(c.Tenants))
+		for name := range c.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ts := c.Tenants[name]
+			cell.Tenants = append(cell.Tenants, TenantCell{
+				Tenant:    name,
+				Priority:  ts.Priority.String(),
+				Sent:      ts.Sent,
+				Completed: ts.Completed,
+				Throttled: ts.Throttled,
+				Shed:      ts.Shed,
+				P50MS:     ms(ts.P50),
+				P95MS:     ms(ts.P95),
+				P99MS:     ms(ts.P99),
+			})
+		}
+		f.Cells = append(f.Cells, cell)
 	}
 	return f
 }

@@ -22,7 +22,13 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 	defer s.m.Running.Add(-1)
 
 	start := time.Now()
-	rep, w := s.runLadder(j)
+	var rep recovery.Report
+	var w recovery.Workload
+	if j.req.Dtype == DtypeF32 {
+		rep = s.runLadder32(j)
+	} else {
+		rep, w = s.runLadder(j)
+	}
 	run := time.Since(start)
 
 	resp := Response{
@@ -30,6 +36,7 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 		N:            j.req.Size(),
 		Strategy:     j.req.Strategy.String(),
 		VerifyMode:   j.req.Mode.String(),
+		Tenant:       j.req.Tenant,
 		Outcome:      rep.Outcome.String(),
 		Injected:     rep.Injected,
 		HWCorrected:  int(rep.HWCorrected),
@@ -39,6 +46,9 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 		BatchSize:    batchSize,
 		QueueMS:      float64(wait) / float64(time.Millisecond),
 		RunMS:        float64(run) / float64(time.Millisecond),
+	}
+	if j.req.Dtype == DtypeF32 {
+		resp.Dtype = j.req.Dtype.String()
 	}
 	if rep.Err != nil {
 		resp.Error = rep.Err.Error()
@@ -53,6 +63,7 @@ func (s *Service) execute(j *job, batchSize int, wait time.Duration) Response {
 	default:
 		s.m.Aborted.Add(1)
 	}
+	s.m.Tenant(j.req.Tenant).Completed.Add(1)
 	s.m.InjectedFaults.Add(int64(rep.Injected))
 	s.m.ABFTCorrections.Add(int64(rep.Corrections))
 	s.m.Restarts.Add(int64(rep.Restarts))

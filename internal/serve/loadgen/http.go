@@ -102,6 +102,17 @@ func (h *HTTPClient) post(ctx context.Context, kernel string, body []byte) (serv
 		return resp, -1, nil
 	case http.StatusTooManyRequests:
 		wait := parseRetryAfter(hresp.Header.Get("Retry-After"), h.retryAfterCap())
+		// The kind discriminator picks the typed error back out of the
+		// envelope so wire sweeps tally throttled/shed exactly like
+		// in-process sweeps; both still satisfy errors.Is(ErrOverloaded).
+		switch wireKind(payload) {
+		case "throttled":
+			return serve.Response{}, wait, fmt.Errorf("%w: %s",
+				&serve.ThrottleError{RetryAfter: wait}, wireError(payload))
+		case "shed":
+			return serve.Response{}, wait, fmt.Errorf("%w: %s",
+				&serve.ShedError{}, wireError(payload))
+		}
 		return serve.Response{}, wait, fmt.Errorf("%w: %s", serve.ErrOverloaded, wireError(payload))
 	case http.StatusServiceUnavailable:
 		return serve.Response{}, -1, fmt.Errorf("%w: %s", serve.ErrQueueTimeout, wireError(payload))
@@ -179,6 +190,15 @@ func (h *HTTPClient) WaitReady(ctx context.Context, budget time.Duration) error 
 		time.Sleep(50 * time.Millisecond)
 	}
 	return fmt.Errorf("loadgen: server not ready after %s: %w", budget, lastErr)
+}
+
+// wireKind extracts the error envelope's machine-readable discriminator.
+func wireKind(payload []byte) string {
+	var e struct {
+		Kind string `json:"kind"`
+	}
+	_ = json.Unmarshal(payload, &e)
+	return e.Kind
 }
 
 // wireError extracts the error envelope's message for diagnostics.

@@ -64,6 +64,18 @@ type Config struct {
 	// ever wins an election the sweep records a ForbiddenNode hit, which
 	// the gates treat like a wrong answer.
 	ForbidNodes []string
+	// Dtypes is the element-type sweep axis (default {DtypeF64}). f32 is
+	// gemm-only, pairs only with the fused verify mode, and excludes the
+	// integrity tier; incompatible coordinates are skipped rather than
+	// sent, mirroring the fused rule.
+	Dtypes []serve.Dtype
+	// Tenants, when non-empty, turns every cell into a concurrent
+	// multi-tenant flood: each spec fires its own open-loop stream at its
+	// own rate, stamped with its name and priority class, and the cell
+	// reports per-tenant tallies alongside the aggregate. This is how the
+	// QoS gates observe that a flooding tenant is throttled and shed while
+	// a protected tenant inside its quota keeps completing.
+	Tenants []TenantSpec
 
 	// N sizes gemm/cholesky requests (default 48); NX, NY size CG.
 	N, NX, NY int
@@ -73,6 +85,16 @@ type Config struct {
 	FaultFraction float64
 	Faults        int // default 1
 	FaultKind     bifit.Kind
+}
+
+// TenantSpec is one synthetic tenant in a multi-tenant sweep.
+type TenantSpec struct {
+	Name     string
+	Priority serve.Priority
+	// Rate is this tenant's own open-loop send rate in req/s; 0 inherits
+	// the cell rate. Set it above the server's -tenant-rate to make the
+	// tenant a deliberate quota violator.
+	Rate float64
 }
 
 func (c *Config) defaults() {
@@ -97,6 +119,9 @@ func (c *Config) defaults() {
 	if len(c.Integrities) == 0 {
 		c.Integrities = []serve.Integrity{serve.IntegrityNone}
 	}
+	if len(c.Dtypes) == 0 {
+		c.Dtypes = []serve.Dtype{serve.DtypeF64}
+	}
 	if c.N <= 0 {
 		c.N = 48
 	}
@@ -118,6 +143,7 @@ type Cell struct {
 	Strategy  core.Strategy
 	Mode      abft.VerifyMode
 	Integrity serve.Integrity
+	Dtype     serve.Dtype
 }
 
 // Outcomes tallies the terminal classification of every request sent.
@@ -125,7 +151,9 @@ type Outcomes struct {
 	Corrected    int // ladder finished in place
 	Restarted    int // ladder rolled back, replay verified
 	Aborted      int // ladder gave up explicitly
-	Overloaded   int // typed admission rejection (429)
+	Overloaded   int // untyped admission rejection (429 kind "overloaded")
+	Throttled    int // tenant over its own quota (429 kind "throttled")
+	Shed         int // speculative work sacrificed to overload (429 kind "shed")
 	QueueTimeout int // admitted but expired in queue (503)
 	Errors       int // transport/internal failures
 	// Unclassified counts completed responses whose outcome is outside
@@ -165,7 +193,28 @@ type CellResult struct {
 	// (nil against a bare daemon) — the placement spread.
 	PerNode map[string]int
 
+	// Tenants holds each tenant's slice of the cell, keyed by tenant name
+	// (nil unless Config.Tenants was set).
+	Tenants map[string]*TenantStats
+
 	P50, P95, P99, Max time.Duration
+}
+
+// TenantStats is one tenant's slice of a cell: its own outcome tallies and
+// latency percentiles, the evidence the per-tenant QoS gates run on.
+type TenantStats struct {
+	Priority     serve.Priority
+	Sent         int
+	Completed    int
+	Throttled    int
+	Shed         int
+	Overloaded   int
+	QueueTimeout int
+	Errors       int
+
+	P50, P95, P99 time.Duration
+
+	latencies []time.Duration
 }
 
 // Result is a full sweep.
@@ -193,13 +242,24 @@ func Run(ctx context.Context, d Doer, cfg Config) (*Result, error) {
 						if integ == serve.IntegrityVerifyVote && kernel != serve.KernelGEMM {
 							continue // verify-vote replicates the gemm checksum pass
 						}
-						if err := ctx.Err(); err != nil {
-							return res, err
+						for _, dt := range cfg.Dtypes {
+							if dt == serve.DtypeF32 &&
+								(kernel != serve.KernelGEMM ||
+									mode != abft.FusedVerify ||
+									integ != serve.IntegrityNone) {
+								// f32 admits only gemm x fused x no integrity
+								// tier; skip the coordinate, don't manufacture
+								// 400s.
+								continue
+							}
+							if err := ctx.Err(); err != nil {
+								return res, err
+							}
+							cell := Cell{Rate: rate, Kernel: kernel, Strategy: strat, Mode: mode, Integrity: integ, Dtype: dt}
+							cr, sent := runCell(ctx, d, cfg, cell, reqIndex)
+							reqIndex += sent
+							res.Cells = append(res.Cells, cr)
 						}
-						cell := Cell{Rate: rate, Kernel: kernel, Strategy: strat, Mode: mode, Integrity: integ}
-						cr, sent := runCell(ctx, d, cfg, cell, reqIndex)
-						reqIndex += sent
-						res.Cells = append(res.Cells, cr)
 					}
 				}
 			}
@@ -209,24 +269,23 @@ func Run(ctx context.Context, d Doer, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runCell fires one cell's open-loop schedule and aggregates its results.
+// runCell fires one cell's open-loop schedule and aggregates its
+// results. Without Config.Tenants it is a single anonymous stream (the
+// server's default tenant); with Tenants every spec fires its own
+// concurrent stream at its own rate, so quota and shedding decisions
+// interleave under real contention.
 func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (CellResult, uint64) {
-	interval := time.Duration(float64(time.Second) / cell.Rate)
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
 	cellStart := time.Now()
-	deadline := cellStart.Add(cfg.Duration)
-
 	var (
 		mu        sync.Mutex
-		wg        sync.WaitGroup
 		latencies []time.Duration
 		cr        = CellResult{Cell: cell}
 	)
-	record := func(lat time.Duration, resp serve.Response, err error) {
+	record := func(ts *TenantStats, lat time.Duration, resp serve.Response, err error) {
 		mu.Lock()
 		defer mu.Unlock()
+		var throttle *serve.ThrottleError
+		var shed *serve.ShedError
 		switch {
 		case err == nil:
 			cr.Completed++
@@ -267,17 +326,100 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 			default:
 				cr.Unclassified++
 			}
+			if ts != nil {
+				ts.Completed++
+				ts.latencies = append(ts.latencies, lat)
+			}
+		case errors.As(err, &throttle):
+			cr.Throttled++
+			if ts != nil {
+				ts.Throttled++
+			}
+		case errors.As(err, &shed):
+			cr.Shed++
+			if ts != nil {
+				ts.Shed++
+			}
 		case errors.Is(err, serve.ErrOverloaded):
 			cr.Overloaded++
+			if ts != nil {
+				ts.Overloaded++
+			}
 		case errors.Is(err, serve.ErrQueueTimeout):
 			cr.QueueTimeout++
+			if ts != nil {
+				ts.QueueTimeout++
+			}
 		default:
 			cr.Errors++
+			if ts != nil {
+				ts.Errors++
+			}
 		}
 	}
 
+	streams := cfg.Tenants
+	if len(streams) == 0 {
+		streams = []TenantSpec{{}} // one anonymous stream: the default tenant
+	}
+	var wg sync.WaitGroup
+	sent := make([]uint64, len(streams))
+	for i := range streams {
+		tn := streams[i]
+		var ts *TenantStats
+		if tn.Name != "" {
+			if cr.Tenants == nil {
+				cr.Tenants = make(map[string]*TenantStats)
+			}
+			ts = &TenantStats{Priority: tn.Priority}
+			cr.Tenants[tn.Name] = ts
+		}
+		wg.Add(1)
+		go func(i int, tn TenantSpec, ts *TenantStats) {
+			defer wg.Done()
+			// Disjoint index lanes keep every tenant's request stream a
+			// pure function of the sweep seed regardless of goroutine
+			// interleaving.
+			sent[i] = fireStream(ctx, d, cfg, cell, tn, ts, base+uint64(i)<<20, &mu, &cr, record)
+		}(i, tn, ts)
+	}
+	wg.Wait()
+
+	wall := time.Since(cellStart)
+	if wall > 0 {
+		cr.ThroughputRPS = float64(cr.Completed) / wall.Seconds()
+	}
+	if cr.Completed > 0 {
+		cr.BatchedShare /= float64(cr.Completed)
+	}
+	cr.P50, cr.P95, cr.P99, cr.Max = percentiles(latencies)
+	for _, ts := range cr.Tenants {
+		ts.P50, ts.P95, ts.P99, _ = percentiles(ts.latencies)
+		ts.latencies = nil
+	}
+	var total uint64
+	for _, s := range sent {
+		total += s
+	}
+	return cr, total
+}
+
+// fireStream sends one tenant's open-loop schedule for a cell, returning
+// how many requests it fired. Tallies land in cr (and ts, when the stream
+// is a named tenant) under mu via record.
+func fireStream(ctx context.Context, d Doer, cfg Config, cell Cell, tn TenantSpec, ts *TenantStats, base uint64, mu *sync.Mutex, cr *CellResult, record func(*TenantStats, time.Duration, serve.Response, error)) uint64 {
+	rate := tn.Rate
+	if rate <= 0 {
+		rate = cell.Rate
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	deadline := time.Now().Add(cfg.Duration)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	var wg sync.WaitGroup
 	sent := uint64(0)
 	// Fixed-count mode sends exactly cfg.Requests; the open-loop default
 	// sends until the wall-clock window closes.
@@ -298,19 +440,34 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 			VerifyMode: cell.Mode.String(),
 			Seed:       seed,
 		}
+		if cell.Dtype == serve.DtypeF32 {
+			req.Dtype = cell.Dtype.String()
+		}
+		if tn.Name != "" {
+			req.Tenant = tn.Name
+			req.Priority = tn.Priority.String()
+		}
 		if cell.Integrity != serve.IntegrityNone {
 			req.Integrity = cell.Integrity.String()
 			req.Replicas = cfg.Replicas
 		}
 		// Seeded fault lottery: the decision is a pure function of the
 		// request seed, so replays inject on the same requests.
-		if cfg.FaultFraction > 0 &&
-			float64(campaign.Splitmix64(seed))/float64(^uint64(0)) < cfg.FaultFraction {
+		inject := cfg.FaultFraction > 0 &&
+			float64(campaign.Splitmix64(seed))/float64(^uint64(0)) < cfg.FaultFraction
+		if inject {
 			req.Faults = cfg.Faults
 			req.FaultKind = cfg.FaultKind.String()
+		}
+		mu.Lock()
+		if inject {
 			cr.InjectedReqs++
 		}
 		cr.Sent++
+		if ts != nil {
+			ts.Sent++
+		}
+		mu.Unlock()
 		sent++
 		wg.Add(1)
 		go func() {
@@ -319,7 +476,7 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 			defer cancel()
 			t0 := time.Now()
 			resp, err := d.Do(rctx, req)
-			record(time.Since(t0), resp, err)
+			record(ts, time.Since(t0), resp, err)
 		}()
 		select {
 		case <-ticker.C:
@@ -327,16 +484,7 @@ func runCell(ctx context.Context, d Doer, cfg Config, cell Cell, base uint64) (C
 		}
 	}
 	wg.Wait()
-
-	wall := time.Since(cellStart)
-	if wall > 0 {
-		cr.ThroughputRPS = float64(cr.Completed) / wall.Seconds()
-	}
-	if cr.Completed > 0 {
-		cr.BatchedShare /= float64(cr.Completed)
-	}
-	cr.P50, cr.P95, cr.P99, cr.Max = percentiles(latencies)
-	return cr, sent
+	return sent
 }
 
 // percentiles reports p50/p95/p99/max over completed-request latencies.
@@ -361,6 +509,8 @@ func (r *Result) Totals() Outcomes {
 		t.Restarted += c.Restarted
 		t.Aborted += c.Aborted
 		t.Overloaded += c.Overloaded
+		t.Throttled += c.Throttled
+		t.Shed += c.Shed
 		t.QueueTimeout += c.QueueTimeout
 		t.Errors += c.Errors
 		t.Unclassified += c.Unclassified
@@ -402,23 +552,52 @@ func (r *Result) PerNode() map[string]int {
 	return total
 }
 
+// TenantTotals sums every tenant's tallies across cells (latency
+// percentiles stay per-cell; see CellResult.Tenants). This is what the
+// per-tenant completion and shedding gates run on.
+func (r *Result) TenantTotals() map[string]TenantStats {
+	totals := make(map[string]TenantStats)
+	for _, c := range r.Cells {
+		for name, ts := range c.Tenants {
+			t := totals[name]
+			t.Priority = ts.Priority
+			t.Sent += ts.Sent
+			t.Completed += ts.Completed
+			t.Throttled += ts.Throttled
+			t.Shed += ts.Shed
+			t.Overloaded += ts.Overloaded
+			t.QueueTimeout += ts.QueueTimeout
+			t.Errors += ts.Errors
+			totals[name] = t
+		}
+	}
+	return totals
+}
+
 // Table renders the sweep as the report the load generator prints.
 func (r *Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serving sweep: %d cells, seed %d, %s/cell, fault fraction %.2f\n",
 		len(r.Cells), r.Cfg.Seed, r.Cfg.Duration, r.Cfg.FaultFraction)
-	fmt.Fprintf(&b, "%-9s %-12s %-9s %-11s %6s %6s %6s %5s %5s %5s %5s %5s %4s %8s %8s %8s %8s\n",
-		"kernel", "strategy", "verify", "integrity", "rate", "sent", "done", "corr", "rst", "abrt", "429", "qto", "err",
+	fmt.Fprintf(&b, "%-9s %-12s %-9s %-11s %-5s %6s %6s %6s %5s %5s %5s %5s %5s %5s %5s %4s %8s %8s %8s %8s\n",
+		"kernel", "strategy", "verify", "integrity", "dtype", "rate", "sent", "done", "corr", "rst", "abrt", "429", "thr", "shed", "qto", "err",
 		"p50", "p95", "p99", "rps")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "%-9s %-12s %-9s %-11s %6.1f %6d %6d %5d %5d %5d %5d %5d %4d %8s %8s %8s %8.1f\n",
-			c.Kernel, c.Strategy, c.Mode, c.Integrity, c.Rate, c.Sent, c.Completed,
-			c.Corrected, c.Restarted, c.Aborted, c.Overloaded, c.QueueTimeout, c.Errors,
+		fmt.Fprintf(&b, "%-9s %-12s %-9s %-11s %-5s %6.1f %6d %6d %5d %5d %5d %5d %5d %5d %5d %4d %8s %8s %8s %8.1f\n",
+			c.Kernel, c.Strategy, c.Mode, c.Integrity, c.Dtype, c.Rate, c.Sent, c.Completed,
+			c.Corrected, c.Restarted, c.Aborted, c.Overloaded, c.Throttled, c.Shed, c.QueueTimeout, c.Errors,
 			round(c.P50), round(c.P95), round(c.P99), c.ThroughputRPS)
+		for _, name := range sortedTenants(c.Tenants) {
+			ts := c.Tenants[name]
+			fmt.Fprintf(&b, "  tenant %-12s %-11s sent %-5d done %-5d throttled %-5d shed %-5d 429 %-4d err %-3d p50 %-8s p95 %-8s p99 %-8s\n",
+				name, ts.Priority, ts.Sent, ts.Completed, ts.Throttled, ts.Shed,
+				ts.Overloaded, ts.QueueTimeout+ts.Errors,
+				round(ts.P50), round(ts.P95), round(ts.P99))
+		}
 	}
 	t := r.Totals()
-	fmt.Fprintf(&b, "totals: corrected %d, restarted %d, aborted %d, overloaded %d, queue-timeout %d, errors %d, unclassified %d, retried-elsewhere %d, voted %d, no-quorum %d, forbidden-node %d\n",
-		t.Corrected, t.Restarted, t.Aborted, t.Overloaded, t.QueueTimeout, t.Errors, t.Unclassified, t.Retried, t.Voted, t.NoQuorum, t.ForbiddenNode)
+	fmt.Fprintf(&b, "totals: corrected %d, restarted %d, aborted %d, overloaded %d, throttled %d, shed %d, queue-timeout %d, errors %d, unclassified %d, retried-elsewhere %d, voted %d, no-quorum %d, forbidden-node %d\n",
+		t.Corrected, t.Restarted, t.Aborted, t.Overloaded, t.Throttled, t.Shed, t.QueueTimeout, t.Errors, t.Unclassified, t.Retried, t.Voted, t.NoQuorum, t.ForbiddenNode)
 	if spread := r.PerNode(); len(spread) > 0 {
 		ids := make([]string, 0, len(spread))
 		for id := range spread {
@@ -432,6 +611,16 @@ func (r *Result) Table() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// sortedTenants returns the tenant names in stable order for rendering.
+func sortedTenants(m map[string]*TenantStats) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func round(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }

@@ -33,8 +33,8 @@ func smokeConfig() Config {
 func checkInvariants(t *testing.T, res *Result) {
 	t.Helper()
 	for _, c := range res.Cells {
-		tallied := c.Corrected + c.Restarted + c.Aborted +
-			c.Overloaded + c.QueueTimeout + c.Errors + c.Unclassified
+		tallied := c.Corrected + c.Restarted + c.Aborted + c.Overloaded +
+			c.Throttled + c.Shed + c.QueueTimeout + c.Errors + c.Unclassified
 		if tallied != c.Sent {
 			t.Errorf("cell %v: sent %d but tallied %d", c.Cell, c.Sent, tallied)
 		}
@@ -194,5 +194,149 @@ func TestPercentiles(t *testing.T) {
 	}
 	if p50, _, _, max := percentiles(nil); p50 != 0 || max != 0 {
 		t.Error("empty percentiles not zero")
+	}
+}
+
+// TestSweepF32Dtype sweeps the dtype axis: the f32 cell pairs only with
+// gemm × fused, completes with zero wrong answers under heavy injection,
+// and incompatible coordinates are skipped rather than rejected.
+func TestSweepF32Dtype(t *testing.T) {
+	s := serve.New(serve.Config{MaxConcurrency: 4, QueueDepth: 128, QueueTimeout: 30 * time.Second})
+	defer s.Close()
+
+	cfg := smokeConfig()
+	cfg.Strategies = []core.Strategy{core.WholeChipkill}
+	cfg.Kernels = []serve.Kernel{serve.KernelGEMM, serve.KernelCholesky}
+	cfg.Modes = []abft.VerifyMode{abft.FusedVerify}
+	cfg.Dtypes = []serve.Dtype{serve.DtypeF64, serve.DtypeF32}
+	res, err := Run(context.Background(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gemm×fused×{f64,f32}: fused×cholesky and f32×cholesky both skipped.
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	checkInvariants(t, res)
+	var f32Cell *CellResult
+	for i := range res.Cells {
+		if res.Cells[i].Dtype == serve.DtypeF32 {
+			f32Cell = &res.Cells[i]
+		}
+	}
+	if f32Cell == nil {
+		t.Fatal("no f32 cell in the sweep")
+	}
+	if f32Cell.Completed == 0 {
+		t.Fatal("f32 cell completed nothing")
+	}
+	if f32Cell.InjectedReqs > 0 && f32Cell.FaultsLanded == 0 {
+		t.Errorf("f32 cell injected on %d requests but landed no faults", f32Cell.InjectedReqs)
+	}
+}
+
+// TestSweepMultiTenantQoS runs the adversarial two-tenant cell in-process:
+// a protected tenant inside its quota against a speculative flood at 10x
+// the bucket rate. The flood must be throttled; the protected tenant must
+// never be throttled and must keep completing.
+func TestSweepMultiTenantQoS(t *testing.T) {
+	s := serve.New(serve.Config{
+		MaxConcurrency: 2,
+		QueueDepth:     64,
+		QueueTimeout:   30 * time.Second,
+		TenantRate:     20,
+		TenantBurst:    10,
+	})
+	defer s.Close()
+
+	cfg := Config{
+		Seed:     11,
+		Duration: 600 * time.Millisecond,
+		Timeout:  10 * time.Second,
+		Rates:    []float64{25},
+		N:        24,
+		Tenants: []TenantSpec{
+			{Name: "gold", Priority: serve.PriorityProtected, Rate: 10},
+			{Name: "flood", Priority: serve.PrioritySpeculative, Rate: 200},
+		},
+	}
+	res, err := Run(context.Background(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, res)
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	gold, flood := c.Tenants["gold"], c.Tenants["flood"]
+	if gold == nil || flood == nil {
+		t.Fatalf("missing tenant stats: %v", c.Tenants)
+	}
+	if gold.Sent == 0 || flood.Sent == 0 {
+		t.Fatalf("empty streams: gold %d, flood %d", gold.Sent, flood.Sent)
+	}
+	if gold.Throttled > 0 {
+		t.Errorf("protected tenant inside its quota was throttled %d times", gold.Throttled)
+	}
+	if frac := float64(gold.Completed) / float64(gold.Sent); frac < 0.8 {
+		t.Errorf("gold completed %.0f%% (%d/%d), want >= 80%%", 100*frac, gold.Completed, gold.Sent)
+	}
+	if flood.Throttled == 0 {
+		t.Errorf("flood at 10x quota was never throttled (sent %d)", flood.Sent)
+	}
+	// Per-tenant tallies must partition the cell's aggregate.
+	if gold.Sent+flood.Sent != c.Sent {
+		t.Errorf("tenant sent %d+%d != cell sent %d", gold.Sent, flood.Sent, c.Sent)
+	}
+	if gold.Throttled+flood.Throttled != c.Throttled {
+		t.Errorf("tenant throttled %d+%d != cell throttled %d", gold.Throttled, flood.Throttled, c.Throttled)
+	}
+	totals := res.TenantTotals()
+	if totals["flood"].Throttled != flood.Throttled || totals["gold"].Completed != gold.Completed {
+		t.Errorf("TenantTotals mismatch: %+v vs cell %+v/%+v", totals, gold, flood)
+	}
+	if totals["flood"].Priority != serve.PrioritySpeculative {
+		t.Errorf("flood priority %v, want speculative", totals["flood"].Priority)
+	}
+}
+
+// TestMultiTenantOverHTTP drives the quota path over the wire: the 429
+// envelope's kind discriminator must map back onto the typed errors so a
+// wire sweep tallies throttled exactly like an in-process one.
+func TestMultiTenantOverHTTP(t *testing.T) {
+	s := serve.New(serve.Config{
+		MaxConcurrency: 2,
+		QueueDepth:     64,
+		QueueTimeout:   30 * time.Second,
+		TenantRate:     5,
+		TenantBurst:    2,
+	})
+	defer s.Close()
+	srv := httptest.NewServer(serve.NewHandler(s))
+	defer srv.Close()
+
+	cfg := Config{
+		Seed:     13,
+		Duration: 300 * time.Millisecond,
+		Timeout:  10 * time.Second,
+		Rates:    []float64{25},
+		N:        24,
+		Tenants: []TenantSpec{
+			{Name: "flood", Priority: serve.PrioritySpeculative, Rate: 200},
+		},
+	}
+	client := &HTTPClient{Base: srv.URL}
+	res, err := Run(context.Background(), client, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, res)
+	flood := res.TenantTotals()["flood"]
+	if flood.Throttled == 0 {
+		t.Errorf("no typed throttles over the wire (sent %d, errors %d)", flood.Sent, flood.Errors)
+	}
+	if flood.Errors > 0 {
+		t.Errorf("%d untyped transport errors — the kind mapping leaked", flood.Errors)
 	}
 }

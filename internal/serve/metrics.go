@@ -12,7 +12,9 @@ import (
 type Metrics struct {
 	// Admission.
 	Accepted      expvar.Int // requests admitted into the queue
-	Rejected      expvar.Int // typed ErrOverloaded rejections (429s)
+	Rejected      expvar.Int // all overload rejections (429s), QoS-typed or not
+	Throttled     expvar.Int // tenant-over-quota rejections (429 kind throttled)
+	Shed          expvar.Int // speculative requests sacrificed (429 kind shed)
 	QueueTimeouts expvar.Int // typed ErrQueueTimeout expiries
 	BadRequests   expvar.Int // normalization failures
 	QueueDepth    expvar.Int // gauge: requests currently queued
@@ -69,6 +71,33 @@ type Metrics struct {
 
 	// bus, when set by New, surfaces error-bus counters in Snapshot.
 	bus *Bus
+
+	// Per-tenant counters, created lazily on first touch.
+	tenantMu sync.Mutex
+	tenants  map[string]*TenantMetrics
+}
+
+// TenantMetrics is one tenant's admission ledger: how much of its traffic
+// completed, was throttled at its own bucket, or was shed to overload.
+type TenantMetrics struct {
+	Completed expvar.Int
+	Throttled expvar.Int
+	Shed      expvar.Int
+}
+
+// Tenant returns (creating on first use) the named tenant's counters.
+func (m *Metrics) Tenant(name string) *TenantMetrics {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if m.tenants == nil {
+		m.tenants = make(map[string]*TenantMetrics)
+	}
+	tm, ok := m.tenants[name]
+	if !ok {
+		tm = &TenantMetrics{}
+		m.tenants[name] = tm
+	}
+	return tm
 }
 
 var publishOnce sync.Once
@@ -86,6 +115,8 @@ func (m *Metrics) Snapshot() map[string]any {
 	out := map[string]any{
 		"accepted":         m.Accepted.Value(),
 		"rejected":         m.Rejected.Value(),
+		"throttled":        m.Throttled.Value(),
+		"shed":             m.Shed.Value(),
 		"queue_timeouts":   m.QueueTimeouts.Value(),
 		"bad_requests":     m.BadRequests.Value(),
 		"queue_depth":      m.QueueDepth.Value(),
@@ -123,5 +154,18 @@ func (m *Metrics) Snapshot() map[string]any {
 		out["events_published"] = m.bus.Published()
 		out["events_dropped"] = m.bus.Dropped()
 	}
+	m.tenantMu.Lock()
+	if len(m.tenants) > 0 {
+		tenants := make(map[string]any, len(m.tenants))
+		for name, tm := range m.tenants {
+			tenants[name] = map[string]any{
+				"completed": tm.Completed.Value(),
+				"throttled": tm.Throttled.Value(),
+				"shed":      tm.Shed.Value(),
+			}
+		}
+		out["tenants"] = tenants
+	}
+	m.tenantMu.Unlock()
 	return out
 }

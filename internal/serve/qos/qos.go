@@ -1,0 +1,166 @@
+// Package qos is the multi-tenant admission subsystem for the serving
+// layer: per-tenant token-bucket quotas, weighted-fair queueing across
+// tenants, and priority load-shedding that sacrifices speculative work
+// before protected work.
+//
+// The serving layer used to have one FIFO channel shared by every caller —
+// a single flooding client could starve everyone, and the only backpressure
+// was a blanket 429 once the channel filled. qos replaces that with three
+// cooperating mechanisms:
+//
+//   - Token buckets (per tenant) reject a tenant's own excess at the door
+//     with a computed Retry-After, before it consumes queue space.
+//   - Weighted-fair queueing orders admitted work by virtual finish tag, so
+//     a burst from one tenant delays its own later requests, not other
+//     tenants'.
+//   - Load shedding: when the queue is full, an arriving protected request
+//     evicts the speculative item with the largest finish tag (the one that
+//     would have run last anyway); arriving speculative work is shed
+//     outright.
+//
+// The scheduler is value-agnostic: serve wraps its jobs in Items and maps
+// QuotaError/ErrQueueFull/evictions onto its own typed errors.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Class is the shed priority of an item. Protected work is never evicted in
+// favour of speculative work; speculative work is the first to go under
+// pressure.
+type Class int
+
+const (
+	// Protected is end-user-visible work (checked strategies, P_* ladders).
+	Protected Class = iota
+	// Speculative is best-effort work (W_* write-back strategies, probes)
+	// that the caller can cheaply regenerate.
+	Speculative
+)
+
+func (c Class) String() string {
+	switch c {
+	case Protected:
+		return "protected"
+	case Speculative:
+		return "speculative"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Item is one unit of admitted work.
+type Item struct {
+	Tenant string
+	Class  Class
+	Cost   float64 // WFQ service cost; <=0 is treated as 1
+	Value  any     // opaque payload returned by Pop
+}
+
+// QuotaError reports a tenant exceeding its own token bucket. RetryAfter is
+// when the bucket next has a whole token.
+type QuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("qos: tenant %q over quota, retry after %s", e.Tenant, e.RetryAfter)
+}
+
+// ErrQueueFull reports an item shed because the queue is at capacity and
+// nothing lower-priority could be evicted for it.
+var ErrQueueFull = errors.New("qos: queue full")
+
+// Config parameterises a Scheduler. The zero value of Rate disables quotas
+// (every tenant is unmetered); Capacity must be positive.
+type Config struct {
+	Rate     float64            // default tokens/sec refill per tenant; <=0 disables quotas
+	Burst    float64            // default bucket depth; <1 lifted to 1 when Rate>0
+	Rates    map[string]float64 // per-tenant rate overrides
+	Bursts   map[string]float64 // per-tenant burst overrides
+	Weights  map[string]float64 // WFQ weights; default 1
+	Capacity int                // max queued items across all tenants
+	Now      func() time.Time   // injectable clock; nil means time.Now
+}
+
+// Quota is the standalone per-tenant token-bucket front: admission points
+// that do their own queueing (the cluster gateway) use it at the door
+// without the scheduler's queueing half. Safe for concurrent use.
+type Quota struct {
+	mu      sync.Mutex
+	cfg     Config
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+// NewQuota builds a quota front from the bucket-relevant Config fields
+// (Rate, Burst, Rates, Bursts, Now).
+func NewQuota(cfg Config) *Quota {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Quota{cfg: cfg, now: now, buckets: make(map[string]*bucket)}
+}
+
+// Take spends one token from the tenant's bucket, returning nil on success
+// or a *QuotaError carrying the retry horizon.
+func (q *Quota) Take(tenant string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = newBucket(q.cfg, tenant, q.now())
+		q.buckets[tenant] = b
+	}
+	if ok, retry := b.take(q.now()); !ok {
+		return &QuotaError{Tenant: tenant, RetryAfter: retry}
+	}
+	return nil
+}
+
+// newBucket resolves the per-tenant rate/burst overrides against the
+// defaults and primes a full bucket.
+func newBucket(cfg Config, tenant string, now time.Time) *bucket {
+	rate, burst := cfg.Rate, cfg.Burst
+	if r, ok := cfg.Rates[tenant]; ok {
+		rate = r
+	}
+	if bu, ok := cfg.Bursts[tenant]; ok {
+		burst = bu
+	}
+	if rate > 0 && burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// bucket is a standard token bucket with lazy refill.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) take(now time.Time) (ok bool, retry time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	retry = time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	return false, retry
+}

@@ -1,0 +1,168 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock gives tests full control of bucket refill.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTest(cfg Config) (*Scheduler, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	cfg.Now = clk.now
+	return New(cfg), clk
+}
+
+func TestTokenBucketQuota(t *testing.T) {
+	s, clk := newTest(Config{Rate: 10, Burst: 2, Capacity: 100})
+	for i := 0; i < 2; i++ {
+		if _, err := s.Enqueue(Item{Tenant: "a"}); err != nil {
+			t.Fatalf("burst request %d refused: %v", i, err)
+		}
+	}
+	_, err := s.Enqueue(Item{Tenant: "a"})
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("over-burst request: got %v, want QuotaError", err)
+	}
+	if qe.RetryAfter <= 0 || qe.RetryAfter > 150*time.Millisecond {
+		t.Fatalf("RetryAfter = %s, want ~100ms", qe.RetryAfter)
+	}
+	// Other tenants have their own buckets.
+	if _, err := s.Enqueue(Item{Tenant: "b"}); err != nil {
+		t.Fatalf("tenant b refused by tenant a's bucket: %v", err)
+	}
+	// Refill restores exactly rate*dt tokens.
+	clk.advance(100 * time.Millisecond)
+	if _, err := s.Enqueue(Item{Tenant: "a"}); err != nil {
+		t.Fatalf("post-refill request refused: %v", err)
+	}
+	if _, err := s.Enqueue(Item{Tenant: "a"}); !errors.As(err, &qe) {
+		t.Fatalf("second post-refill request: got %v, want QuotaError", err)
+	}
+}
+
+func TestZeroRateDisablesQuota(t *testing.T) {
+	s, _ := newTest(Config{Capacity: 1000})
+	for i := 0; i < 500; i++ {
+		if _, err := s.Enqueue(Item{Tenant: "a"}); err != nil {
+			t.Fatalf("unmetered request %d refused: %v", i, err)
+		}
+	}
+}
+
+func TestWFQWeightedShare(t *testing.T) {
+	s, _ := newTest(Config{Capacity: 100, Weights: map[string]float64{"heavy": 3, "light": 1}})
+	for i := 0; i < 12; i++ {
+		s.Enqueue(Item{Tenant: "heavy", Value: i})
+	}
+	for i := 0; i < 12; i++ {
+		s.Enqueue(Item{Tenant: "light", Value: i})
+	}
+	// First 8 pops should split 6:2 — the 3:1 weight ratio — even though
+	// heavy's burst arrived first.
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		it, ok := s.Pop()
+		if !ok {
+			t.Fatal("queue empty early")
+		}
+		counts[it.Tenant]++
+	}
+	if counts["heavy"] != 6 || counts["light"] != 2 {
+		t.Fatalf("first 8 pops split %v, want heavy:6 light:2", counts)
+	}
+}
+
+func TestPerTenantFIFO(t *testing.T) {
+	s, _ := newTest(Config{Capacity: 100})
+	for i := 0; i < 5; i++ {
+		s.Enqueue(Item{Tenant: "a", Value: i})
+		s.Enqueue(Item{Tenant: "b", Value: i})
+	}
+	last := map[string]int{"a": -1, "b": -1}
+	for {
+		it, ok := s.Pop()
+		if !ok {
+			break
+		}
+		v := it.Value.(int)
+		if v <= last[it.Tenant] {
+			t.Fatalf("tenant %s served %d after %d (FIFO violated)", it.Tenant, v, last[it.Tenant])
+		}
+		last[it.Tenant] = v
+	}
+}
+
+func TestProtectedEvictsSpeculative(t *testing.T) {
+	s, _ := newTest(Config{Capacity: 4})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Enqueue(Item{Tenant: "flood", Class: Speculative, Value: i}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	// Speculative arrival at capacity is shed outright.
+	if _, err := s.Enqueue(Item{Tenant: "flood", Class: Speculative}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("speculative at capacity: got %v, want ErrQueueFull", err)
+	}
+	// Protected arrival evicts the LAST-to-run speculative item (max finish
+	// tag = the most recently enqueued of the flood).
+	evicted, err := s.Enqueue(Item{Tenant: "gold", Class: Protected, Value: "p"})
+	if err != nil {
+		t.Fatalf("protected at capacity refused: %v", err)
+	}
+	if len(evicted) != 1 || evicted[0].Value.(int) != 3 {
+		t.Fatalf("evicted %v, want the newest speculative item (3)", evicted)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d after eviction+admit, want 4", s.Len())
+	}
+}
+
+func TestProtectedNeverEvictsProtected(t *testing.T) {
+	s, _ := newTest(Config{Capacity: 2})
+	s.Enqueue(Item{Tenant: "a", Class: Protected})
+	s.Enqueue(Item{Tenant: "b", Class: Protected})
+	if _, err := s.Enqueue(Item{Tenant: "c", Class: Protected}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("protected-full queue: got %v, want ErrQueueFull", err)
+	}
+}
+
+func TestPopWhereHeadOnly(t *testing.T) {
+	s, _ := newTest(Config{Capacity: 100})
+	s.Enqueue(Item{Tenant: "a", Value: "x1"})
+	s.Enqueue(Item{Tenant: "a", Value: "y1"}) // behind x1: must not be reachable
+	s.Enqueue(Item{Tenant: "b", Value: "y2"})
+	it, ok := s.PopWhere(func(it Item) bool { return it.Value.(string)[0] == 'y' })
+	if !ok || it.Value.(string) != "y2" {
+		t.Fatalf("PopWhere = %v %v, want y2 (a's y1 is not at its head)", it, ok)
+	}
+	// Draining a's head exposes y1.
+	if it, _ := s.Pop(); it.Value.(string) != "x1" {
+		t.Fatalf("Pop = %v, want x1", it.Value)
+	}
+	it, ok = s.PopWhere(func(it Item) bool { return it.Value.(string)[0] == 'y' })
+	if !ok || it.Value.(string) != "y1" {
+		t.Fatalf("PopWhere after drain = %v %v, want y1", it, ok)
+	}
+}
+
+func TestReadySignal(t *testing.T) {
+	s, _ := newTest(Config{Capacity: 10})
+	select {
+	case <-s.Ready():
+		t.Fatal("ready before any enqueue")
+	default:
+	}
+	s.Enqueue(Item{Tenant: "a"})
+	select {
+	case <-s.Ready():
+	default:
+		t.Fatal("no ready signal after enqueue")
+	}
+}

@@ -60,6 +60,104 @@ func (k Kernel) Wire() (string, error) {
 // Kernels lists the served kernels in wire order.
 var Kernels = []Kernel{KernelGEMM, KernelCholesky, KernelCG}
 
+// Dtype selects the arithmetic precision a request runs at.
+type Dtype int
+
+const (
+	// DtypeF64 is the classic double-precision path through the recovery
+	// coordinator (the default).
+	DtypeF64 Dtype = iota
+	// DtypeF32 is the mixed-precision path: float32 data and arithmetic,
+	// float64 checksums, variance-adaptive detection thresholds. Serving-
+	// native: gemm-only, fused verify only, integrity none.
+	DtypeF32
+)
+
+func (d Dtype) String() string {
+	if d == DtypeF32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ParseDtype maps a wire dtype name to its Dtype; empty selects f64.
+func ParseDtype(name string) (Dtype, error) {
+	switch {
+	case name == "" || strings.EqualFold(name, "f64"):
+		return DtypeF64, nil
+	case strings.EqualFold(name, "f32"):
+		return DtypeF32, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown dtype %q (want f64|f32)", ErrBadRequest, name)
+	}
+}
+
+// Priority is the request's shed class under overload.
+type Priority int
+
+const (
+	// PriorityProtected work is never evicted to make room for speculative
+	// work and keeps its quota share under a flood.
+	PriorityProtected Priority = iota
+	// PrioritySpeculative work is shed first: evicted from the queue when a
+	// protected request arrives at capacity, rejected outright when the
+	// queue is full.
+	PrioritySpeculative
+)
+
+func (p Priority) String() string {
+	if p == PrioritySpeculative {
+		return "speculative"
+	}
+	return "protected"
+}
+
+// ParsePriority resolves a wire priority name; empty derives the class from
+// the ECC strategy — write-back (W_*) strategies tolerate rerun and default
+// to speculative, partial-protection (P_*) strategies are user-facing and
+// default to protected.
+func ParsePriority(name string, strat core.Strategy) (Priority, error) {
+	switch {
+	case name == "":
+		if strings.HasPrefix(strat.String(), "W_") {
+			return PrioritySpeculative, nil
+		}
+		return PriorityProtected, nil
+	case strings.EqualFold(name, "protected"):
+		return PriorityProtected, nil
+	case strings.EqualFold(name, "speculative"):
+		return PrioritySpeculative, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown priority %q (want protected|speculative)", ErrBadRequest, name)
+	}
+}
+
+// DefaultTenant is the tenant requests without a tenant field bill to.
+const DefaultTenant = "default"
+
+// maxTenantLen bounds tenant names; they appear in metrics keys and logs.
+const maxTenantLen = 64
+
+// parseTenant validates a wire tenant name: [A-Za-z0-9._-], at most
+// maxTenantLen; empty maps to DefaultTenant.
+func parseTenant(name string) (string, error) {
+	if name == "" {
+		return DefaultTenant, nil
+	}
+	if len(name) > maxTenantLen {
+		return "", fmt.Errorf("%w: tenant name longer than %d bytes", ErrBadRequest, maxTenantLen)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return "", fmt.Errorf("%w: tenant name %q has invalid character %q", ErrBadRequest, name, c)
+		}
+	}
+	return name, nil
+}
+
 // ParseKernel maps a wire name to its Kernel.
 func ParseKernel(name string) (Kernel, error) {
 	for _, k := range Kernels {
@@ -125,6 +223,16 @@ type Request struct {
 	// 0 defers to the gateway's configured default. Only meaningful with
 	// Integrity != none; capped at MaxReplicas.
 	Replicas int `json:"replicas,omitempty"`
+	// Tenant is who this request bills to for quota, fair-queueing, and
+	// shedding purposes ([A-Za-z0-9._-], ≤64 bytes; empty = "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is protected|speculative; empty derives from the strategy
+	// (W_* write-back strategies are speculative, the rest protected).
+	Priority string `json:"priority,omitempty"`
+	// Dtype is f64|f32 (default f64). f32 selects the mixed-precision GEMM
+	// with variance-adaptive thresholds: gemm-only, fused verify only,
+	// integrity none — other combinations are rejected at admission.
+	Dtype string `json:"dtype,omitempty"`
 }
 
 // DefaultStrategy is used when a request does not pick one: relax ABFT
@@ -161,6 +269,9 @@ type Parsed struct {
 	Mode      abft.VerifyMode
 	Integrity Integrity
 	Replicas  int // requested vote width R; 0 = caller default
+	Tenant    string
+	Priority  Priority
+	Dtype     Dtype
 }
 
 // Size returns the user-facing problem size (n, or the CG grid area).
@@ -245,6 +356,33 @@ func ParseRequest(l Limits, r Request) (Parsed, error) {
 		return p, fmt.Errorf("%w: replicas=%d without an integrity mode (set integrity=vote|verify-vote)",
 			ErrBadRequest, p.Replicas)
 	}
+	if p.Tenant, err = parseTenant(r.Tenant); err != nil {
+		return p, err
+	}
+	if p.Priority, err = ParsePriority(r.Priority, p.Strategy); err != nil {
+		return p, err
+	}
+	if p.Dtype, err = ParseDtype(r.Dtype); err != nil {
+		return p, err
+	}
+	if p.Dtype == DtypeF32 {
+		// The mixed-precision path is serving-native: it runs outside the
+		// simulated-memory coordinator, so only the combinations its own
+		// machinery covers are admitted.
+		if p.Kernel != KernelGEMM {
+			return p, fmt.Errorf("%w: dtype f32 requires kernel gemm, got %q", ErrBadRequest, p.Kernel)
+		}
+		if p.Integrity != IntegrityNone {
+			return p, fmt.Errorf("%w: dtype f32 does not support integrity %q (answer voting is f64-only)",
+				ErrBadRequest, p.Integrity)
+		}
+		if r.VerifyMode == "" {
+			p.Mode = abft.FusedVerify // online ABFT is the f32 path's only verifier
+		} else if p.Mode != abft.FusedVerify {
+			return p, fmt.Errorf("%w: dtype f32 requires verify mode %q, got %q",
+				ErrBadRequest, abft.FusedVerify, p.Mode)
+		}
+	}
 	return p, nil
 }
 
@@ -257,6 +395,11 @@ type Response struct {
 	Strategy string `json:"strategy"`
 	// VerifyMode echoes the admitted verify mode (full|notified|fused).
 	VerifyMode string `json:"verify_mode"`
+	// Dtype echoes the precision for mixed-precision requests ("f32");
+	// empty on the default f64 path.
+	Dtype string `json:"dtype,omitempty"`
+	// Tenant echoes who the request billed to.
+	Tenant string `json:"tenant,omitempty"`
 	// Outcome is corrected|restarted|aborted (recovery.Outcome.String).
 	Outcome string `json:"outcome"`
 	// Error says why an aborted run gave up (empty otherwise).

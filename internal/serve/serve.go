@@ -21,14 +21,16 @@ import (
 	"time"
 
 	"coopabft/internal/mat"
+	"coopabft/internal/serve/qos"
 )
 
 // Typed admission errors. The HTTP layer maps them onto status codes
 // (429/503); in-process callers branch with errors.Is.
 var (
-	// ErrOverloaded means the bounded queue was full at admission time:
-	// the request was rejected immediately (shed), not parked — the
-	// open-loop-safe failure mode.
+	// ErrOverloaded means admission refused the request under load. It is
+	// the umbrella both QoS rejections satisfy via errors.Is — callers that
+	// predate multi-tenancy keep branching on it unchanged; callers that
+	// care use errors.As with ThrottleError/ShedError.
 	ErrOverloaded = errors.New("serve: overloaded (admission queue full)")
 	// ErrQueueTimeout means the request was admitted but its budget
 	// (request deadline or the service's QueueTimeout) expired before a
@@ -37,6 +39,39 @@ var (
 	// ErrClosed means the service is shutting down.
 	ErrClosed = errors.New("serve: service closed")
 )
+
+// ThrottleError reports a tenant over its own token-bucket quota: the
+// tenant's excess was rejected at the door, other tenants are unaffected.
+// The HTTP layer maps it to 429 kind "throttled" with a computed
+// Retry-After. Satisfies errors.Is(err, ErrOverloaded).
+type ThrottleError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *ThrottleError) Error() string {
+	return fmt.Sprintf("serve: tenant %q over quota, retry after %s", e.Tenant, e.RetryAfter)
+}
+
+func (e *ThrottleError) Is(target error) bool { return target == ErrOverloaded }
+
+// ShedError reports a request sacrificed to overload: a speculative arrival
+// refused at a full queue, or a queued speculative request evicted to make
+// room for a protected arrival. The HTTP layer maps it to 429 kind "shed".
+// Satisfies errors.Is(err, ErrOverloaded).
+type ShedError struct {
+	Tenant  string
+	Evicted bool // true when evicted from the queue, false when refused at the door
+}
+
+func (e *ShedError) Error() string {
+	if e.Evicted {
+		return fmt.Sprintf("serve: tenant %q speculative request evicted for protected work", e.Tenant)
+	}
+	return fmt.Sprintf("serve: tenant %q speculative request shed (queue full)", e.Tenant)
+}
+
+func (e *ShedError) Is(target error) bool { return target == ErrOverloaded }
 
 // Config sizes the service. The zero value is usable: defaults are applied
 // by New.
@@ -96,6 +131,17 @@ type Config struct {
 	LieFraction float64
 	// LieSeed seeds the lying lottery (default 0).
 	LieSeed uint64
+	// TenantRate is the per-tenant token-bucket refill (requests/second).
+	// 0 (the default) disables quotas: tenants contend only through fair
+	// queueing and shedding.
+	TenantRate float64
+	// TenantBurst is the bucket depth per tenant (default: 2×TenantRate,
+	// minimum 1, when TenantRate > 0).
+	TenantBurst float64
+	// TenantWeights overrides fair-queueing weights per tenant (default 1
+	// each): a weight-3 tenant gets 3× the service share of a weight-1
+	// tenant while both are backlogged.
+	TenantWeights map[string]float64
 	// Metrics receives counters; nil allocates a private set.
 	Metrics *Metrics
 }
@@ -140,6 +186,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointClient == nil {
 		c.CheckpointClient = &http.Client{Timeout: 10 * time.Second}
 	}
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = 2 * c.TenantRate
+	}
 	if c.Metrics == nil {
 		c.Metrics = &Metrics{}
 	}
@@ -179,7 +228,7 @@ type Service struct {
 	cfg Config
 	m   *Metrics
 
-	queue      chan *job
+	sched      *qos.Scheduler
 	sem        chan struct{}
 	blockSem   chan struct{}
 	longSem    chan struct{}
@@ -199,9 +248,14 @@ func New(cfg Config) *Service {
 		mat.SetParallelism(cfg.Parallelism)
 	}
 	s := &Service{
-		cfg:        cfg,
-		m:          cfg.Metrics,
-		queue:      make(chan *job, cfg.QueueDepth),
+		cfg: cfg,
+		m:   cfg.Metrics,
+		sched: qos.New(qos.Config{
+			Rate:     cfg.TenantRate,
+			Burst:    cfg.TenantBurst,
+			Weights:  cfg.TenantWeights,
+			Capacity: cfg.QueueDepth,
+		}),
 		sem:        make(chan struct{}, cfg.MaxConcurrency),
 		blockSem:   make(chan struct{}, cfg.BlockConcurrency),
 		longSem:    make(chan struct{}, cfg.LongConcurrency),
@@ -236,9 +290,10 @@ func (s *Service) Close() {
 
 // Do admits, queues, and executes one request, blocking until it is
 // classified or rejected. Rejections are typed: ErrBadRequest,
-// ErrOverloaded (queue full — the caller should back off), ErrQueueTimeout
-// (admitted but expired in queue), ErrClosed. A nil error means the
-// Response carries one of the ladder's three oracle-gated outcomes.
+// ThrottleError (tenant over quota), ShedError (sacrificed to overload) —
+// both satisfying errors.Is(err, ErrOverloaded) — ErrQueueTimeout (admitted
+// but expired in queue), ErrClosed. A nil error means the Response carries
+// one of the ladder's three oracle-gated outcomes.
 func (s *Service) Do(ctx context.Context, req Request) (Response, error) {
 	p, err := ParseRequest(s.cfg.Limits(), req)
 	if err != nil {
@@ -257,16 +312,45 @@ func (s *Service) Do(ctx context.Context, req Request) (Response, error) {
 		return Response{}, ErrClosed
 	default:
 	}
-	select {
-	case s.queue <- j:
-		s.m.Accepted.Add(1)
-		s.m.QueueDepth.Add(1)
-		s.m.Inflight.Add(1)
-		defer s.m.Inflight.Add(-1)
-	default:
+	class := qos.Protected
+	if p.Priority == PrioritySpeculative {
+		class = qos.Speculative
+	}
+	evicted, err := s.sched.Enqueue(qos.Item{Tenant: p.Tenant, Class: class, Value: j})
+	if err != nil {
+		var qe *qos.QuotaError
+		if errors.As(err, &qe) {
+			s.m.Rejected.Add(1)
+			s.m.Throttled.Add(1)
+			s.m.Tenant(p.Tenant).Throttled.Add(1)
+			return Response{}, &ThrottleError{Tenant: p.Tenant, RetryAfter: qe.RetryAfter}
+		}
 		s.m.Rejected.Add(1)
+		if class == qos.Speculative {
+			s.m.Shed.Add(1)
+			s.m.Tenant(p.Tenant).Shed.Add(1)
+			return Response{}, &ShedError{Tenant: p.Tenant}
+		}
+		// A protected request refused at a full queue is plain overload —
+		// the legacy wire form, so pre-multi-tenancy clients see no change.
 		return Response{}, fmt.Errorf("%w: depth %d", ErrOverloaded, s.cfg.QueueDepth)
 	}
+	// Deliver the shed verdict to any speculative jobs evicted to make room
+	// (their waiters are blocked on done; only un-started jobs can appear
+	// here, but the CAS keeps eviction and execution mutually exclusive).
+	for _, ev := range evicted {
+		ej := ev.Value.(*job)
+		if ej.state.CompareAndSwap(stateQueued, stateRunning) {
+			s.m.QueueDepth.Add(-1)
+			s.m.Shed.Add(1)
+			s.m.Tenant(ej.req.Tenant).Shed.Add(1)
+			ej.deliver(Response{}, &ShedError{Tenant: ej.req.Tenant, Evicted: true})
+		}
+	}
+	s.m.Accepted.Add(1)
+	s.m.QueueDepth.Add(1)
+	s.m.Inflight.Add(1)
+	defer s.m.Inflight.Add(-1)
 
 	select {
 	case r := <-j.done:

@@ -327,3 +327,95 @@ func TestKernelParse(t *testing.T) {
 		t.Errorf("Kernel(9).String() = %q", got)
 	}
 }
+
+// TestF32RequestRules pins the mixed-precision admission contract: f32 is
+// gemm-only, implies the fused verify mode, excludes the integrity tier,
+// and a valid request echoes its dtype on the classified response.
+func TestF32RequestRules(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 2, QueueDepth: 8})
+	for _, req := range []Request{
+		{Kernel: "cholesky", N: 32, Dtype: "f32"},
+		{Kernel: "cg", NX: 8, NY: 8, Dtype: "f32"},
+		{Kernel: "gemm", N: 32, Dtype: "f32", VerifyMode: "notified"},
+		{Kernel: "gemm", N: 32, Dtype: "f32", VerifyMode: "full"},
+		{Kernel: "gemm", N: 32, Dtype: "f32", Integrity: "vote"},
+		{Kernel: "gemm", N: 32, Dtype: "f16"},
+	} {
+		if _, err := s.Do(context.Background(), req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%+v: err = %v, want ErrBadRequest", req, err)
+		}
+	}
+
+	// Clean f32 run: dtype echoed, outcome classified.
+	resp, err := s.Do(context.Background(), Request{Kernel: "gemm", N: 32, Dtype: "f32", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dtype != "f32" || !okOutcomes[resp.Outcome] {
+		t.Fatalf("resp dtype %q outcome %q", resp.Dtype, resp.Outcome)
+	}
+	// Fault-injected f32 run: the ladder still never delivers an
+	// unclassified answer, and the injection is visible.
+	resp, err = s.Do(context.Background(), Request{
+		Kernel: "gemm", N: 48, Dtype: "f32", Seed: 9, Faults: 2, FaultKind: "single-bit",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okOutcomes[resp.Outcome] {
+		t.Fatalf("faulted f32 outcome %q", resp.Outcome)
+	}
+	if resp.Injected == 0 {
+		t.Error("faulted f32 run reports zero injected faults")
+	}
+	// f64 responses must not grow a dtype field (wire compatibility).
+	resp, err = s.Do(context.Background(), Request{Kernel: "gemm", N: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dtype != "" {
+		t.Errorf("f64 response carries dtype %q", resp.Dtype)
+	}
+}
+
+// TestTenantAndPriorityParsing pins the QoS wire fields: tenant charset
+// enforcement, explicit priority parsing, and the W_*-speculative /
+// P_*-protected default derived from the ECC class.
+func TestTenantAndPriorityParsing(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrency: 2, QueueDepth: 8})
+	for _, req := range []Request{
+		{Kernel: "gemm", N: 32, Tenant: "no spaces"},
+		{Kernel: "gemm", N: 32, Tenant: "sl/ash"},
+		{Kernel: "gemm", N: 32, Priority: "urgent"},
+	} {
+		if _, err := s.Do(context.Background(), req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%+v: err = %v, want ErrBadRequest", req, err)
+		}
+	}
+	resp, err := s.Do(context.Background(), Request{Kernel: "gemm", N: 32, Tenant: "team-a.prod_1", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tenant != "team-a.prod_1" {
+		t.Errorf("tenant echo %q", resp.Tenant)
+	}
+
+	// Priority defaults follow the ECC class split.
+	for _, tc := range []struct {
+		strat, name string
+		want        Priority
+	}{
+		{"w_ck", "", PrioritySpeculative},
+		{"p_ck+p_sd", "", PriorityProtected},
+		{"w_ck", "protected", PriorityProtected},
+		{"p_ck+p_sd", "speculative", PrioritySpeculative},
+	} {
+		p, err := ParseRequest(Limits{MaxN: 256, MaxFaults: 8}, Request{Kernel: "gemm", N: 32, Strategy: tc.strat, Priority: tc.name})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if p.Priority != tc.want {
+			t.Errorf("strategy %s priority %q => %v, want %v", tc.strat, tc.name, p.Priority, tc.want)
+		}
+	}
+}
